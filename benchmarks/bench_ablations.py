@@ -1,0 +1,34 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Sample-size variability: R-TBS's fractional-sample realization should have
+  a far smaller realized-size variance than plain Bernoulli sampling at the
+  same marginal inclusion probabilities (Theorem 4.4).
+* Chao bias: B-Chao's overweight items should produce a large violation of
+  the appearance-ratio criterion (1) under slow arrivals, while R-TBS stays
+  within sampling noise of the target (Appendix D).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation import compare_sample_size_variability, measure_chao_bias
+from repro.experiments.reporting import format_result
+
+
+def test_ablation_sample_size_variability(benchmark, record):
+    result = run_once(benchmark, compare_sample_size_variability)
+    record(result.metrics)
+    print()
+    print(format_result(result.name, result.metrics))
+    assert result.metrics["rtbs_size_variance"] < result.metrics["btbs_size_variance"]
+
+
+def test_ablation_chao_appearance_bias(benchmark, record):
+    result = run_once(benchmark, measure_chao_bias)
+    record(result.metrics)
+    print()
+    print(format_result(result.name, result.metrics))
+    assert (
+        result.metrics["chao_worst_relative_deviation"]
+        > 3 * result.metrics["rtbs_worst_relative_deviation"]
+    )

@@ -1,0 +1,68 @@
+"""Figures 10, 11 and 14 — kNN misclassification under evolving data.
+
+Paper reference points (shape):
+
+* Figure 10(a) single event: all schemes spike to ~50% during the abnormal
+  period; R-TBS and SW recover, Unif does not adapt; when the data snaps
+  back to normal SW spikes again (~40%) while R-TBS stays low (~15%).
+* Figure 10(b) Periodic(10,10): the same behaviour repeats every period, and
+  R-TBS reacts better to each reappearance of the abnormal mode.
+* Figure 11: the same conclusions hold under Uniform(0,200) batch sizes and
+  under batch sizes growing 2% per batch.
+* Figure 14: Periodic(20,10) and Periodic(30,10) look like Figure 10(b) with
+  longer normal stretches.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.knn import KNNExperimentConfig, run_knn_experiment
+from repro.experiments.reporting import ascii_chart
+from repro.streams.batch_sizes import GeometricBatchSize, UniformBatchSize
+from repro.streams.patterns import PeriodicPattern, SingleEventPattern
+
+
+def _report(result, record) -> None:
+    record(result.metrics)
+    print(f"\n{result.name}: {result.description}")
+    print(ascii_chart(result.series))
+    for key, value in sorted(result.metrics.items()):
+        print(f"  {key}: {value:.2f}")
+
+
+def test_fig10a_single_event(benchmark, record):
+    config = KNNExperimentConfig(pattern=SingleEventPattern(10, 20), num_batches=30)
+    _report(run_once(benchmark, run_knn_experiment, config, rng=0), record)
+
+
+def test_fig10b_periodic_10_10(benchmark, record):
+    config = KNNExperimentConfig(pattern=PeriodicPattern(10, 10), num_batches=50)
+    _report(run_once(benchmark, run_knn_experiment, config, rng=1), record)
+
+
+def test_fig11a_uniform_batch_sizes(benchmark, record):
+    config = KNNExperimentConfig(
+        pattern=PeriodicPattern(10, 10),
+        num_batches=50,
+        batch_sizes=UniformBatchSize(0, 200),
+    )
+    _report(run_once(benchmark, run_knn_experiment, config, rng=2), record)
+
+
+def test_fig11b_growing_batch_sizes(benchmark, record):
+    config = KNNExperimentConfig(
+        pattern=PeriodicPattern(10, 10),
+        num_batches=50,
+        batch_sizes=GeometricBatchSize(initial=100, phi=1.02, change_point=100),
+    )
+    _report(run_once(benchmark, run_knn_experiment, config, rng=3), record)
+
+
+def test_fig14a_periodic_20_10(benchmark, record):
+    config = KNNExperimentConfig(pattern=PeriodicPattern(20, 10), num_batches=60)
+    _report(run_once(benchmark, run_knn_experiment, config, rng=4), record)
+
+
+def test_fig14b_periodic_30_10(benchmark, record):
+    config = KNNExperimentConfig(pattern=PeriodicPattern(30, 10), num_batches=70)
+    _report(run_once(benchmark, run_knn_experiment, config, rng=5), record)

@@ -1,0 +1,42 @@
+"""Figure 12 — linear-regression MSE under periodic drift, saturated and unsaturated.
+
+Paper reference points:
+
+* (a) n=1000, Periodic(10,10): MSE 3.51 (R-TBS), 4.02 (SW), 4.43 (Unif);
+  10% ES 6.04 / 10.94 / 10.05 — R-TBS best on both.
+* (b) n=1600, Periodic(10,10): the R-TBS sample never saturates (stabilises
+  around 1479 items) yet its MSE (3.50) still beats SW (4.17); SW's larger
+  window makes it robust here but hurts its accuracy.
+* (c) n=1600, Periodic(16,16): SW no longer holds enough old data and
+  fluctuates wildly again; R-TBS is clearly best despite a smaller sample —
+  "more data is not always better".
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.regression import FIGURE12_CONFIGS, run_regression_experiment
+from repro.experiments.reporting import ascii_chart
+
+
+def _report(result, record) -> None:
+    record(result.metrics)
+    print(f"\n{result.name}: {result.description}")
+    print(ascii_chart(result.series))
+    for key, value in sorted(result.metrics.items()):
+        print(f"  {key}: {value:.2f}")
+
+
+def test_fig12a_saturated_n1000_periodic_10_10(benchmark, record):
+    config = FIGURE12_CONFIGS["fig12a_n1000_p10"]
+    _report(run_once(benchmark, run_regression_experiment, config, rng=0), record)
+
+
+def test_fig12b_unsaturated_n1600_periodic_10_10(benchmark, record):
+    config = FIGURE12_CONFIGS["fig12b_n1600_p10"]
+    _report(run_once(benchmark, run_regression_experiment, config, rng=1), record)
+
+
+def test_fig12c_unsaturated_n1600_periodic_16_16(benchmark, record):
+    config = FIGURE12_CONFIGS["fig12c_n1600_p16"]
+    _report(run_once(benchmark, run_regression_experiment, config, rng=2), record)

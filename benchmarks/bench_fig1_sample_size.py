@@ -1,0 +1,44 @@
+"""Figure 1 — sample-size behaviour of T-TBS vs R-TBS under four batch-size regimes.
+
+Paper reference points (shape, not absolute values):
+
+* (a) growing batches: T-TBS overflows without bound after the change point;
+  R-TBS stays pinned at the 1000-item cap.
+* (b) stable deterministic batches: R-TBS constant at 1000; T-TBS fluctuates
+  around 1000.
+* (c) stable uniform batches: R-TBS capped at 1000 with occasional dips;
+  T-TBS fluctuates more widely.
+* (d) decaying batches: both samples shrink; R-TBS decays smoothly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.reporting import ascii_chart
+from repro.experiments.sample_size import FIGURE1_SCENARIOS, run_sample_size_scenario
+
+
+def _run_panel(name: str, benchmark, record) -> None:
+    scenario = FIGURE1_SCENARIOS[name]
+    result = run_once(benchmark, run_sample_size_scenario, scenario, rng=2018)
+    record(result.metrics)
+    print(f"\n{result.name}: {result.description}")
+    print(ascii_chart({label: values for label, values in result.series.items()}))
+    for key, value in result.metrics.items():
+        print(f"  {key}: {value:.1f}")
+
+
+def test_fig1a_growing_batches(benchmark, record):
+    _run_panel("fig1a_growing", benchmark, record)
+
+
+def test_fig1b_stable_deterministic_batches(benchmark, record):
+    _run_panel("fig1b_stable_deterministic", benchmark, record)
+
+
+def test_fig1c_stable_uniform_batches(benchmark, record):
+    _run_panel("fig1c_stable_uniform", benchmark, record)
+
+
+def test_fig1d_decaying_batches(benchmark, record):
+    _run_panel("fig1d_decaying", benchmark, record)

@@ -1,0 +1,53 @@
+"""Figures 7, 8 and 9 — distributed runtime comparison, scale-out and scale-up.
+
+These reproduce the paper's Spark cluster study on the simulated cluster
+(see DESIGN.md substitution #1). Reported runtimes are simulated seconds
+under the calibrated cost model.
+
+Paper reference points:
+
+* Figure 7 (batch 10M, reservoir 20M, lambda 0.07, 12 workers): roughly
+  45s / 38s / 15s / 10s for the four D-R-TBS variants (each optimization
+  helps; co-partitioning gives ~2.6x, distributed decisions another ~1.6x)
+  and ~3s for D-T-TBS.
+* Figure 8 (batch 100M): runtime drops quickly up to ~10 workers and then
+  flattens as coordination overheads dominate.
+* Figure 9 (12 workers): runtime is flat up to ~10M items per batch, then
+  rises sharply.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.distributed_perf import run_figure7, run_figure8, run_figure9
+from repro.experiments.reporting import format_table
+
+
+def test_fig7_runtime_comparison(benchmark, record):
+    result = run_once(benchmark, run_figure7)
+    record(result.metrics)
+    print("\nFigure 7 — average simulated per-batch runtime (seconds)")
+    rows = [[label, runtime] for label, runtime in result.metrics.items()]
+    print(format_table(["implementation", "runtime (s)"], rows))
+
+
+def test_fig8_scale_out(benchmark, record):
+    result = run_once(benchmark, run_figure8)
+    record(result.metrics)
+    print("\nFigure 8 — D-R-TBS scale-out (batch size 100M, simulated seconds)")
+    rows = [
+        [workers, runtime]
+        for workers, runtime in zip(result.metadata["worker_counts"], result.series["runtime"])
+    ]
+    print(format_table(["workers", "runtime (s)"], rows))
+
+
+def test_fig9_scale_up(benchmark, record):
+    result = run_once(benchmark, run_figure9)
+    record(result.metrics)
+    print("\nFigure 9 — D-R-TBS scale-up (12 workers, simulated seconds)")
+    rows = [
+        [batch_size, runtime]
+        for batch_size, runtime in zip(result.metadata["batch_sizes"], result.series["runtime"])
+    ]
+    print(format_table(["batch size", "runtime (s)"], rows))

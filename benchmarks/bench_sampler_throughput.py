@@ -1,0 +1,57 @@
+"""Micro-benchmarks: per-batch update latency of each sampling algorithm.
+
+These are conventional pytest-benchmark measurements (many rounds) of the
+serial samplers' per-batch processing cost at a fixed operating point
+(batch size 1000, capacity/target 10000, lambda 0.07). They complement the
+figure/table benches: the paper's scalability claims are about the
+distributed implementations, but the serial algorithms themselves should all
+be cheap, with T-TBS and B-TBS cheapest and R-TBS close behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ares import AResSampler
+from repro.core.brs import BatchedReservoir
+from repro.core.btbs import BTBS
+from repro.core.chao import BatchedChao
+from repro.core.rtbs import RTBS
+from repro.core.sliding_window import SlidingWindow
+from repro.core.ttbs import TTBS
+from repro.core.uniform import UniformReservoir
+
+_BATCH_SIZE = 1000
+_CAPACITY = 10_000
+_LAMBDA = 0.07
+
+
+def _sampler_factories():
+    return {
+        "R-TBS": lambda: RTBS(n=_CAPACITY, lambda_=_LAMBDA, rng=0),
+        "T-TBS": lambda: TTBS(
+            n=_CAPACITY, lambda_=_LAMBDA, mean_batch_size=_BATCH_SIZE, rng=0
+        ),
+        "B-TBS": lambda: BTBS(lambda_=_LAMBDA, rng=0),
+        "B-RS": lambda: BatchedReservoir(n=_CAPACITY, rng=0),
+        "B-Chao": lambda: BatchedChao(n=_CAPACITY, lambda_=_LAMBDA, rng=0),
+        "SW": lambda: SlidingWindow(n=_CAPACITY, rng=0),
+        "Unif": lambda: UniformReservoir(n=_CAPACITY, rng=0),
+        "A-Res": lambda: AResSampler(n=_CAPACITY, lambda_=_LAMBDA, rng=0),
+    }
+
+
+@pytest.mark.parametrize("name", list(_sampler_factories().keys()))
+def test_per_batch_update_latency(benchmark, name):
+    sampler = _sampler_factories()[name]()
+    # Warm the sampler to a steady-state sample before timing.
+    for batch_index in range(1, 31):
+        sampler.process_batch([(batch_index, i) for i in range(_BATCH_SIZE)])
+    state = {"batch_index": 31}
+
+    def process_one_batch():
+        index = state["batch_index"]
+        state["batch_index"] += 1
+        sampler.process_batch([(index, i) for i in range(_BATCH_SIZE)])
+
+    benchmark(process_one_batch)

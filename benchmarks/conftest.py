@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and records the
+reproduced rows/series in ``benchmark.extra_info`` (visible in the
+pytest-benchmark JSON/For-table output) in addition to printing them, so the
+numbers can be compared against the paper (see EXPERIMENTS.md).
+
+Benchmarks run each experiment exactly once (``pedantic`` with one round):
+the quantity of interest is the experiment's *output*, not the harness's own
+wall-clock, although the wall-clock is captured too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+
+def run_once(benchmark, function: Callable, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def record(benchmark):
+    """Fixture: ``record(metrics_dict)`` stores reproduced numbers with the benchmark."""
+
+    def _record(metrics: dict) -> None:
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = round(float(value), 4)
+
+    return _record

@@ -1,0 +1,60 @@
+"""Simulated-cluster walkthrough: D-R-TBS implementation strategies (Figure 7).
+
+Runs the four D-R-TBS implementation variants and D-T-TBS on the simulated
+Spark-like cluster with virtual 10M-item batches and reports the average
+simulated per-batch runtime of each, mirroring the paper's Figure 7. It then
+runs a small *materialized* D-R-TBS side by side with the serial R-TBS to
+show that the distributed implementation preserves the sampling semantics.
+
+Run with:  python examples/distributed_cluster_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RTBS
+from repro.distributed import DistributedBatch, DistributedRTBS, SimulatedCluster
+from repro.experiments.distributed_perf import FIGURE7_VARIANTS, run_figure7
+from repro.experiments.reporting import format_table
+
+
+def compare_implementation_variants() -> None:
+    print("Figure 7 scenario: 10M-item batches, 20M-item reservoir, 12 workers\n")
+    result = run_figure7(num_batches=50)
+    rows = [[label, runtime] for label, runtime in result.metrics.items()]
+    print(format_table(["implementation", "simulated s/batch"], rows))
+    print()
+
+
+def check_statistical_equivalence() -> None:
+    print("Statistical check: distributed vs serial R-TBS on the same small stream")
+    lambda_, capacity, batch_size, batches = 0.1, 200, 60, 60
+    serial = RTBS(n=capacity, lambda_=lambda_, rng=1)
+    cluster = SimulatedCluster(num_workers=4)
+    distributed = DistributedRTBS(n=capacity, lambda_=lambda_, cluster=cluster, rng=2)
+    for batch_index in range(1, batches + 1):
+        batch = [(batch_index, position) for position in range(batch_size)]
+        serial.process_batch(batch)
+        distributed.process_batch(batch)
+    serial_ages = np.mean([batches - b for b, _ in serial.sample_items()])
+    distributed_ages = np.mean([batches - b for b, _ in distributed.sample_items()])
+    rows = [
+        ["serial R-TBS", serial.sample_weight, len(serial.sample_items()), serial_ages],
+        [
+            "D-R-TBS",
+            distributed.sample_weight,
+            len(distributed.sample_items()),
+            distributed_ages,
+        ],
+    ]
+    print(format_table(["implementation", "sample weight", "items held", "mean item age"], rows))
+
+
+def main() -> None:
+    compare_implementation_variants()
+    check_statistical_equivalence()
+
+
+if __name__ == "__main__":
+    main()

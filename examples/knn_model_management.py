@@ -1,0 +1,75 @@
+"""Online model management: retraining a kNN classifier on a time-biased sample.
+
+Reproduces the scenario of Figure 10(a) at a reduced scale: a stream of
+Gaussian-mixture classification data experiences a singular event (the class
+frequencies invert for ten batches and then revert). A kNN classifier is
+retrained after every batch on the sample maintained by three schemes —
+R-TBS, a sliding window and a uniform reservoir — and the per-batch
+misclassification rates are compared.
+
+Run with:  python examples/knn_model_management.py
+"""
+
+from __future__ import annotations
+
+from repro import RTBS, SlidingWindow, UniformReservoir
+from repro.experiments.reporting import ascii_chart, format_table
+from repro.ml import KNNClassifier, ModelManager, misclassification_rate
+from repro.ml.metrics import expected_shortfall
+from repro.streams import BatchStream, DeterministicBatchSize, GaussianMixtureStream, SingleEventPattern
+
+SAMPLE_SIZE = 1000
+LAMBDA = 0.07
+WARMUP_BATCHES = 100
+EVALUATION_BATCHES = 30
+
+
+def main() -> None:
+    generator = GaussianMixtureStream(num_classes=100, rng=7)
+    stream = BatchStream(
+        generator,
+        pattern=SingleEventPattern(start=10, end=20),
+        batch_sizes=DeterministicBatchSize(100),
+        warmup_batches=WARMUP_BATCHES,
+        num_batches=EVALUATION_BATCHES,
+        rng=8,
+    )
+    batches = list(stream)
+    warmup, evaluation = batches[:WARMUP_BATCHES], batches[WARMUP_BATCHES:]
+
+    schemes = {
+        "R-TBS": RTBS(n=SAMPLE_SIZE, lambda_=LAMBDA, rng=1),
+        "SW": SlidingWindow(n=SAMPLE_SIZE, rng=2),
+        "Unif": UniformReservoir(n=SAMPLE_SIZE, rng=3),
+    }
+
+    series: dict[str, list[float]] = {}
+    rows = []
+    for label, sampler in schemes.items():
+        manager = ModelManager(
+            sampler, model_factory=lambda: KNNClassifier(k=7), loss=misclassification_rate
+        )
+        manager.warmup(warmup)
+        result = manager.run(evaluation)
+        series[label] = result.losses
+        rows.append(
+            [
+                label,
+                result.mean_loss(),
+                expected_shortfall(result.losses[20:], level=0.1),
+            ]
+        )
+
+    print("Misclassification rate (%) per batch after warm-up")
+    print("(abnormal mode during batches 10-19)\n")
+    print(ascii_chart(series, height=12, width=70))
+    print()
+    print(format_table(["scheme", "mean miss %", "10% expected shortfall"], rows))
+    print(
+        "\nR-TBS adapts to the event like the sliding window does, but avoids the"
+        "\nsliding window's error spike when the old data pattern reasserts itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: maintain a bounded, temporally-biased sample of a data stream.
+
+This example shows the core workflow of the library: create an R-TBS sampler
+with a maximum sample size and an exponential decay rate, feed it batches as
+they arrive, and read the current sample at any time. It also shows the two
+decay-rate calibration rules from the paper's introduction.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import RTBS, lambda_for_retention, lambda_for_survival
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Choosing the decay rate lambda.
+    # ------------------------------------------------------------------
+    # Rule 1: "about 10% of the items from 40 batches ago should still be
+    # reflected in the current sample."
+    lam = lambda_for_retention(fraction=0.1, age=40)
+    print(f"lambda for 10% retention after 40 batches: {lam:.4f}")
+
+    # Rule 2: "an entity represented by 1000 items 150 batches ago should
+    # survive in the sample with probability 1%."
+    lam_survival = lambda_for_survival(num_items=1000, age=150, probability=0.01)
+    print(f"lambda for entity survival rule:           {lam_survival:.4f}")
+
+    # ------------------------------------------------------------------
+    # Streaming batches through the sampler.
+    # ------------------------------------------------------------------
+    sampler = RTBS(n=500, lambda_=lam, rng=42)
+    for batch_number in range(1, 101):
+        # Each item is (batch_number, position); any Python object works.
+        batch = [(batch_number, position) for position in range(120)]
+        sample = sampler.process_batch(batch)
+
+    print(f"\nAfter 100 batches of 120 items:")
+    print(f"  sample size          : {len(sample)} (never exceeds n=500)")
+    print(f"  total decayed weight : {sampler.total_weight:.1f}")
+    print(f"  saturated            : {sampler.is_saturated}")
+
+    ages = [100 - batch_number for batch_number, _ in sample]
+    recent = sum(1 for age in ages if age < 10) / len(ages)
+    old = sum(1 for age in ages if age >= 40) / len(ages)
+    print(f"  items younger than 10 batches : {recent:5.1%}")
+    print(f"  items at least 40 batches old : {old:5.1%}  (old data retained, not forgotten)")
+
+
+if __name__ == "__main__":
+    main()

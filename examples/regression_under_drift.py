@@ -1,0 +1,70 @@
+"""Linear regression under periodic concept drift (Figure 12 scenario).
+
+The data follow ``y = b1 x1 + b2 x2 + noise`` where the coefficient vector
+periodically flips between a "normal" and an "abnormal" regime. A regression
+model is retrained on the current sample after every batch; the example also
+demonstrates the paper's point that a *smaller but better balanced* R-TBS
+sample can beat larger sliding-window and uniform samples ("more sample data
+is not always better").
+
+Run with:  python examples/regression_under_drift.py
+"""
+
+from __future__ import annotations
+
+from repro import RTBS, SlidingWindow, UniformReservoir
+from repro.experiments.reporting import ascii_chart, format_table
+from repro.ml import LinearRegressionModel, ModelManager, mean_squared_error
+from repro.streams import BatchStream, PeriodicPattern, RegressionStream
+
+MAX_SAMPLE_SIZE = 1600  # R-TBS never saturates at this setting (stabilises ~1479)
+LAMBDA = 0.07
+WARMUP_BATCHES = 100
+EVALUATION_BATCHES = 50
+
+
+def main() -> None:
+    generator = RegressionStream(rng=11)
+    stream = BatchStream(
+        generator,
+        pattern=PeriodicPattern(10, 10),
+        warmup_batches=WARMUP_BATCHES,
+        num_batches=EVALUATION_BATCHES,
+        rng=12,
+    )
+    batches = list(stream)
+    warmup, evaluation = batches[:WARMUP_BATCHES], batches[WARMUP_BATCHES:]
+
+    schemes = {
+        "R-TBS": RTBS(n=MAX_SAMPLE_SIZE, lambda_=LAMBDA, rng=1),
+        "SW": SlidingWindow(n=MAX_SAMPLE_SIZE, rng=2),
+        "Unif": UniformReservoir(n=MAX_SAMPLE_SIZE, rng=3),
+    }
+
+    series: dict[str, list[float]] = {}
+    rows = []
+    for label, sampler in schemes.items():
+        manager = ModelManager(
+            sampler,
+            model_factory=LinearRegressionModel,
+            loss=mean_squared_error,
+            min_train_size=2,
+        )
+        manager.warmup(warmup)
+        result = manager.run(evaluation)
+        series[label] = result.losses
+        average_sample = sum(result.sample_sizes) / len(result.sample_sizes)
+        rows.append([label, result.mean_loss(), average_sample])
+
+    print("Mean squared error per batch under Periodic(10,10) coefficient drift\n")
+    print(ascii_chart(series, height=12, width=70))
+    print()
+    print(format_table(["scheme", "mean MSE", "avg training-sample size"], rows))
+    print(
+        "\nThe R-TBS sample is smaller than the full 1600-item window yet achieves"
+        "\nthe lowest error: a balanced mix of recent and old data beats sheer volume."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works in offline environments.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+enables legacy editable installs (``--no-use-pep517``) on machines where the
+``wheel`` package is unavailable and PEP 660 editable builds cannot run.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Temporally-Biased Sampling for Online Model Management".
+
+The package is organized into five subpackages:
+
+* :mod:`repro.core` — the sampling algorithms (R-TBS, T-TBS and every
+  baseline), plus the fractional-sample machinery and closed-form analysis.
+* :mod:`repro.streams` — synthetic data-stream generators used by the
+  paper's evaluation (batch-size processes, temporal mode patterns, the
+  Gaussian-mixture, regression and recurring-context text workloads).
+* :mod:`repro.ml` — from-scratch kNN, linear-regression and Naive-Bayes
+  models, evaluation metrics (including expected shortfall), and the
+  online model-management retraining loop.
+* :mod:`repro.distributed` — a cost-model simulator of the paper's
+  distributed D-T-TBS / D-R-TBS implementations on a Spark-like cluster.
+* :mod:`repro.experiments` — runnable reproductions of every table and
+  figure in the paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import RTBS
+>>> sampler = RTBS(n=100, lambda_=0.1, rng=42)
+>>> for batch_number in range(10):
+...     sample = sampler.process_batch(range(batch_number * 50, (batch_number + 1) * 50))
+>>> len(sample) <= 100
+True
+"""
+
+from repro.core import (
+    AResSampler,
+    BatchedChao,
+    BatchedReservoir,
+    BTBS,
+    ExponentialDecay,
+    LatentSample,
+    RTBS,
+    Sampler,
+    SlidingWindow,
+    TimeBasedSlidingWindow,
+    TTBS,
+    UniformReservoir,
+    downsample,
+    lambda_for_retention,
+    lambda_for_survival,
+)
+from repro.ml.retraining import ModelManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AResSampler",
+    "BatchedChao",
+    "BatchedReservoir",
+    "BTBS",
+    "ExponentialDecay",
+    "LatentSample",
+    "ModelManager",
+    "RTBS",
+    "Sampler",
+    "SlidingWindow",
+    "TimeBasedSlidingWindow",
+    "TTBS",
+    "UniformReservoir",
+    "downsample",
+    "lambda_for_retention",
+    "lambda_for_survival",
+    "__version__",
+]

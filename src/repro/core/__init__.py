@@ -1,0 +1,66 @@
+"""Core temporally-biased sampling algorithms.
+
+This subpackage contains the paper's primary contribution — the T-TBS and
+R-TBS algorithms — together with every sampling baseline the paper discusses
+or compares against:
+
+* :class:`~repro.core.rtbs.RTBS` — Reservoir-based time-biased sampling
+  (Algorithm 2), the paper's headline algorithm.
+* :class:`~repro.core.ttbs.TTBS` — Targeted-size time-biased sampling
+  (Algorithm 1).
+* :class:`~repro.core.btbs.BTBS` — plain Bernoulli time-biased sampling
+  (Appendix A), the scheme of Xie et al. used in prior work.
+* :class:`~repro.core.brs.BatchedReservoir` — classic reservoir sampling
+  adapted to batch arrivals (Appendix B); bounded size, no time bias.
+* :class:`~repro.core.chao.BatchedChao` — batched, decayed Chao sampling
+  (Appendix D); the closest prior bounded-size scheme.
+* :class:`~repro.core.sliding_window.SlidingWindow` /
+  :class:`~repro.core.sliding_window.TimeBasedSlidingWindow` — the SW
+  baselines of Section 6.
+* :class:`~repro.core.uniform.UniformReservoir` — the "Unif" baseline of
+  Section 6.
+* :class:`~repro.core.ares.AResSampler` — Efraimidis–Spirakis weighted
+  reservoir sampling with exponential weights (Section 7 related work).
+
+Supporting machinery lives in :mod:`repro.core.latent` (fractional samples
+and the downsampling procedure of Algorithm 3), :mod:`repro.core.decay`
+(decay-rate calibration helpers) and :mod:`repro.core.analysis` (closed-form
+predictions from Theorems 3.1 and 4.2–4.4 used by the test suite).
+"""
+
+from repro.core.base import Sampler, SamplerState
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    lambda_for_retention,
+    lambda_for_survival,
+)
+from repro.core.latent import LatentSample, downsample
+from repro.core.rtbs import RTBS
+from repro.core.ttbs import TTBS
+from repro.core.btbs import BTBS
+from repro.core.brs import BatchedReservoir
+from repro.core.chao import BatchedChao
+from repro.core.sliding_window import SlidingWindow, TimeBasedSlidingWindow
+from repro.core.uniform import UniformReservoir
+from repro.core.ares import AResSampler
+
+__all__ = [
+    "Sampler",
+    "SamplerState",
+    "DecayFunction",
+    "ExponentialDecay",
+    "lambda_for_retention",
+    "lambda_for_survival",
+    "LatentSample",
+    "downsample",
+    "RTBS",
+    "TTBS",
+    "BTBS",
+    "BatchedReservoir",
+    "BatchedChao",
+    "SlidingWindow",
+    "TimeBasedSlidingWindow",
+    "UniformReservoir",
+    "AResSampler",
+]

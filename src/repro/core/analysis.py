@@ -1,0 +1,130 @@
+"""Closed-form predictions from the paper's analysis (Theorems 3.1 and 4.2–4.4).
+
+These functions let the test-suite and the benchmark harness compare measured
+behaviour against the paper's theory:
+
+* expected T-TBS sample-size trajectory ``E[C_t] = n + p^t (C_0 - n)``
+  (Theorem 3.1(ii)) and its stationary variance (equation (10));
+* the large-deviation exponents ``nu^+_{eps,r}`` and ``nu^-_{eps,r}`` of
+  Theorem 3.1(iv);
+* the equilibrium size ``b / (1 - e^-lambda)`` of B-TBS (Remark 1);
+* the R-TBS total-weight recursion and theoretical appearance probabilities
+  ``(C_t / W_t) e^{-lambda (t - s)}`` (Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ttbs_expected_size",
+    "ttbs_stationary_variance",
+    "nu_plus",
+    "nu_minus",
+    "ttbs_upper_deviation_bound",
+    "ttbs_lower_deviation_bound",
+    "btbs_equilibrium_size",
+    "rtbs_total_weight",
+    "rtbs_expected_size",
+    "rtbs_appearance_probability",
+    "relative_appearance_ratio",
+]
+
+
+def ttbs_expected_size(n: float, lambda_: float, t: int, initial_size: float = 0.0) -> float:
+    """Theorem 3.1(ii): expected T-TBS sample size after ``t`` batches."""
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    p = math.exp(-lambda_)
+    return n + (p**t) * (initial_size - n)
+
+
+def ttbs_stationary_variance(
+    n: float, lambda_: float, mean_batch_size: float, batch_size_variance: float
+) -> float:
+    """Stationary variance of the T-TBS sample size (equation (10), t -> infinity).
+
+    ``Var[C_t] -> alpha n + sigma_B^2 q^2 / (1 - p^2)`` with
+    ``alpha = (1 + p - q) / (1 + p)`` and ``q = n (1 - p) / b``.
+    """
+    p = math.exp(-lambda_)
+    q = min(1.0, n * (1.0 - p) / mean_batch_size)
+    alpha = (1.0 + p - q) / (1.0 + p)
+    return alpha * n + batch_size_variance * q * q / (1.0 - p * p)
+
+
+def nu_plus(epsilon: float, upper_support_ratio: float) -> float:
+    """Large-deviation exponent ``nu^+_{eps,r}`` of Theorem 3.1(iv)(a)."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    r = upper_support_ratio
+    if r < 1:
+        raise ValueError(f"the upper support ratio is at least 1, got {r}")
+    return (1.0 + epsilon) * math.log((1.0 + epsilon) / r) - (1.0 + epsilon - r)
+
+
+def nu_minus(epsilon: float, upper_support_ratio: float) -> float:
+    """Large-deviation exponent ``nu^-_{eps,r}`` of Theorem 3.1(iv)(b)."""
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    r = upper_support_ratio
+    if r < 1:
+        raise ValueError(f"the upper support ratio is at least 1, got {r}")
+    return (1.0 - epsilon) * math.log((1.0 - epsilon) / r) - (1.0 - epsilon - r)
+
+
+def ttbs_upper_deviation_bound(n: float, epsilon: float, upper_support_ratio: float) -> float:
+    """Leading-order bound ``exp(-n nu^+_{eps,r})`` on ``Pr[C_t >= (1+eps) n]``."""
+    return math.exp(-n * nu_plus(epsilon, upper_support_ratio))
+
+
+def ttbs_lower_deviation_bound(n: float, epsilon: float, upper_support_ratio: float) -> float:
+    """Leading-order bound ``exp(-n nu^-_{eps,r})`` on ``Pr[C_t <= (1-eps) n]``."""
+    return math.exp(-n * nu_minus(epsilon, upper_support_ratio))
+
+
+def btbs_equilibrium_size(mean_batch_size: float, lambda_: float) -> float:
+    """Remark 1: the long-run expected B-TBS sample size ``b / (1 - e^-lambda)``."""
+    if lambda_ <= 0:
+        return math.inf
+    return mean_batch_size / (1.0 - math.exp(-lambda_))
+
+
+def rtbs_total_weight(batch_sizes: Sequence[int] | Iterable[int], lambda_: float) -> float:
+    """Total decayed weight ``W_t = sum_j B_j e^{-lambda (t - j)}`` after all batches."""
+    sizes = list(batch_sizes)
+    t = len(sizes)
+    p = math.exp(-lambda_)
+    return sum(size * (p ** (t - j)) for j, size in enumerate(sizes, start=1))
+
+
+def rtbs_expected_size(batch_sizes: Sequence[int] | Iterable[int], lambda_: float, n: int) -> float:
+    """Expected R-TBS sample size ``C_t = min(n, W_t)`` after the given batches."""
+    return min(float(n), rtbs_total_weight(batch_sizes, lambda_))
+
+
+def rtbs_appearance_probability(
+    batch_sizes: Sequence[int], lambda_: float, n: int, item_batch: int
+) -> float:
+    """Theorem 4.2: probability that an item from batch ``item_batch`` is in the sample.
+
+    ``Pr[i in S_t] = (C_t / W_t) e^{-lambda (t - item_batch)}`` where ``t`` is
+    the index of the last batch in ``batch_sizes`` (1-based).
+    """
+    t = len(batch_sizes)
+    if not 1 <= item_batch <= t:
+        raise ValueError(f"item_batch must be in [1, {t}], got {item_batch}")
+    total = rtbs_total_weight(batch_sizes, lambda_)
+    if total <= 0:
+        return 0.0
+    sample_weight = min(float(n), total)
+    age = t - item_batch
+    return (sample_weight / total) * math.exp(-lambda_ * age)
+
+
+def relative_appearance_ratio(lambda_: float, age_difference: float) -> float:
+    """Criterion (1): appearance-probability ratio between items whose ages differ."""
+    if age_difference < 0:
+        raise ValueError(f"age_difference must be non-negative, got {age_difference}")
+    return math.exp(-lambda_ * age_difference)

@@ -1,0 +1,156 @@
+"""Common sampler interface shared by every algorithm in :mod:`repro.core`.
+
+The paper's setting (Section 2): items arrive in batches ``B_1, B_2, ...`` at
+times ``t = 1, 2, ...`` and the sampler maintains a sample ``S_t`` of all
+items seen so far. Every algorithm in this package implements the same
+:class:`Sampler` interface so the experiment harness, the model-management
+loop and the distributed simulator can swap them freely.
+
+Samplers treat items as opaque payloads; identity for statistical tests is
+whatever equality the caller's items define (the test-suite uses small
+integers or ``(time, index)`` tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+
+__all__ = ["Sampler", "SamplerState"]
+
+
+@dataclass
+class SamplerState:
+    """Lightweight snapshot of a sampler's bookkeeping after a batch.
+
+    Attributes
+    ----------
+    time:
+        Batch-arrival time of the snapshot.
+    sample_size:
+        Number of items in the realized sample ``S_t``.
+    total_weight:
+        Total decayed weight ``W_t`` of all items seen so far (``nan`` for
+        samplers that do not track weights, e.g. sliding windows).
+    expected_size:
+        Expected sample size; equals ``C_t`` for R-TBS and the realized size
+        for samplers without fractional state.
+    """
+
+    time: float
+    sample_size: int
+    total_weight: float = float("nan")
+    expected_size: float = float("nan")
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class Sampler:
+    """Abstract base class for batch-arrival stream samplers.
+
+    Subclasses implement :meth:`_process_batch` and may override
+    :meth:`sample_items`. The public entry point :meth:`process_batch`
+    handles time bookkeeping (including arbitrary real-valued gaps between
+    batches) and state-history recording.
+
+    Parameters
+    ----------
+    rng:
+        Seed, generator, or ``None``; all randomness flows through it.
+    record_history:
+        When true, a :class:`SamplerState` is appended to :attr:`history`
+        after every batch. Experiments use this to plot sample-size
+        trajectories (Figure 1).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        self._rng = ensure_rng(rng)
+        self._time: float = 0.0
+        self._batches_seen: int = 0
+        self._record_history = record_history
+        self.history: list[SamplerState] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Arrival time of the most recently processed batch."""
+        return self._time
+
+    @property
+    def batches_seen(self) -> int:
+        """Number of batches processed so far."""
+        return self._batches_seen
+
+    @property
+    def total_weight(self) -> float:
+        """Total decayed weight ``W_t``; ``nan`` if the sampler has no notion of weight."""
+        return float("nan")
+
+    @property
+    def expected_sample_size(self) -> float:
+        """Expected size of the realized sample at the current time."""
+        return float(len(self.sample_items()))
+
+    def process_batch(
+        self, batch: Sequence[Any] | Iterable[Any], time: float | None = None
+    ) -> list[Any]:
+        """Ingest one arriving batch and return the new realized sample.
+
+        Parameters
+        ----------
+        batch:
+            The arriving items (may be empty).
+        time:
+            Wall-clock arrival time. Defaults to the previous time plus one,
+            matching the paper's integer batch sequence; arbitrary increasing
+            real values are accepted (Section 2's extension).
+        """
+        items = list(batch)
+        if time is None:
+            time = self._time + 1.0
+        if time <= self._time and self._batches_seen > 0:
+            raise ValueError(
+                f"batch times must be strictly increasing: got {time} after {self._time}"
+            )
+        elapsed = time - self._time if self._batches_seen > 0 else 1.0
+        self._time = time
+        self._batches_seen += 1
+        self._process_batch(items, elapsed)
+        sample = self.sample_items()
+        if self._record_history:
+            self.history.append(
+                SamplerState(
+                    time=self._time,
+                    sample_size=len(sample),
+                    total_weight=self.total_weight,
+                    expected_size=self.expected_sample_size,
+                )
+            )
+        return sample
+
+    def sample_items(self) -> list[Any]:
+        """Return the current realized sample ``S_t`` as a list."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.sample_items())
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        """Update internal state for a batch that arrived ``elapsed`` after the last.
+
+        When this hook runs, :attr:`time` already reflects the arrival time
+        of the batch being processed.
+        """
+        raise NotImplementedError

@@ -1,0 +1,68 @@
+"""B-RS — classical reservoir sampling adapted to batch arrivals (Appendix B).
+
+B-RS maintains a uniform sample (all items seen so far are equally likely to
+be included) with a hard upper bound ``n`` on the sample size, but supports no
+time biasing (equivalently, decay rate ``lambda = 0``). For each arriving
+batch, the number of batch items entering the sample follows the appropriate
+hypergeometric distribution, which is equivalent to running the classical
+one-item-at-a-time reservoir algorithm over the whole batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sampler
+from repro.core.random_utils import hypergeometric, sample_without_replacement
+
+__all__ = ["BatchedReservoir"]
+
+
+class BatchedReservoir(Sampler):
+    """Batched uniform reservoir sampler with capacity ``n`` (Algorithm 5)."""
+
+    def __init__(
+        self,
+        n: int,
+        initial_items: list[Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if n <= 0:
+            raise ValueError(f"maximum sample size must be positive, got {n}")
+        initial = list(initial_items or [])
+        if len(initial) > n:
+            raise ValueError(
+                f"initial sample has {len(initial)} items but the capacity is {n}"
+            )
+        self.n = int(n)
+        self._sample: list[Any] = initial
+        self._items_seen: int = len(initial)
+
+    @property
+    def items_seen(self) -> int:
+        """Total number of items observed so far (the ``W`` counter of Algorithm 5)."""
+        return self._items_seen
+
+    @property
+    def total_weight(self) -> float:
+        return float(self._items_seen)
+
+    def sample_items(self) -> list[Any]:
+        return list(self._sample)
+
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        batch_size = len(items)
+        if batch_size == 0:
+            return
+        new_size = min(self.n, self._items_seen + batch_size)
+        accepted = hypergeometric(self._rng, new_size, batch_size, self._items_seen)
+        survivors = sample_without_replacement(
+            self._rng, self._sample, min(new_size - accepted, len(self._sample))
+        )
+        inserted = sample_without_replacement(self._rng, items, accepted)
+        self._sample = survivors + inserted
+        self._items_seen += batch_size

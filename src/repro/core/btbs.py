@@ -1,0 +1,58 @@
+"""B-TBS — plain Bernoulli time-biased sampling (Appendix A, Algorithm 4).
+
+Every arriving item is accepted with probability 1 and each existing sample
+item survives a batch arrival with probability ``p = e^{-lambda}``, giving
+``Pr[x in S_t'] = e^{-lambda (t' - t)}`` for an item that arrived at ``t``.
+This is the scheme used by Xie et al. for time-biased edge sampling in
+dynamic graphs. It enforces criterion (1) exactly but gives the user no
+independent control of the sample size: the equilibrium size is
+``b / (1 - e^{-lambda})`` and grows without bound if batch sizes grow
+(Remark 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sampler
+from repro.core.random_utils import binomial, sample_without_replacement
+
+__all__ = ["BTBS"]
+
+
+class BTBS(Sampler):
+    """Bernoulli time-biased sampler with retention probability ``e^{-lambda}``."""
+
+    def __init__(
+        self,
+        lambda_: float,
+        initial_items: list[Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        self.lambda_ = float(lambda_)
+        self.retention_probability = math.exp(-lambda_)
+        self._sample: list[Any] = list(initial_items or [])
+
+    def sample_items(self) -> list[Any]:
+        return list(self._sample)
+
+    def equilibrium_size(self, mean_batch_size: float) -> float:
+        """Long-run expected sample size ``b / (1 - e^{-lambda})`` (Remark 1)."""
+        if mean_batch_size < 0:
+            raise ValueError(f"mean batch size must be non-negative, got {mean_batch_size}")
+        if self.lambda_ == 0:
+            return math.inf
+        return mean_batch_size / (1.0 - self.retention_probability)
+
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        retention = math.exp(-self.lambda_ * elapsed)
+        keep = binomial(self._rng, len(self._sample), retention)
+        self._sample = sample_without_replacement(self._rng, self._sample, keep)
+        self._sample.extend(items)

@@ -1,0 +1,187 @@
+"""B-Chao — batched, time-decayed version of Chao's weighted reservoir scheme.
+
+Appendix D of the paper adapts Chao's general-purpose unequal-probability
+sampling plan to batch arrivals and exponential decay (Algorithms 6 and 7).
+The sample size never exceeds ``n`` and, once full, never shrinks. The price
+is that the appearance-probability criterion (1) is violated
+
+* while the reservoir is filling up (every item is accepted with probability
+  1 regardless of age), and
+* whenever newly arrived items are *overweight* — their target inclusion
+  probability ``n w_i / W`` exceeds 1 — which happens when data arrives
+  slowly relative to the decay rate. Overweight items are pinned in the
+  sample with probability 1 and tracked individually (the set ``V``) until
+  enough new weight arrives to dilute them.
+
+The paper uses B-Chao as the closest prior baseline; tests and an ablation
+bench in this repository demonstrate exactly where its bias appears relative
+to R-TBS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sampler
+
+__all__ = ["BatchedChao"]
+
+
+class BatchedChao(Sampler):
+    """Batched Chao sampler with exponential decay and reservoir size ``n``.
+
+    Parameters
+    ----------
+    n:
+        Reservoir size; once reached, the realized sample size stays ``n``.
+    lambda_:
+        Exponential decay rate per unit of batch time.
+
+    Notes
+    -----
+    Internally the sampler keeps
+
+    * ``S`` — the ordinary (non-overweight) sample items,
+    * ``V`` — overweight items with their individual decayed weights,
+    * ``W`` — the aggregate decayed weight of *all* non-overweight items seen
+      so far (in or out of the sample), which is the normalizer of Chao's
+      inclusion probabilities ``n w_i / W``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        lambda_: float,
+        initial_items: list[Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if n <= 0:
+            raise ValueError(f"maximum sample size must be positive, got {n}")
+        if lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        initial = list(initial_items or [])
+        if len(initial) > n:
+            raise ValueError(
+                f"initial sample has {len(initial)} items but the capacity is {n}"
+            )
+        self.n = int(n)
+        self.lambda_ = float(lambda_)
+        self._sample: list[Any] = initial
+        self._stream_weight: float = float(len(initial))
+        self._overweight: list[tuple[Any, float]] = []
+
+    # ------------------------------------------------------------------
+    # Sampler interface
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> float:
+        """Decayed weight of all non-overweight items seen plus pinned overweight items."""
+        return self._stream_weight + sum(w for _, w in self._overweight)
+
+    @property
+    def overweight_items(self) -> list[Any]:
+        """Items currently pinned in the sample with inclusion probability 1."""
+        return [item for item, _ in self._overweight]
+
+    def sample_items(self) -> list[Any]:
+        return list(self._sample) + [item for item, _ in self._overweight]
+
+    # ------------------------------------------------------------------
+    # Algorithm 6
+    # ------------------------------------------------------------------
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        decay = math.exp(-self.lambda_ * elapsed)
+        self._stream_weight *= decay
+        self._overweight = [(item, weight * decay) for item, weight in self._overweight]
+
+        for item in items:
+            if len(self._sample) + len(self._overweight) < self.n:
+                # Initial fill-up: accept unconditionally (this is one source
+                # of the criterion-(1) violation the paper points out).
+                self._sample.append(item)
+                self._stream_weight += 1.0
+            else:
+                self._insert_into_full_reservoir(item)
+
+    def _insert_into_full_reservoir(self, item: Any) -> None:
+        """Process one arriving item once the reservoir holds ``n`` items."""
+        acceptance, released, new_item_overweight = self._normalize(item)
+
+        if self._rng.random() <= acceptance:
+            self._eject_victim(acceptance, released)
+            if not new_item_overweight:
+                self._sample.append(item)
+        # Formerly-overweight items that were neither kept in V nor chosen as
+        # the victim rejoin the ordinary sample.
+        self._sample.extend(entry_item for entry_item, _ in released)
+
+    def _eject_victim(self, acceptance: float, released: list[tuple[Any, float]]) -> None:
+        """Choose and remove one victim so the total sample size stays ``n``.
+
+        Victims are drawn from the just-released (formerly overweight) items
+        with Chao's prescribed probabilities, falling back to a uniformly
+        random item of the ordinary sample. The chosen released item is
+        removed from ``released`` in place; a sample victim is removed from
+        ``S`` directly.
+        """
+        target_slots = self.n - len(self._overweight)
+        threshold = self._rng.random()
+        cumulative = 0.0
+        for index, (_, released_weight) in enumerate(released):
+            cumulative += max(
+                0.0,
+                (1.0 - target_slots * released_weight / self._stream_weight) / acceptance,
+            )
+            if threshold <= cumulative:
+                released.pop(index)
+                return
+        if self._sample:
+            victim_index = int(self._rng.integers(len(self._sample)))
+            self._sample.pop(victim_index)
+
+    # ------------------------------------------------------------------
+    # Algorithm 7
+    # ------------------------------------------------------------------
+    def _normalize(self, item: Any) -> tuple[float, list[tuple[Any, float]], bool]:
+        """Categorize overweight items and compute the acceptance probability.
+
+        Mutates ``self._stream_weight`` and ``self._overweight`` exactly as
+        Algorithm 7 mutates ``W`` and ``V``. Returns
+        ``(acceptance_probability, released_items, new_item_overweight)``.
+        """
+        total = self._stream_weight + 1.0 + sum(w for _, w in self._overweight)
+        if self.n / total <= 1.0:
+            # Neither the new item nor any previously pinned item is overweight.
+            released = list(self._overweight)
+            self._overweight = []
+            self._stream_weight = total
+            return self.n / total, released, False
+
+        # The new item is overweight: pin it with probability 1 and re-examine
+        # the previously pinned items in decreasing weight order.
+        remaining_weight = total - 1.0
+        pinned: list[tuple[Any, float]] = [(item, 1.0)]
+        released: list[tuple[Any, float]] = []
+        candidates = sorted(self._overweight, key=lambda pair: pair[1], reverse=True)
+        still_scanning = True
+        for candidate_item, candidate_weight in candidates:
+            slots = self.n - len(pinned)
+            is_overweight = (
+                still_scanning
+                and remaining_weight > 0
+                and slots * candidate_weight / remaining_weight > 1.0
+            )
+            if is_overweight:
+                pinned.append((candidate_item, candidate_weight))
+                remaining_weight -= candidate_weight
+            else:
+                still_scanning = False
+                released.append((candidate_item, candidate_weight))
+        self._overweight = pinned
+        self._stream_weight = remaining_weight
+        return 1.0, released, True

@@ -1,0 +1,117 @@
+"""Exponential decay machinery and decay-rate calibration helpers.
+
+Section 1 of the paper motivates how a user picks the decay rate ``lambda``:
+
+* "by setting lambda = 0.058, around 10% of the data items from 40 batches
+  ago are included in the current analysis" — :func:`lambda_for_retention`;
+* "suppose that, k = 150 batches ago, an entity ... was represented by
+  n = 1000 data items and we want to ensure that, with probability q = 0.01,
+  at least one of these data items remains in the current sample. Then we
+  would set lambda = -k^-1 ln(1 - (1-q)^(1/n)) ~= 0.077" —
+  :func:`lambda_for_survival`.
+
+:class:`ExponentialDecay` encapsulates the decay function itself and supports
+arbitrary real-valued inter-batch gaps (the paper notes that multiplying by
+``e^{-lambda (t' - t)}`` extends every algorithm to non-integer arrival
+times).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "DecayFunction",
+    "ExponentialDecay",
+    "lambda_for_retention",
+    "lambda_for_survival",
+    "appearance_ratio",
+]
+
+
+class DecayFunction:
+    """Interface for decay functions mapping an age to a weight multiplier."""
+
+    def factor(self, elapsed: float) -> float:
+        """Multiplicative weight decay over ``elapsed`` time units."""
+        raise NotImplementedError
+
+    def weight_at_age(self, age: float) -> float:
+        """Weight of an item of the given ``age`` (initial weight 1)."""
+        return self.factor(age)
+
+
+@dataclass(frozen=True)
+class ExponentialDecay(DecayFunction):
+    """Exponential decay ``w(age) = exp(-lambda * age)``.
+
+    ``lambda_ = 0`` corresponds to no decay (uniform sampling over time).
+    """
+
+    lambda_: float
+
+    def __post_init__(self) -> None:
+        if self.lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {self.lambda_}")
+
+    def factor(self, elapsed: float = 1.0) -> float:
+        if elapsed < 0:
+            raise ValueError(f"elapsed time must be non-negative, got {elapsed}")
+        return math.exp(-self.lambda_ * elapsed)
+
+    @property
+    def retention_probability(self) -> float:
+        """Per-unit-time retention probability ``p = e^{-lambda}``."""
+        return math.exp(-self.lambda_)
+
+    def half_life(self) -> float:
+        """Age at which an item's inclusion probability halves."""
+        if self.lambda_ == 0:
+            return math.inf
+        return math.log(2.0) / self.lambda_
+
+
+def lambda_for_retention(fraction: float, age: float) -> float:
+    """Decay rate such that a ``fraction`` of items of the given ``age`` survive.
+
+    Solves ``exp(-lambda * age) = fraction``. With ``fraction=0.1`` and
+    ``age=40`` this gives the paper's example value ``lambda ~= 0.058``.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if age <= 0:
+        raise ValueError(f"age must be positive, got {age}")
+    return -math.log(fraction) / age
+
+
+def lambda_for_survival(num_items: int, age: float, probability: float) -> float:
+    """Decay rate so that at least one of ``num_items`` survives with ``probability``.
+
+    Implements the paper's entity-survival rule
+    ``lambda = -k^{-1} ln(1 - (1 - q)^{1/n})`` where ``k`` is the age, ``n``
+    the number of items and ``q`` the desired survival probability. With
+    ``n=1000, k=150, q=0.01`` this gives ``lambda ~= 0.077``.
+    """
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if age <= 0:
+        raise ValueError(f"age must be positive, got {age}")
+    if not 0 < probability < 1:
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    inner = 1.0 - (1.0 - probability) ** (1.0 / num_items)
+    return -math.log(inner) / age
+
+
+def appearance_ratio(lambda_: float, older_time: float, newer_time: float) -> float:
+    """Target appearance-probability ratio of equation (1).
+
+    For items arriving at ``older_time <= newer_time``, any sampler enforcing
+    the paper's criterion must satisfy
+    ``Pr[older in S] / Pr[newer in S] = exp(-lambda (newer - older))``.
+    """
+    if newer_time < older_time:
+        raise ValueError("newer_time must be >= older_time")
+    if lambda_ < 0:
+        raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+    return math.exp(-lambda_ * (newer_time - older_time))

@@ -1,0 +1,216 @@
+"""Fractional ("latent") samples and the downsampling procedure of Algorithm 3.
+
+A latent sample ``L = (A, pi, C)`` consists of a set ``A`` of *full* items, a
+set ``pi`` containing at most one *partial* item, and a real-valued sample
+weight ``C`` with ``|A| = floor(C)``. The realized sample ``S`` is obtained
+by taking every full item and including the partial item with probability
+``frac(C)`` (equation (2) of the paper), so ``E[|S|] = C``.
+
+:func:`downsample` implements Algorithm 3: given a latent sample of weight
+``C`` and a target weight ``0 < C' < C`` it produces a latent sample of
+weight ``C'`` such that every item's realized inclusion probability is scaled
+by exactly ``C'/C`` (Theorem 4.1). R-TBS relies on this to preserve the
+appearance-probability invariant (4) under decay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng, sample_without_replacement
+
+__all__ = ["LatentSample", "downsample"]
+
+_WEIGHT_TOLERANCE = 1e-9
+
+
+def _frac(x: float) -> float:
+    """Fractional part of ``x``, snapping values within tolerance of an integer to 0."""
+    f = x - math.floor(x)
+    if f < _WEIGHT_TOLERANCE or f > 1.0 - _WEIGHT_TOLERANCE:
+        return 0.0
+    return f
+
+
+def _floor(x: float) -> int:
+    """Floor of ``x`` that treats values within tolerance of an integer as that integer."""
+    nearest = round(x)
+    if abs(x - nearest) < _WEIGHT_TOLERANCE:
+        return int(nearest)
+    return int(math.floor(x))
+
+
+@dataclass
+class LatentSample:
+    """A fractional sample ``(A, pi, C)``.
+
+    Attributes
+    ----------
+    full:
+        The full items ``A``; each appears in the realized sample with
+        probability 1.
+    partial:
+        A list holding the partial item if one exists (length 0 or 1); it
+        appears in the realized sample with probability ``frac(weight)``.
+    weight:
+        The sample weight ``C``. Invariant: ``len(full) == floor(C)`` and a
+        partial item exists iff ``frac(C) > 0``.
+    """
+
+    full: list[Any] = field(default_factory=list)
+    partial: list[Any] = field(default_factory=list)
+    weight: float = 0.0
+
+    # ------------------------------------------------------------------
+    # constructors and invariants
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "LatentSample":
+        """An empty latent sample of weight 0."""
+        return cls(full=[], partial=[], weight=0.0)
+
+    @classmethod
+    def from_full_items(cls, items: list[Any]) -> "LatentSample":
+        """A latent sample containing the given items as full items (integral weight)."""
+        return cls(full=list(items), partial=[], weight=float(len(items)))
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ValueError` if the latent-sample invariants are violated."""
+        if self.weight < -_WEIGHT_TOLERANCE:
+            raise ValueError(f"latent sample weight must be non-negative, got {self.weight}")
+        if len(self.partial) > 1:
+            raise ValueError("a latent sample holds at most one partial item")
+        expected_full = _floor(self.weight)
+        if len(self.full) != expected_full:
+            raise ValueError(
+                f"latent sample with weight {self.weight} must have {expected_full} "
+                f"full items, found {len(self.full)}"
+            )
+        has_frac = _frac(self.weight) > 0.0
+        if has_frac and not self.partial:
+            raise ValueError(
+                f"latent sample with fractional weight {self.weight} is missing a partial item"
+            )
+        if not has_frac and self.partial:
+            raise ValueError(
+                f"latent sample with integral weight {self.weight} must not hold a partial item"
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def footprint(self) -> int:
+        """Number of items physically stored (``floor(C)`` or ``floor(C)+1``)."""
+        return len(self.full) + len(self.partial)
+
+    @property
+    def fraction(self) -> float:
+        """``frac(C)`` — the inclusion probability of the partial item."""
+        return _frac(self.weight)
+
+    def items(self) -> list[Any]:
+        """All stored items, full items first, then the partial item if any."""
+        return list(self.full) + list(self.partial)
+
+    def realize(self, rng: np.random.Generator | int | None = None) -> list[Any]:
+        """Draw a realized sample ``S`` from this latent sample (equation (2))."""
+        rng = ensure_rng(rng)
+        sample = list(self.full)
+        if self.partial and rng.random() < self.fraction:
+            sample.append(self.partial[0])
+        return sample
+
+    def copy(self) -> "LatentSample":
+        """Shallow copy (items shared, containers new)."""
+        return LatentSample(full=list(self.full), partial=list(self.partial), weight=self.weight)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3 primitives
+# ----------------------------------------------------------------------
+def _swap1(rng: np.random.Generator, full: list[Any], partial: list[Any]) -> tuple[list, list]:
+    """``Swap1(A, pi)``: move a random full item to ``pi``, old partial item to ``A``."""
+    if not full:
+        raise ValueError("Swap1 requires at least one full item")
+    idx = int(rng.integers(len(full)))
+    chosen = full[idx]
+    new_full = full[:idx] + full[idx + 1 :]
+    new_full.extend(partial)
+    return new_full, [chosen]
+
+
+def _move1(rng: np.random.Generator, full: list[Any], partial: list[Any]) -> tuple[list, list]:
+    """``Move1(A, pi)``: move a random full item to ``pi``, discarding the old partial item."""
+    if not full:
+        raise ValueError("Move1 requires at least one full item")
+    idx = int(rng.integers(len(full)))
+    chosen = full[idx]
+    new_full = full[:idx] + full[idx + 1 :]
+    return new_full, [chosen]
+
+
+def downsample(
+    latent: LatentSample,
+    target_weight: float,
+    rng: np.random.Generator | int | None = None,
+) -> LatentSample:
+    """Downsample a latent sample to a smaller target weight (Algorithm 3).
+
+    Produces a new latent sample ``L' = (A', pi', C')`` with
+    ``C' = target_weight`` such that ``Pr[i in S'] = (C'/C) Pr[i in S]`` for
+    every item ``i`` of the input (Theorem 4.1). The input is not modified.
+
+    Raises
+    ------
+    ValueError
+        If ``target_weight`` is not in ``(0, C)``.
+    """
+    rng = ensure_rng(rng)
+    weight = latent.weight
+    if target_weight <= 0:
+        raise ValueError(f"target weight must be positive, got {target_weight}")
+    if target_weight >= weight - _WEIGHT_TOLERANCE:
+        if abs(target_weight - weight) <= _WEIGHT_TOLERANCE:
+            return latent.copy()
+        raise ValueError(
+            f"target weight {target_weight} must be smaller than the current weight {weight}"
+        )
+
+    full = list(latent.full)
+    partial = list(latent.partial)
+    frac_c = _frac(weight)
+    frac_cprime = _frac(target_weight)
+    floor_cprime = _floor(target_weight)
+    floor_c = _floor(weight)
+    u = rng.random()
+
+    if floor_cprime == 0:
+        # No full items are retained; only a partial item survives.
+        if u > (frac_c / weight if frac_c > 0.0 else 0.0):
+            full, partial = _swap1(rng, full, partial)
+        full = []
+    elif floor_cprime == floor_c:
+        # No items are deleted; the partial item may be promoted to full.
+        keep_probability = (1.0 - (target_weight / weight) * frac_c) / (1.0 - frac_cprime)
+        if u > keep_probability:
+            full, partial = _swap1(rng, full, partial)
+    else:
+        # 0 < floor(C') < floor(C): some full items are deleted.
+        if frac_c > 0.0 and u <= (target_weight / weight) * frac_c:
+            full = sample_without_replacement(rng, full, floor_cprime)
+            full, partial = _swap1(rng, full, partial)
+        else:
+            full = sample_without_replacement(rng, full, floor_cprime + 1)
+            full, partial = _move1(rng, full, partial)
+
+    if frac_cprime == 0.0:
+        partial = []
+
+    result = LatentSample(full=full, partial=partial, weight=float(target_weight))
+    result.check_invariants()
+    return result

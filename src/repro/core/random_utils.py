@@ -1,0 +1,156 @@
+"""Reproducible random primitives shared by the sampling algorithms.
+
+The paper's algorithms repeatedly use a small set of random operations:
+
+* binomial thinning (``Binomial(j, r)`` in Algorithms 1 and 4),
+* uniform subsampling without replacement (``Sample(A, m)``),
+* hypergeometric draws (``HyperGeo(k, a, b)`` in Algorithm 5),
+* stochastic rounding (``StochRound(x)`` in Algorithm 2),
+* multivariate hypergeometric allocation (the distributed-decision strategy
+  of Section 5.3).
+
+All helpers take an explicit :class:`numpy.random.Generator` so experiments
+are reproducible and parallel workers can use independent streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "binomial",
+    "hypergeometric",
+    "stochastic_round",
+    "sample_without_replacement",
+    "choose_indices",
+    "multivariate_hypergeometric",
+]
+
+
+def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for OS-entropy seeding.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Used by the distributed simulator to give each worker its own stream, in
+    the spirit of the jump-ahead technique referenced in Section 5.3.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def binomial(rng: np.random.Generator, trials: int, probability: float) -> int:
+    """Number of successes in ``trials`` independent trials.
+
+    Mirrors the ``Binomial(j, r)`` primitive of Algorithms 1 and 4. Clamps
+    the probability into ``[0, 1]`` to guard against floating-point drift in
+    callers that compute ``q = n (1 - e^-lambda) / b``.
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if trials == 0:
+        return 0
+    probability = min(max(probability, 0.0), 1.0)
+    return int(rng.binomial(trials, probability))
+
+
+def hypergeometric(rng: np.random.Generator, draws: int, good: int, bad: int) -> int:
+    """Number of "good" items in ``draws`` draws without replacement.
+
+    Mirrors ``HyperGeo(k, a, b)`` of Algorithm 5: the population contains
+    ``good + bad`` items and we draw ``draws`` of them.
+    """
+    if min(draws, good, bad) < 0:
+        raise ValueError("draws, good and bad must all be non-negative")
+    if draws == 0 or good == 0:
+        return 0
+    draws = min(draws, good + bad)
+    return int(rng.hypergeometric(good, bad, draws))
+
+
+def stochastic_round(rng: np.random.Generator, value: float) -> int:
+    """Round ``value`` to an adjacent integer with mean-preserving randomness.
+
+    ``StochRound(x)`` of Algorithm 2: returns ``floor(x)`` with probability
+    ``ceil(x) - x`` and ``ceil(x)`` with probability ``x - floor(x)``, so the
+    expectation equals ``x`` exactly.
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    floor = math.floor(value)
+    frac = value - floor
+    if frac <= 0.0:
+        return floor
+    return floor + (1 if rng.random() < frac else 0)
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: Sequence[T], size: int
+) -> list[T]:
+    """Uniform random subset of ``population`` of size ``min(size, len(population))``.
+
+    This is the paper's ``Sample(A, m)`` primitive; ``Sample(A, 0)`` returns
+    an empty list for any population.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    n = len(population)
+    size = min(size, n)
+    if size == 0:
+        return []
+    if size == n:
+        return list(population)
+    idx = rng.choice(n, size=size, replace=False)
+    return [population[int(i)] for i in idx]
+
+
+def choose_indices(rng: np.random.Generator, population_size: int, size: int) -> np.ndarray:
+    """Uniformly choose ``size`` distinct indices from ``range(population_size)``."""
+    if size < 0 or population_size < 0:
+        raise ValueError("population_size and size must be non-negative")
+    size = min(size, population_size)
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(population_size, size=size, replace=False).astype(np.int64)
+
+
+def multivariate_hypergeometric(
+    rng: np.random.Generator, group_sizes: Sequence[int], draws: int
+) -> list[int]:
+    """Allocate ``draws`` draws without replacement across groups.
+
+    Used by the distributed-decision strategy of Section 5.3: the master
+    decides only *how many* deletes/inserts each worker performs; the split
+    follows the multivariate hypergeometric distribution so the overall
+    selection is equivalent to a single global uniform draw.
+    """
+    sizes = [int(s) for s in group_sizes]
+    if any(s < 0 for s in sizes):
+        raise ValueError("group sizes must be non-negative")
+    total = sum(sizes)
+    if draws < 0:
+        raise ValueError(f"draws must be non-negative, got {draws}")
+    if draws > total:
+        raise ValueError(f"cannot draw {draws} items from a population of {total}")
+    if not sizes:
+        return []
+    counts = rng.multivariate_hypergeometric(sizes, draws)
+    return [int(c) for c in counts]

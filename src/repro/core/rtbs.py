@@ -1,0 +1,189 @@
+"""R-TBS — Reservoir-based Time-Biased Sampling (Algorithm 2).
+
+R-TBS is the paper's main contribution: the first sampling scheme that
+simultaneously
+
+* enforces the exponential appearance-probability criterion (1) at all times,
+* guarantees the sample never exceeds a maximum size ``n``, and
+* handles unknown, arbitrarily varying data arrival rates.
+
+The algorithm maintains a *latent* (fractional) sample whose sample weight
+``C_t = min(n, W_t)`` tracks the total decayed weight ``W_t`` of all items
+seen so far, using :func:`repro.core.latent.downsample` (Algorithm 3) to decay
+the sample and stochastic rounding to accept new items when saturated.
+Theorem 4.2 shows the invariant ``Pr[i in S_t] = (C_t / W_t) w_t(i)`` holds
+for every item, and Theorems 4.3/4.4 show R-TBS maximizes expected sample
+size when unsaturated and minimizes sample-size variance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sampler
+from repro.core.latent import LatentSample, downsample
+from repro.core.random_utils import sample_without_replacement, stochastic_round
+
+__all__ = ["RTBS"]
+
+_WEIGHT_EPSILON = 1e-12
+
+
+class RTBS(Sampler):
+    """Reservoir-based time-biased sampler with decay rate ``lambda_`` and capacity ``n``.
+
+    Parameters
+    ----------
+    n:
+        Maximum sample size (the reservoir capacity).
+    lambda_:
+        Exponential decay rate (per unit of batch time); ``0`` reduces R-TBS
+        to bounded uniform-over-time sampling.
+    initial_items:
+        Optional initial sample ``S_0`` (at most ``n`` items), each with
+        weight 1 at time 0.
+    rng, record_history:
+        See :class:`repro.core.base.Sampler`.
+
+    Examples
+    --------
+    >>> sampler = RTBS(n=3, lambda_=0.5, rng=0)
+    >>> _ = sampler.process_batch(["a", "b"])
+    >>> sample = sampler.process_batch(["c", "d", "e", "f"])
+    >>> len(sample) <= 3
+    True
+    """
+
+    def __init__(
+        self,
+        n: int,
+        lambda_: float,
+        initial_items: list[Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if n <= 0:
+            raise ValueError(f"maximum sample size must be positive, got {n}")
+        if lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        initial = list(initial_items or [])
+        if len(initial) > n:
+            raise ValueError(
+                f"initial sample has {len(initial)} items but the capacity is {n}"
+            )
+        self.n = int(n)
+        self.lambda_ = float(lambda_)
+        self._latent = LatentSample.from_full_items(initial)
+        self._total_weight = float(len(initial))
+        self._realized: list[Any] = list(initial)
+
+    # ------------------------------------------------------------------
+    # Sampler interface
+    # ------------------------------------------------------------------
+    @property
+    def total_weight(self) -> float:
+        """Total decayed weight ``W_t`` of all items seen so far."""
+        return self._total_weight
+
+    @property
+    def sample_weight(self) -> float:
+        """Sample weight ``C_t = min(n, W_t)`` (the expected sample size)."""
+        return self._latent.weight
+
+    @property
+    def expected_sample_size(self) -> float:
+        return self._latent.weight
+
+    @property
+    def is_saturated(self) -> bool:
+        """Whether the reservoir currently holds its maximum expected size ``n``."""
+        return self._total_weight >= self.n
+
+    @property
+    def latent(self) -> LatentSample:
+        """The current latent (fractional) sample; treat as read-only."""
+        return self._latent
+
+    def sample_items(self) -> list[Any]:
+        return list(self._realized)
+
+    def theoretical_inclusion_probability(self, item_age: float) -> float:
+        """Invariant (4): probability that an item of the given age is in the sample."""
+        if item_age < 0:
+            raise ValueError(f"item age must be non-negative, got {item_age}")
+        if self._total_weight <= 0:
+            return 0.0
+        weight = math.exp(-self.lambda_ * item_age)
+        return min(1.0, (self._latent.weight / self._total_weight) * weight)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        decay = math.exp(-self.lambda_ * elapsed)
+        batch_size = len(items)
+
+        if self._total_weight < self.n:
+            self._process_unsaturated(items, batch_size, decay)
+        else:
+            self._process_saturated(items, batch_size, decay)
+
+        self._realized = self._latent.realize(self._rng)
+
+    def _process_unsaturated(self, items: list[Any], batch_size: int, decay: float) -> None:
+        """Previously unsaturated: ``W_{t-1} < n`` and ``C_{t-1} = W_{t-1}``."""
+        new_weight = self._total_weight * decay
+        if new_weight > _WEIGHT_EPSILON:
+            self._latent = downsample(self._latent, new_weight, self._rng)
+        else:
+            new_weight = 0.0
+            self._latent = LatentSample.empty()
+
+        # Accept every arriving item as a full item (inclusion probability 1).
+        self._latent = LatentSample(
+            full=self._latent.full + list(items),
+            partial=list(self._latent.partial),
+            weight=self._latent.weight + batch_size,
+        )
+        self._total_weight = new_weight + batch_size
+
+        if self._total_weight > self.n:
+            # Overshoot: one extra round of downsampling brings the weight to n.
+            self._latent = downsample(self._latent, float(self.n), self._rng)
+        self._latent.check_invariants()
+
+    def _process_saturated(self, items: list[Any], batch_size: int, decay: float) -> None:
+        """Previously saturated: ``W_{t-1} >= n`` and the latent sample holds n full items."""
+        decayed_weight = self._total_weight * decay
+        self._total_weight = decayed_weight + batch_size
+
+        if self._total_weight >= self.n:
+            # Still saturated: replace a stochastically-rounded number of victims.
+            accepted = stochastic_round(self._rng, batch_size * self.n / self._total_weight)
+            accepted = min(accepted, batch_size, self.n)
+            if accepted > 0:
+                survivors = sample_without_replacement(
+                    self._rng, self._latent.full, self.n - accepted
+                )
+                inserted = sample_without_replacement(self._rng, items, accepted)
+                self._latent = LatentSample(
+                    full=survivors + inserted, partial=[], weight=float(self.n)
+                )
+        else:
+            # Undershoot: the batch cannot refill the reservoir, so the sample
+            # shrinks to the decayed weight and every batch item enters as full.
+            target = self._total_weight - batch_size
+            if target > _WEIGHT_EPSILON:
+                self._latent = downsample(self._latent, target, self._rng)
+            else:
+                self._latent = LatentSample.empty()
+            self._latent = LatentSample(
+                full=self._latent.full + list(items),
+                partial=list(self._latent.partial),
+                weight=self._latent.weight + batch_size,
+            )
+        self._latent.check_invariants()

@@ -1,0 +1,74 @@
+"""Sliding-window baselines (the "SW" scheme of Sections 1 and 6).
+
+Two variants are provided:
+
+* :class:`SlidingWindow` — count-based: retain the last ``n`` items, the
+  variant used throughout the paper's quality experiments ("SW contains the
+  last 1000 items").
+* :class:`TimeBasedSlidingWindow` — retain every item that arrived within the
+  last ``window`` time units (e.g. "the data from the last two hours"),
+  illustrating the unbounded-memory problem the paper discusses.
+
+Both completely forget data older than the window, which is exactly the
+robustness weakness the temporally-biased samplers are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sampler
+
+__all__ = ["SlidingWindow", "TimeBasedSlidingWindow"]
+
+
+class SlidingWindow(Sampler):
+    """Count-based sliding window keeping the most recent ``n`` items."""
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if n <= 0:
+            raise ValueError(f"window size must be positive, got {n}")
+        self.n = int(n)
+        self._window: deque[Any] = deque(maxlen=self.n)
+
+    def sample_items(self) -> list[Any]:
+        return list(self._window)
+
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        self._window.extend(items)
+
+
+class TimeBasedSlidingWindow(Sampler):
+    """Time-based sliding window keeping items younger than ``window`` time units."""
+
+    def __init__(
+        self,
+        window: float,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if window <= 0:
+            raise ValueError(f"window length must be positive, got {window}")
+        self.window = float(window)
+        self._entries: deque[tuple[float, Any]] = deque()
+
+    def sample_items(self) -> list[Any]:
+        return [item for _, item in self._entries]
+
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        arrival_time = self._time
+        for item in items:
+            self._entries.append((arrival_time, item))
+        cutoff = arrival_time - self.window
+        while self._entries and self._entries[0][0] <= cutoff:
+            self._entries.popleft()

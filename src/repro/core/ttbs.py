@@ -1,0 +1,112 @@
+"""T-TBS — Targeted-size Time-Biased Sampling (Algorithm 1).
+
+T-TBS controls the decay rate exactly and maintains the target sample size
+``n`` *probabilistically*: each existing sample item survives a batch arrival
+with probability ``p = e^{-lambda}`` and each arriving item is accepted with
+probability ``q = n (1 - e^{-lambda}) / b``, where ``b`` is the assumed mean
+batch size. At the target size the expected number of deletions matches the
+expected number of insertions, so the sample size drifts towards ``n``
+(Theorem 3.1), but it is not bounded: bursts of large batches overflow it
+(Figure 1a) and the mean batch size must be known in advance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.base import Sampler
+from repro.core.random_utils import binomial, sample_without_replacement
+
+__all__ = ["TTBS"]
+
+
+class TTBS(Sampler):
+    """Targeted-size time-biased sampler.
+
+    Parameters
+    ----------
+    n:
+        Target (expected equilibrium) sample size.
+    lambda_:
+        Exponential decay rate per unit time.
+    mean_batch_size:
+        Assumed mean batch size ``b``. The paper requires
+        ``b >= n (1 - e^{-lambda})`` so that items arrive at least as fast as
+        they decay at the target size; violating it raises ``ValueError``
+        unless ``enforce_feasibility=False``.
+    initial_items:
+        Optional initial sample ``S_0``.
+    enforce_feasibility:
+        Set to ``False`` to allow deliberately mis-tuned configurations (used
+        by the sample-size experiments that study T-TBS breakdown).
+
+    Notes
+    -----
+    For an item that arrived in batch ``t``, the appearance probability at
+    time ``t' >= t`` is ``q e^{-lambda (t' - t)}``, so the relative criterion
+    (1) holds even though the absolute probabilities are scaled by ``q``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        lambda_: float,
+        mean_batch_size: float,
+        initial_items: list[Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+        enforce_feasibility: bool = True,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if n <= 0:
+            raise ValueError(f"target sample size must be positive, got {n}")
+        if lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        if mean_batch_size <= 0:
+            raise ValueError(f"mean batch size must be positive, got {mean_batch_size}")
+        self.n = int(n)
+        self.lambda_ = float(lambda_)
+        self.mean_batch_size = float(mean_batch_size)
+        self.retention_probability = math.exp(-lambda_)
+        required = n * (1.0 - self.retention_probability)
+        if enforce_feasibility and mean_batch_size < required - 1e-12:
+            raise ValueError(
+                "infeasible configuration: the mean batch size "
+                f"{mean_batch_size} is below n (1 - e^-lambda) = {required:.4f}; "
+                "items would decay faster than they arrive at the target size"
+            )
+        self.acceptance_probability = min(1.0, required / mean_batch_size)
+        self._sample: list[Any] = list(initial_items or [])
+
+    # ------------------------------------------------------------------
+    # Sampler interface
+    # ------------------------------------------------------------------
+    def sample_items(self) -> list[Any]:
+        return list(self._sample)
+
+    @property
+    def total_weight(self) -> float:
+        return float("nan")
+
+    def theoretical_expected_size(self, t: int, initial_size: int | None = None) -> float:
+        """Expected sample size after ``t`` batches (Theorem 3.1(ii)).
+
+        ``E[C_t] = n + p^t (C_0 - n)``.
+        """
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        c0 = len(self._sample) if initial_size is None else initial_size
+        return self.n + (self.retention_probability**t) * (c0 - self.n)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        retention = math.exp(-self.lambda_ * elapsed)
+        keep = binomial(self._rng, len(self._sample), retention)
+        self._sample = sample_without_replacement(self._rng, self._sample, keep)
+        accept = binomial(self._rng, len(items), self.acceptance_probability)
+        self._sample.extend(sample_without_replacement(self._rng, items, accept))

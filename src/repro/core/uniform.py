@@ -1,0 +1,42 @@
+"""Uniform reservoir sampling — the "Unif" baseline of Section 6.
+
+A thin convenience wrapper over :class:`repro.core.brs.BatchedReservoir` that
+also exposes the classical one-item-at-a-time update (Vitter's Algorithm R)
+for callers that feed items individually. All items ever seen are equally
+likely to be in the sample, so the model-retraining experiments use it as the
+"no time bias at all" extreme.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.brs import BatchedReservoir
+
+__all__ = ["UniformReservoir"]
+
+
+class UniformReservoir(BatchedReservoir):
+    """Bounded uniform reservoir sample over the entire stream."""
+
+    def add(self, item: Any) -> None:
+        """Classical Algorithm-R single-item update (outside batch-time bookkeeping).
+
+        Useful for item-at-a-time ingestion; statistically identical to
+        processing a size-1 batch but does not advance the sampler clock.
+        """
+        self._items_seen += 1
+        if len(self._sample) < self.n:
+            self._sample.append(item)
+            return
+        slot = int(self._rng.integers(self._items_seen))
+        if slot < self.n:
+            self._sample[slot] = item
+
+    def inclusion_probability(self) -> float:
+        """Current marginal inclusion probability ``min(1, n / items_seen)``."""
+        if self._items_seen == 0:
+            return 0.0
+        return min(1.0, self.n / self._items_seen)

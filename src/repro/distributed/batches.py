@@ -1,0 +1,121 @@
+"""Partitioned incoming batches for the distributed algorithms.
+
+A :class:`DistributedBatch` represents the batch ``B_t`` as it arrives from a
+streaming system: split into partitions, one or more per worker. Two flavours
+are supported:
+
+* **materialized** — real item payloads are stored per partition; used by the
+  statistical-correctness tests and by small-scale examples;
+* **virtual** — only partition sizes are stored and items are materialized
+  lazily as ``(batch_id, partition, position)`` tuples when selected for
+  insertion. This lets the performance experiments simulate batches of 10^7
+  to 10^10 items without allocating them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+
+__all__ = ["DistributedBatch"]
+
+
+class DistributedBatch:
+    """The incoming batch ``B_t`` partitioned across workers."""
+
+    def __init__(
+        self,
+        partition_sizes: Sequence[int],
+        partitions: Sequence[Sequence[Any]] | None = None,
+        batch_id: int = 0,
+    ) -> None:
+        sizes = [int(s) for s in partition_sizes]
+        if any(s < 0 for s in sizes):
+            raise ValueError("partition sizes must be non-negative")
+        if partitions is not None:
+            if len(partitions) != len(sizes):
+                raise ValueError("partitions and partition_sizes disagree in length")
+            for index, (partition, size) in enumerate(zip(partitions, sizes)):
+                if len(partition) != size:
+                    raise ValueError(
+                        f"partition {index} holds {len(partition)} items, expected {size}"
+                    )
+        self.partition_sizes = sizes
+        self.partitions = [list(p) for p in partitions] if partitions is not None else None
+        self.batch_id = int(batch_id)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_items(
+        cls, items: Sequence[Any], num_partitions: int, batch_id: int = 0
+    ) -> "DistributedBatch":
+        """Materialized batch: spread real items round-robin across partitions."""
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        partitions: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for index, item in enumerate(items):
+            partitions[index % num_partitions].append(item)
+        return cls([len(p) for p in partitions], partitions, batch_id=batch_id)
+
+    @classmethod
+    def virtual(cls, size: int, num_partitions: int, batch_id: int = 0) -> "DistributedBatch":
+        """Virtual batch of ``size`` anonymous items spread evenly across partitions."""
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        base, remainder = divmod(size, num_partitions)
+        sizes = [base + (1 if p < remainder else 0) for p in range(num_partitions)]
+        return cls(sizes, None, batch_id=batch_id)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def is_materialized(self) -> bool:
+        return self.partitions is not None
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partition_sizes)
+
+    def __len__(self) -> int:
+        return sum(self.partition_sizes)
+
+    def item_at(self, partition: int, position: int) -> Any:
+        """The item at a ``(partition, position)`` location (lazy for virtual batches)."""
+        size = self.partition_sizes[partition]
+        if not 0 <= position < size:
+            raise IndexError(
+                f"position {position} out of range for partition {partition} of size {size}"
+            )
+        if self.partitions is not None:
+            return self.partitions[partition][position]
+        return (self.batch_id, partition, position)
+
+    def sample_positions(
+        self,
+        partition: int,
+        count: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[int]:
+        """Uniformly choose ``count`` distinct positions within one partition."""
+        rng = ensure_rng(rng)
+        size = self.partition_sizes[partition]
+        count = min(count, size)
+        if count == 0:
+            return []
+        return [int(i) for i in rng.choice(size, size=count, replace=False)]
+
+    def all_items(self) -> list[Any]:
+        """Every item in the batch (materializes virtual items)."""
+        return [
+            self.item_at(partition, position)
+            for partition in range(self.num_partitions)
+            for position in range(self.partition_sizes[partition])
+        ]

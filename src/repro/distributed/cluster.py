@@ -1,0 +1,111 @@
+"""Simulated master/worker cluster with per-stage cost accounting.
+
+A distributed algorithm executes as a sequence of *stages* (one per Spark
+stage in the real system). Each stage has driver-side work (serial) and
+per-worker work (parallel); the simulated stage duration is::
+
+    stage_overhead + driver_time + max_over_workers(worker_time + task_overhead * tasks)
+
+The cluster accumulates stage records so experiments can report per-batch
+runtimes and break them down by component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.distributed.costmodel import CostModel
+
+__all__ = ["StageCost", "SimulatedCluster"]
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Record of one executed stage."""
+
+    description: str
+    driver_time: float
+    worker_times: tuple[float, ...]
+    duration: float
+
+
+@dataclass
+class SimulatedCluster:
+    """A cluster of ``num_workers`` identical workers driven by one master.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of workers (the paper uses 12, one per processor socket).
+    cost_model:
+        The :class:`~repro.distributed.costmodel.CostModel` used to price
+        operations; algorithms read it via :attr:`cost_model`.
+    """
+
+    num_workers: int
+    cost_model: CostModel = field(default_factory=CostModel)
+    stages: list[StageCost] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {self.num_workers}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_stage(
+        self,
+        description: str,
+        worker_times: Sequence[float] | float = 0.0,
+        driver_time: float = 0.0,
+        tasks_per_worker: int = 1,
+    ) -> StageCost:
+        """Execute one stage and return its cost record.
+
+        ``worker_times`` may be a single number (same work on every worker)
+        or one number per worker; the stage lasts as long as its slowest
+        worker plus driver work and fixed overheads.
+        """
+        if isinstance(worker_times, (int, float)):
+            per_worker = [float(worker_times)] * self.num_workers
+        else:
+            per_worker = [float(w) for w in worker_times]
+            if len(per_worker) != self.num_workers:
+                raise ValueError(
+                    f"expected {self.num_workers} worker times, got {len(per_worker)}"
+                )
+        if driver_time < 0 or any(w < 0 for w in per_worker):
+            raise ValueError("stage times must be non-negative")
+        slowest = max(per_worker) if per_worker else 0.0
+        duration = (
+            self.cost_model.stage_overhead
+            + driver_time
+            + slowest
+            + self.cost_model.task_overhead * max(1, tasks_per_worker)
+        )
+        record = StageCost(
+            description=description,
+            driver_time=driver_time,
+            worker_times=tuple(per_worker),
+            duration=duration,
+        )
+        self.stages.append(record)
+        self.elapsed += duration
+        return record
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+    def reset_clock(self) -> None:
+        """Clear accumulated stages and elapsed time (e.g. between batches)."""
+        self.stages.clear()
+        self.elapsed = 0.0
+
+    def split_evenly(self, items: int) -> list[int]:
+        """Split ``items`` into per-worker partition sizes as evenly as possible."""
+        if items < 0:
+            raise ValueError(f"items must be non-negative, got {items}")
+        base, remainder = divmod(items, self.num_workers)
+        return [base + (1 if worker < remainder else 0) for worker in range(self.num_workers)]

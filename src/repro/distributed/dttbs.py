@@ -1,0 +1,138 @@
+"""D-T-TBS — embarrassingly parallel distributed T-TBS (Section 5.1).
+
+Each worker independently downsamples its local reservoir partition with
+retention probability ``p = e^{-lambda}``, downsamples its local partition of
+the incoming batch with acceptance probability ``q = n (1 - e^{-lambda}) / b``,
+and unions the results. No master coordination is required beyond launching
+the single stage, which is why D-T-TBS is much faster than any D-R-TBS
+variant in Figure 7 — at the price of only probabilistic sample-size control
+and the requirement that the mean batch size be known in advance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.random_utils import binomial, ensure_rng, sample_without_replacement, spawn_rngs
+from repro.distributed.batches import DistributedBatch
+from repro.distributed.cluster import SimulatedCluster
+
+__all__ = ["DistributedTTBS"]
+
+
+class DistributedTTBS:
+    """Distributed targeted-size time-biased sampler over a simulated cluster."""
+
+    def __init__(
+        self,
+        n: int,
+        lambda_: float,
+        mean_batch_size: float,
+        cluster: SimulatedCluster,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"target sample size must be positive, got {n}")
+        if lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        if mean_batch_size <= 0:
+            raise ValueError(f"mean batch size must be positive, got {mean_batch_size}")
+        self.n = int(n)
+        self.lambda_ = float(lambda_)
+        self.mean_batch_size = float(mean_batch_size)
+        self.cluster = cluster
+        self.retention_probability = math.exp(-lambda_)
+        self.acceptance_probability = min(
+            1.0, n * (1.0 - self.retention_probability) / mean_batch_size
+        )
+        self._rng = ensure_rng(rng)
+        self._worker_rngs = spawn_rngs(self._rng, cluster.num_workers)
+        self._partitions: list[list[Any]] = [[] for _ in range(cluster.num_workers)]
+        self._virtual_counts: list[int] = [0] * cluster.num_workers
+        self._virtual_mode = False
+        self._batches_seen = 0
+        self.batch_runtimes: list[float] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def sample_items(self) -> list[Any]:
+        """All sample items across workers (materialized mode only)."""
+        if self._virtual_mode:
+            raise RuntimeError("sample items are not materialized in virtual mode")
+        return [item for partition in self._partitions for item in partition]
+
+    def sample_size(self) -> int:
+        """Current total sample size across all workers."""
+        if self._virtual_mode:
+            return sum(self._virtual_counts)
+        return sum(len(p) for p in self._partitions)
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: DistributedBatch | Sequence[Any]) -> float:
+        """Process one batch; return the simulated runtime of this batch (seconds)."""
+        if not isinstance(batch, DistributedBatch):
+            batch = DistributedBatch.from_items(
+                list(batch), self.cluster.num_workers, batch_id=self._batches_seen + 1
+            )
+        if self._batches_seen == 0:
+            self._virtual_mode = not batch.is_materialized
+        elif self._virtual_mode != (not batch.is_materialized):
+            raise ValueError("cannot mix virtual and materialized batches in one run")
+        self._batches_seen += 1
+
+        start_elapsed = self.cluster.elapsed
+        model = self.cluster.cost_model
+        worker_times = []
+        per_worker_batch = self._per_worker_sizes(batch)
+        for worker in range(self.cluster.num_workers):
+            reservoir_size = (
+                self._virtual_counts[worker]
+                if self._virtual_mode
+                else len(self._partitions[worker])
+            )
+            worker_times.append(model.local(reservoir_size + per_worker_batch[worker]))
+            self._update_worker(worker, batch)
+        self.cluster.run_stage("local downsample and union", worker_times=worker_times)
+        runtime = self.cluster.elapsed - start_elapsed
+        self.batch_runtimes.append(runtime)
+        return runtime
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _per_worker_sizes(self, batch: DistributedBatch) -> list[int]:
+        per_worker = [0] * self.cluster.num_workers
+        for partition, size in enumerate(batch.partition_sizes):
+            per_worker[partition % self.cluster.num_workers] += size
+        return per_worker
+
+    def _update_worker(self, worker: int, batch: DistributedBatch) -> None:
+        rng = self._worker_rngs[worker]
+        batch_partitions = [
+            partition
+            for partition in range(batch.num_partitions)
+            if partition % self.cluster.num_workers == worker
+        ]
+        if self._virtual_mode:
+            kept = binomial(rng, self._virtual_counts[worker], self.retention_probability)
+            accepted = sum(
+                binomial(rng, batch.partition_sizes[p], self.acceptance_probability)
+                for p in batch_partitions
+            )
+            self._virtual_counts[worker] = kept + accepted
+            return
+        current = self._partitions[worker]
+        kept_count = binomial(rng, len(current), self.retention_probability)
+        kept_items = sample_without_replacement(rng, current, kept_count)
+        for partition in batch_partitions:
+            size = batch.partition_sizes[partition]
+            accepted_count = binomial(rng, size, self.acceptance_probability)
+            positions = batch.sample_positions(partition, accepted_count, rng)
+            kept_items.extend(batch.item_at(partition, position) for position in positions)
+        self._partitions[worker] = kept_items

@@ -1,0 +1,159 @@
+"""Distributed reservoir representations (Figure 5 of the paper).
+
+Two implementations of the reservoir data structure are provided, mirroring
+the design choices studied in Section 5.2:
+
+* :class:`KeyValueStoreReservoir` — items live in an external distributed
+  key-value store (Memcached/Redis in the paper), hash-partitioned by slot
+  number. Inserts and deletes are remote put/delete operations, and insert
+  items generally travel across the network because the store's partitions do
+  not line up with the incoming batch's partitions.
+* :class:`CoPartitionedReservoir` — a reservoir partition is co-located with
+  each incoming-batch partition, so inserts and deletes are purely local.
+
+Both track operation counters (key-value round trips, items written across
+the network, local item touches) that
+:class:`~repro.distributed.drtbs.DistributedRTBS` converts into simulated
+time via the cost model. The counters are *not* the data structure's state —
+they are telemetry, reset by the caller per stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+
+__all__ = ["DistributedReservoir", "CoPartitionedReservoir", "KeyValueStoreReservoir"]
+
+
+class DistributedReservoir:
+    """Base class: a reservoir of full items spread across ``num_partitions``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        self.num_partitions = int(num_partitions)
+        self._partitions: list[list[Any]] = [[] for _ in range(num_partitions)]
+        # Telemetry counters, reset by the caller.
+        self.kv_operations = 0
+        self.network_items = 0
+        self.local_items = 0
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def reset_counters(self) -> None:
+        """Zero the per-stage operation counters."""
+        self.kv_operations = 0
+        self.network_items = 0
+        self.local_items = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def partition_sizes(self) -> list[int]:
+        """Number of items currently stored in each partition."""
+        return [len(p) for p in self._partitions]
+
+    def total_items(self) -> int:
+        """Total number of items in the reservoir."""
+        return sum(len(p) for p in self._partitions)
+
+    def all_items(self) -> list[Any]:
+        """Every stored item (order is partition-major and not meaningful)."""
+        return [item for partition in self._partitions for item in partition]
+
+    def __len__(self) -> int:
+        return self.total_items()
+
+    # ------------------------------------------------------------------
+    # updates (subclasses charge their own telemetry)
+    # ------------------------------------------------------------------
+    def insert(self, items: Sequence[Any], source_partition: int) -> None:
+        """Insert items originating from the given incoming-batch partition."""
+        raise NotImplementedError
+
+    def delete_from_partition(
+        self, partition: int, count: int, rng: np.random.Generator | int | None = None
+    ) -> list[Any]:
+        """Delete ``count`` uniformly random items from one partition; return them."""
+        raise NotImplementedError
+
+    def delete_per_partition(
+        self, counts: Sequence[int], rng: np.random.Generator | int | None = None
+    ) -> list[Any]:
+        """Delete the given number of random items from each partition."""
+        rng = ensure_rng(rng)
+        removed: list[Any] = []
+        for partition, count in enumerate(counts):
+            removed.extend(self.delete_from_partition(partition, count, rng))
+        return removed
+
+    # shared internal helper -------------------------------------------------
+    def _remove_random(
+        self, partition: int, count: int, rng: np.random.Generator
+    ) -> list[Any]:
+        bucket = self._partitions[partition]
+        count = min(count, len(bucket))
+        if count == 0:
+            return []
+        indices = sorted(
+            (int(i) for i in rng.choice(len(bucket), size=count, replace=False)), reverse=True
+        )
+        removed = [bucket[i] for i in indices]
+        for index in indices:
+            # Swap-with-last removal keeps deletion O(1) per item.
+            bucket[index] = bucket[-1]
+            bucket.pop()
+        return removed
+
+
+class CoPartitionedReservoir(DistributedReservoir):
+    """Reservoir partitions co-located with incoming-batch partitions (Figure 5(b))."""
+
+    def insert(self, items: Sequence[Any], source_partition: int) -> None:
+        if not 0 <= source_partition < self.num_partitions:
+            raise IndexError(f"no partition {source_partition}")
+        self._partitions[source_partition].extend(items)
+        self.local_items += len(items)
+
+    def delete_from_partition(
+        self, partition: int, count: int, rng: np.random.Generator | int | None = None
+    ) -> list[Any]:
+        rng = ensure_rng(rng)
+        removed = self._remove_random(partition, count, rng)
+        self.local_items += len(removed)
+        return removed
+
+
+class KeyValueStoreReservoir(DistributedReservoir):
+    """Reservoir stored in an external hash-partitioned key-value store (Figure 5(a)).
+
+    Every insert is a remote ``put`` whose destination partition is chosen by
+    the store's hash partitioner (uniformly at random here), so insert items
+    cross the network regardless of where they originated. Every delete is a
+    remote ``delete`` round trip.
+    """
+
+    def __init__(self, num_partitions: int, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__(num_partitions)
+        self._placement_rng = ensure_rng(rng)
+
+    def insert(self, items: Sequence[Any], source_partition: int) -> None:
+        for item in items:
+            destination = int(self._placement_rng.integers(self.num_partitions))
+            self._partitions[destination].append(item)
+            self.kv_operations += 1
+            if destination != source_partition:
+                self.network_items += 1
+
+    def delete_from_partition(
+        self, partition: int, count: int, rng: np.random.Generator | int | None = None
+    ) -> list[Any]:
+        rng = ensure_rng(rng)
+        removed = self._remove_random(partition, count, rng)
+        self.kv_operations += len(removed)
+        return removed

@@ -1,0 +1,60 @@
+"""Runnable reproductions of every table and figure in the paper's evaluation.
+
+Each experiment module exposes plain functions that return structured result
+objects (see :mod:`repro.experiments.results`); the benchmark harness under
+``benchmarks/`` wraps them in pytest-benchmark targets, and
+:mod:`repro.experiments.reporting` renders them as text tables / ASCII charts
+so every figure has a printable analogue.
+
+Experiment index
+----------------
+==========  =======================================  ==============================
+Artifact    Function                                 Module
+==========  =======================================  ==============================
+Figure 1    :func:`run_figure1`                      ``sample_size``
+Figure 7    :func:`run_figure7`                      ``distributed_perf``
+Figure 8    :func:`run_figure8`                      ``distributed_perf``
+Figure 9    :func:`run_figure9`                      ``distributed_perf``
+Figure 10   :func:`run_knn_experiment`               ``knn``
+Table 1     :func:`run_table1`                       ``knn``
+Figure 11   :func:`run_knn_experiment` (batch proc)  ``knn``
+Figure 12   :func:`run_regression_experiment`        ``regression``
+Figure 13   :func:`run_naive_bayes_experiment`       ``naive_bayes``
+Figure 14   :func:`run_knn_experiment` (patterns)    ``knn``
+==========  =======================================  ==============================
+"""
+
+from repro.experiments.results import ExperimentResult, QualitySeries, SampleSizeSeries
+from repro.experiments.sample_size import FIGURE1_SCENARIOS, run_figure1, run_sample_size_scenario
+from repro.experiments.knn import KNNExperimentConfig, run_knn_experiment, run_table1
+from repro.experiments.regression import RegressionExperimentConfig, run_regression_experiment
+from repro.experiments.naive_bayes import NaiveBayesExperimentConfig, run_naive_bayes_experiment
+from repro.experiments.distributed_perf import (
+    FIGURE7_VARIANTS,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+)
+from repro.experiments.ablation import compare_sample_size_variability, measure_chao_bias
+
+__all__ = [
+    "compare_sample_size_variability",
+    "measure_chao_bias",
+    "ExperimentResult",
+    "QualitySeries",
+    "SampleSizeSeries",
+    "FIGURE1_SCENARIOS",
+    "run_figure1",
+    "run_sample_size_scenario",
+    "KNNExperimentConfig",
+    "run_knn_experiment",
+    "run_table1",
+    "RegressionExperimentConfig",
+    "run_regression_experiment",
+    "NaiveBayesExperimentConfig",
+    "run_naive_bayes_experiment",
+    "FIGURE7_VARIANTS",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+]

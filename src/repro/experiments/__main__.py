@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` — run the experiment reproductions from the shell."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

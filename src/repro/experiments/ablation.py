@@ -1,0 +1,133 @@
+"""Ablation studies for design choices called out in DESIGN.md.
+
+Two ablations are provided:
+
+* :func:`compare_sample_size_variability` — Theorems 4.3/4.4: in the
+  unsaturated regime, plain Bernoulli sampling (B-TBS) has exactly the same
+  marginal inclusion probabilities as R-TBS, so the two schemes have the same
+  expected sample size; but R-TBS concentrates the realized size on the floor
+  and ceiling of the latent weight, whereas B-TBS's independent coin flips
+  spread it out. The experiment measures both variances empirically.
+* :func:`measure_chao_bias` — Appendix D: when data arrives slowly relative
+  to the decay rate, B-Chao pins overweight items with probability one and
+  thereby violates the relative appearance criterion (1); R-TBS does not.
+  The experiment measures the worst relative deviation from the target ratio
+  ``e^{-lambda (t - s)}`` for both algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.btbs import BTBS
+from repro.core.chao import BatchedChao
+from repro.core.random_utils import ensure_rng
+from repro.core.rtbs import RTBS
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["compare_sample_size_variability", "measure_chao_bias"]
+
+
+def compare_sample_size_variability(
+    lambda_: float = 0.2,
+    batch_size: int = 10,
+    num_batches: int = 60,
+    trials: int = 400,
+    rng: np.random.Generator | int | None = 0,
+) -> ExperimentResult:
+    """Sample-size mean and variance of R-TBS vs B-TBS in the unsaturated regime.
+
+    The R-TBS capacity is set high enough that it never saturates, so both
+    schemes target the same expected sample size; Theorem 4.4 predicts that
+    R-TBS attains the smaller variance.
+    """
+    rng = ensure_rng(rng)
+    capacity = 10 * int(batch_size / (1.0 - math.exp(-lambda_)) + 1)
+    rtbs_sizes, btbs_sizes = [], []
+    for trial in range(trials):
+        seed = int(rng.integers(2**31 - 1))
+        rtbs = RTBS(n=capacity, lambda_=lambda_, rng=seed)
+        btbs = BTBS(lambda_=lambda_, rng=seed + 1)
+        for batch_index in range(1, num_batches + 1):
+            batch = [(trial, batch_index, i) for i in range(batch_size)]
+            rtbs_sample = rtbs.process_batch(batch)
+            btbs_sample = btbs.process_batch(batch)
+        rtbs_sizes.append(len(rtbs_sample))
+        btbs_sizes.append(len(btbs_sample))
+
+    result = ExperimentResult(
+        name="ablation_sample_size_variability",
+        description=(
+            "Realized sample-size mean/variance of R-TBS vs B-TBS at equal "
+            f"marginal inclusion probabilities (lambda={lambda_}, unsaturated)"
+        ),
+    )
+    result.add_metric("rtbs_mean_size", float(np.mean(rtbs_sizes)))
+    result.add_metric("btbs_mean_size", float(np.mean(btbs_sizes)))
+    result.add_metric("rtbs_size_variance", float(np.var(rtbs_sizes)))
+    result.add_metric("btbs_size_variance", float(np.var(btbs_sizes)))
+    return result
+
+
+def measure_chao_bias(
+    lambda_: float = 0.5,
+    capacity: int = 40,
+    fill_batch_size: int = 40,
+    trickle_batches: int = 12,
+    trials: int = 400,
+    rng: np.random.Generator | int | None = 0,
+) -> ExperimentResult:
+    """Worst-case violation of criterion (1) for B-Chao vs R-TBS under slow arrivals.
+
+    The stream fills the reservoir with one large batch and then trickles in
+    one item per batch, so B-Chao's new arrivals are overweight. For each
+    pair of batches ``(s, t)`` the empirical appearance ratio is compared to
+    the target ``e^{-lambda (t - s)}``; the reported metric is the maximum
+    relative deviation over all pairs with reliable estimates.
+    """
+    rng = ensure_rng(rng)
+    num_batches = 1 + trickle_batches
+    chao_counts = np.zeros(num_batches)
+    rtbs_counts = np.zeros(num_batches)
+    batch_sizes = [fill_batch_size] + [1] * trickle_batches
+    for trial in range(trials):
+        seed = int(rng.integers(2**31 - 1))
+        chao = BatchedChao(n=capacity, lambda_=lambda_, rng=seed)
+        rtbs = RTBS(n=capacity, lambda_=lambda_, rng=seed + 1)
+        for batch_index, size in enumerate(batch_sizes, start=1):
+            batch = [(batch_index, i) for i in range(size)]
+            chao_sample = chao.process_batch(batch)
+            rtbs_sample = rtbs.process_batch(batch)
+        for batch_index, _ in chao_sample:
+            chao_counts[batch_index - 1] += 1
+        for batch_index, _ in rtbs_sample:
+            rtbs_counts[batch_index - 1] += 1
+
+    chao_probabilities = chao_counts / trials / np.asarray(batch_sizes)
+    rtbs_probabilities = rtbs_counts / trials / np.asarray(batch_sizes)
+
+    def worst_deviation(probabilities: np.ndarray) -> float:
+        worst = 0.0
+        for older in range(num_batches):
+            for newer in range(older + 1, num_batches):
+                if probabilities[newer] < 0.05:
+                    continue
+                observed = probabilities[older] / probabilities[newer]
+                target = math.exp(-lambda_ * (newer - older))
+                worst = max(worst, abs(observed - target) / target)
+        return worst
+
+    result = ExperimentResult(
+        name="ablation_chao_bias",
+        description=(
+            "Worst relative deviation from the appearance-ratio criterion (1) "
+            f"under slow arrivals (lambda={lambda_}, capacity={capacity})"
+        ),
+    )
+    result.add_metric("chao_worst_relative_deviation", worst_deviation(chao_probabilities))
+    result.add_metric("rtbs_worst_relative_deviation", worst_deviation(rtbs_probabilities))
+    result.add_series("chao_appearance_probability", list(chao_probabilities))
+    result.add_series("rtbs_appearance_probability", list(rtbs_probabilities))
+    return result

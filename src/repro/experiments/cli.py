@@ -1,0 +1,161 @@
+"""Command-line runner for the experiment reproductions.
+
+Usage (after installing the package)::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig1 fig7 table1
+    python -m repro.experiments run all --runs 3
+
+Each experiment prints its summary metrics and, where applicable, an ASCII
+rendition of the figure. This is a convenience wrapper over the functions in
+:mod:`repro.experiments`; the benchmark harness under ``benchmarks/`` remains
+the canonical way to regenerate every table and figure with timing attached.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Iterable
+
+from repro.experiments.ablation import compare_sample_size_variability, measure_chao_bias
+from repro.experiments.distributed_perf import run_figure7, run_figure8, run_figure9
+from repro.experiments.knn import KNNExperimentConfig, TABLE1_PATTERNS, run_knn_experiment, run_table1
+from repro.experiments.naive_bayes import run_naive_bayes_experiment
+from repro.experiments.regression import FIGURE12_CONFIGS, run_regression_experiment
+from repro.experiments.reporting import ascii_chart, format_result
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sample_size import run_figure1
+
+__all__ = ["EXPERIMENTS", "build_parser", "run_experiment", "main"]
+
+
+def _run_fig1(runs: int) -> list[ExperimentResult]:
+    return list(run_figure1().values())
+
+
+def _run_fig7(runs: int) -> list[ExperimentResult]:
+    return [run_figure7()]
+
+
+def _run_fig8(runs: int) -> list[ExperimentResult]:
+    return [run_figure8()]
+
+
+def _run_fig9(runs: int) -> list[ExperimentResult]:
+    return [run_figure9()]
+
+
+def _run_fig10(runs: int) -> list[ExperimentResult]:
+    single, (periodic, horizon) = TABLE1_PATTERNS["Single Event"], TABLE1_PATTERNS["P(10,10)"]
+    return [
+        run_knn_experiment(
+            KNNExperimentConfig(pattern=single[0], num_batches=single[1], runs=runs), rng=0
+        ),
+        run_knn_experiment(
+            KNNExperimentConfig(pattern=periodic, num_batches=horizon, runs=runs), rng=1
+        ),
+    ]
+
+
+def _run_fig12(runs: int) -> list[ExperimentResult]:
+    return [
+        run_regression_experiment(config, rng=index)
+        for index, config in enumerate(FIGURE12_CONFIGS.values())
+    ]
+
+
+def _run_fig13(runs: int) -> list[ExperimentResult]:
+    return [run_naive_bayes_experiment(rng=0)]
+
+
+def _run_fig14(runs: int) -> list[ExperimentResult]:
+    results = []
+    for index, label in enumerate(("P(20,10)", "P(30,10)")):
+        pattern, horizon = TABLE1_PATTERNS[label]
+        results.append(
+            run_knn_experiment(
+                KNNExperimentConfig(pattern=pattern, num_batches=horizon, runs=runs),
+                rng=4 + index,
+            )
+        )
+    return results
+
+
+def _run_table1(runs: int) -> list[ExperimentResult]:
+    return [run_table1(runs=runs)]
+
+
+def _run_ablations(runs: int) -> list[ExperimentResult]:
+    return [compare_sample_size_variability(), measure_chao_bias()]
+
+
+#: Experiment name -> callable(runs) returning a list of results.
+EXPERIMENTS: dict[str, Callable[[int], list[ExperimentResult]]] = {
+    "fig1": _run_fig1,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "table1": _run_table1,
+    "ablations": _run_ablations,
+}
+
+
+def run_experiment(name: str, runs: int = 1) -> list[ExperimentResult]:
+    """Run one named experiment group and return its results."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](runs)
+
+
+def _print_results(results: Iterable[ExperimentResult], show_charts: bool) -> None:
+    for result in results:
+        print()
+        print(format_result(result.name, result.metrics))
+        if show_charts and result.series:
+            print(ascii_chart(result.series))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The command-line argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the tables and figures of the EDBT 2018 paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiment names")
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "names",
+        nargs="+",
+        help="experiment names (see 'list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--runs", type=int, default=1, help="independent runs per quality experiment"
+    )
+    run_parser.add_argument(
+        "--no-charts", action="store_true", help="suppress ASCII charts, print metrics only"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if "all" in arguments.names else arguments.names
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"known experiments: {', '.join(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        print(f"=== running {name} ===")
+        _print_results(run_experiment(name, runs=arguments.runs), not arguments.no_charts)
+    return 0

@@ -1,0 +1,241 @@
+"""Distributed performance experiments — Figures 7, 8 and 9 (Section 6.1).
+
+These experiments run the distributed algorithms on the simulated cluster
+with *virtual* batches, so cluster-scale item counts (10^7-10^10 items per
+batch) can be studied without materializing any data. Reported "runtimes" are
+simulated seconds under the calibrated cost model; what is meaningful is the
+relative ordering of implementation variants and the shape of the scaling
+curves, not the absolute values (see DESIGN.md, substitution #1).
+
+* **Figure 7** — average per-batch runtime of the four D-R-TBS implementation
+  variants and D-T-TBS at the paper's operating point (10M-item batches,
+  20M-item reservoir, ``lambda = 0.07``, 12 workers).
+* **Figure 8** — scale-out of the best D-R-TBS variant with 100M-item batches
+  as the number of workers grows.
+* **Figure 9** — scale-up of the best D-R-TBS variant at 12 workers as the
+  batch size grows from 10^3 to 10^10 items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributed.batches import DistributedBatch
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.costmodel import CostModel
+from repro.distributed.drtbs import DistributedRTBS
+from repro.distributed.dttbs import DistributedTTBS
+from repro.experiments.results import ExperimentResult
+
+__all__ = [
+    "DistributedVariant",
+    "FIGURE7_VARIANTS",
+    "measure_drtbs_runtime",
+    "measure_dttbs_runtime",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+]
+
+
+@dataclass(frozen=True)
+class DistributedVariant:
+    """One bar of Figure 7: a named D-R-TBS (or D-T-TBS) implementation variant."""
+
+    label: str
+    algorithm: str  # "drtbs" or "dttbs"
+    reservoir: str = "copartitioned"
+    decisions: str = "distributed"
+    join: str = "colocated"
+
+
+FIGURE7_VARIANTS: tuple[DistributedVariant, ...] = (
+    DistributedVariant("D-R-TBS (Cent,KV,RJ)", "drtbs", "kvstore", "centralized", "repartition"),
+    DistributedVariant("D-R-TBS (Cent,KV,CJ)", "drtbs", "kvstore", "centralized", "colocated"),
+    DistributedVariant("D-R-TBS (Cent,CP)", "drtbs", "copartitioned", "centralized", "colocated"),
+    DistributedVariant("D-R-TBS (Dist,CP)", "drtbs", "copartitioned", "distributed", "colocated"),
+    DistributedVariant("D-T-TBS (Dist,CP)", "dttbs"),
+)
+
+
+def _average_runtime(runtimes: Sequence[float], discard: int) -> float:
+    """Average per-batch runtime, discarding the first ``discard`` warm-up batches."""
+    useful = list(runtimes)[discard:]
+    if not useful:
+        raise ValueError("not enough batches to average after discarding warm-up")
+    return float(np.mean(useful))
+
+
+def measure_drtbs_runtime(
+    variant: DistributedVariant,
+    num_workers: int = 12,
+    batch_size: int = 10_000_000,
+    reservoir_size: int = 20_000_000,
+    lambda_: float = 0.07,
+    num_batches: int = 60,
+    discard: int = 40,
+    cost_model: CostModel | None = None,
+    rng: int | None = 0,
+) -> float:
+    """Average simulated per-batch runtime of a D-R-TBS variant at steady state.
+
+    The reservoir reaches its steady-state insert/delete volume only after
+    the total weight approaches its limit ``b / (1 - e^-lambda)``; the first
+    ``discard`` batches are therefore excluded from the average (the paper
+    similarly discards its first round and averages 100 rounds).
+    """
+    cluster = SimulatedCluster(num_workers=num_workers, cost_model=cost_model or CostModel())
+    algorithm = DistributedRTBS(
+        n=reservoir_size,
+        lambda_=lambda_,
+        cluster=cluster,
+        reservoir=variant.reservoir,
+        decisions=variant.decisions,
+        join=variant.join,
+        rng=rng,
+    )
+    for batch_index in range(1, num_batches + 1):
+        batch = DistributedBatch.virtual(batch_size, num_workers, batch_id=batch_index)
+        algorithm.process_batch(batch)
+    return _average_runtime(algorithm.batch_runtimes, discard)
+
+
+def measure_dttbs_runtime(
+    num_workers: int = 12,
+    batch_size: int = 10_000_000,
+    reservoir_size: int = 20_000_000,
+    lambda_: float = 0.07,
+    num_batches: int = 60,
+    discard: int = 40,
+    cost_model: CostModel | None = None,
+    rng: int | None = 0,
+) -> float:
+    """Average simulated per-batch runtime of D-T-TBS at steady state."""
+    cluster = SimulatedCluster(num_workers=num_workers, cost_model=cost_model or CostModel())
+    algorithm = DistributedTTBS(
+        n=reservoir_size,
+        lambda_=lambda_,
+        mean_batch_size=batch_size,
+        cluster=cluster,
+        rng=rng,
+    )
+    for batch_index in range(1, num_batches + 1):
+        batch = DistributedBatch.virtual(batch_size, num_workers, batch_id=batch_index)
+        algorithm.process_batch(batch)
+    return _average_runtime(algorithm.batch_runtimes, discard)
+
+
+def run_figure7(
+    num_workers: int = 12,
+    batch_size: int = 10_000_000,
+    reservoir_size: int = 20_000_000,
+    lambda_: float = 0.07,
+    num_batches: int = 60,
+    rng: int | None = 0,
+) -> ExperimentResult:
+    """Figure 7: per-batch runtime of the five distributed implementations."""
+    result = ExperimentResult(
+        name="figure7_runtime_comparison",
+        description="Average simulated per-batch runtime per implementation variant",
+        metadata={
+            "num_workers": num_workers,
+            "batch_size": batch_size,
+            "reservoir_size": reservoir_size,
+            "lambda": lambda_,
+        },
+    )
+    for variant in FIGURE7_VARIANTS:
+        if variant.algorithm == "dttbs":
+            runtime = measure_dttbs_runtime(
+                num_workers=num_workers,
+                batch_size=batch_size,
+                reservoir_size=reservoir_size,
+                lambda_=lambda_,
+                num_batches=num_batches,
+                discard=min(40, num_batches - 1),
+                rng=rng,
+            )
+        else:
+            runtime = measure_drtbs_runtime(
+                variant,
+                num_workers=num_workers,
+                batch_size=batch_size,
+                reservoir_size=reservoir_size,
+                lambda_=lambda_,
+                num_batches=num_batches,
+                discard=min(40, num_batches - 1),
+                rng=rng,
+            )
+        result.add_metric(variant.label, runtime)
+    return result
+
+
+def run_figure8(
+    worker_counts: Sequence[int] = (2, 4, 6, 8, 10, 12, 16, 20, 24),
+    batch_size: int = 100_000_000,
+    reservoir_size: int = 20_000_000,
+    lambda_: float = 0.07,
+    num_batches: int = 50,
+    rng: int | None = 0,
+) -> ExperimentResult:
+    """Figure 8: scale-out of D-R-TBS (Dist,CP) with the number of workers."""
+    variant = DistributedVariant("D-R-TBS (Dist,CP)", "drtbs")
+    result = ExperimentResult(
+        name="figure8_scale_out",
+        description="Simulated per-batch runtime of D-R-TBS vs number of workers",
+        metadata={"batch_size": batch_size, "reservoir_size": reservoir_size},
+    )
+    runtimes = []
+    for workers in worker_counts:
+        runtime = measure_drtbs_runtime(
+            variant,
+            num_workers=workers,
+            batch_size=batch_size,
+            reservoir_size=reservoir_size,
+            lambda_=lambda_,
+            num_batches=num_batches,
+            discard=min(40, num_batches - 1),
+            rng=rng,
+        )
+        runtimes.append(runtime)
+        result.add_metric(f"workers={workers}", runtime)
+    result.add_series("runtime", runtimes)
+    result.metadata["worker_counts"] = list(worker_counts)
+    return result
+
+
+def run_figure9(
+    batch_sizes: Sequence[int] = tuple(10**k for k in range(3, 11)),
+    num_workers: int = 12,
+    reservoir_size: int = 20_000_000,
+    lambda_: float = 0.07,
+    num_batches: int = 50,
+    rng: int | None = 0,
+) -> ExperimentResult:
+    """Figure 9: scale-up of D-R-TBS (Dist,CP) with the batch size."""
+    variant = DistributedVariant("D-R-TBS (Dist,CP)", "drtbs")
+    result = ExperimentResult(
+        name="figure9_scale_up",
+        description="Simulated per-batch runtime of D-R-TBS vs batch size",
+        metadata={"num_workers": num_workers, "reservoir_size": reservoir_size},
+    )
+    runtimes = []
+    for batch_size in batch_sizes:
+        runtime = measure_drtbs_runtime(
+            variant,
+            num_workers=num_workers,
+            batch_size=batch_size,
+            reservoir_size=reservoir_size,
+            lambda_=lambda_,
+            num_batches=num_batches,
+            discard=min(40, num_batches - 1),
+            rng=rng,
+        )
+        runtimes.append(runtime)
+        result.add_metric(f"batch_size={batch_size}", runtime)
+    result.add_series("runtime", runtimes)
+    result.metadata["batch_sizes"] = list(batch_sizes)
+    return result

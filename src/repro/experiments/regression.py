@@ -1,0 +1,126 @@
+"""Linear-regression retraining experiments — Figure 12 (Section 6.3).
+
+Three panels compare R-TBS, a sliding window and a uniform reservoir feeding
+a linear-regression model retrained after every batch:
+
+* (a) maximum sample size 1000 under ``Periodic(10, 10)`` — R-TBS saturated;
+* (b) maximum sample size 1600 under ``Periodic(10, 10)`` — R-TBS never
+  saturates (its sample stabilizes near 1479 items) yet still wins on MSE;
+* (c) maximum sample size 1600 under ``Periodic(16, 16)`` — the sliding
+  window no longer retains enough old data and fluctuates wildly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+from repro.core.rtbs import RTBS
+from repro.core.sliding_window import SlidingWindow
+from repro.core.uniform import UniformReservoir
+from repro.experiments.results import ExperimentResult
+from repro.ml.linreg import LinearRegressionModel
+from repro.ml.metrics import expected_shortfall, mean_squared_error
+from repro.ml.retraining import ModelManager
+from repro.streams.batch_sizes import BatchSizeProcess, DeterministicBatchSize
+from repro.streams.patterns import ModePattern, PeriodicPattern
+from repro.streams.regression import RegressionStream
+from repro.streams.stream import BatchStream
+
+__all__ = ["RegressionExperimentConfig", "FIGURE12_CONFIGS", "run_regression_experiment"]
+
+
+@dataclass(frozen=True)
+class RegressionExperimentConfig:
+    """Configuration of one Figure 12 panel."""
+
+    pattern: ModePattern
+    sample_size: int = 1000
+    lambda_: float = 0.07
+    batch_sizes: BatchSizeProcess = field(default_factory=lambda: DeterministicBatchSize(100))
+    warmup_batches: int = 100
+    num_batches: int = 50
+    runs: int = 1
+    shortfall_level: float = 0.1
+    shortfall_skip: int = 20
+
+
+FIGURE12_CONFIGS: dict[str, RegressionExperimentConfig] = {
+    "fig12a_n1000_p10": RegressionExperimentConfig(
+        pattern=PeriodicPattern(10, 10), sample_size=1000, num_batches=50
+    ),
+    "fig12b_n1600_p10": RegressionExperimentConfig(
+        pattern=PeriodicPattern(10, 10), sample_size=1600, num_batches=50
+    ),
+    "fig12c_n1600_p16": RegressionExperimentConfig(
+        pattern=PeriodicPattern(16, 16), sample_size=1600, num_batches=80
+    ),
+}
+
+
+def run_regression_experiment(
+    config: RegressionExperimentConfig, rng: np.random.Generator | int | None = 0
+) -> ExperimentResult:
+    """Run one Figure 12 panel; per-batch MSE series plus mean-MSE / ES metrics."""
+    rng = ensure_rng(rng)
+    accumulated: dict[str, np.ndarray] = {}
+    mses: dict[str, list[float]] = {}
+    shortfalls: dict[str, list[float]] = {}
+    rtbs_sample_sizes: list[float] = []
+    for _ in range(config.runs):
+        generator = RegressionStream(rng=rng)
+        stream = BatchStream(
+            generator,
+            pattern=config.pattern,
+            batch_sizes=config.batch_sizes,
+            warmup_batches=config.warmup_batches,
+            num_batches=config.num_batches,
+            rng=rng,
+        )
+        batches = list(stream)
+        warmup, evaluation = batches[: config.warmup_batches], batches[config.warmup_batches :]
+        samplers = {
+            "R-TBS": RTBS(n=config.sample_size, lambda_=config.lambda_, rng=rng),
+            "SW": SlidingWindow(n=config.sample_size, rng=rng),
+            "Unif": UniformReservoir(n=config.sample_size, rng=rng),
+        }
+        for label, sampler in samplers.items():
+            manager = ModelManager(
+                sampler,
+                model_factory=LinearRegressionModel,
+                loss=mean_squared_error,
+                min_train_size=2,
+            )
+            manager.warmup(warmup)
+            run_result = manager.run(evaluation)
+            values = np.asarray(run_result.losses)
+            if label not in accumulated:
+                accumulated[label] = np.zeros_like(values)
+                mses[label] = []
+                shortfalls[label] = []
+            accumulated[label] += values
+            mses[label].append(float(np.mean(values)))
+            shortfalls[label].append(
+                expected_shortfall(
+                    run_result.losses[config.shortfall_skip :], config.shortfall_level
+                )
+            )
+            if label == "R-TBS":
+                rtbs_sample_sizes.append(float(np.mean(run_result.sample_sizes)))
+
+    result = ExperimentResult(
+        name=f"regression_{config.pattern.describe()}_n{config.sample_size}",
+        description=(
+            "Linear-regression MSE under "
+            f"{config.pattern.describe()} with maximum sample size {config.sample_size}"
+        ),
+    )
+    for label, totals in accumulated.items():
+        result.add_series(label, list(totals / config.runs))
+        result.add_metric(f"{label}_mean_mse", float(np.mean(mses[label])))
+        result.add_metric(f"{label}_expected_shortfall", float(np.mean(shortfalls[label])))
+    result.add_metric("rtbs_mean_sample_size", float(np.mean(rtbs_sample_sizes)))
+    result.metadata["config"] = config
+    return result

@@ -1,0 +1,87 @@
+"""Text rendering of experiment results: tables and ASCII line charts.
+
+The paper's figures are line charts and bar charts; in a terminal-only
+reproduction each figure gets a printable analogue so the benchmark harness
+can show "the same rows/series the paper reports".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ascii_chart", "format_result"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], float_format: str = "{:.2f}"
+) -> str:
+    """Render a simple fixed-width text table."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]], height: int = 12, width: int = 72
+) -> str:
+    """Render several numeric series as a rough ASCII line chart.
+
+    Each series gets its own marker character; the y-axis is shared and
+    labelled with its minimum and maximum values.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    markers = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise ValueError("the series contain no values")
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (label, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        n = len(values)
+        if n == 0:
+            continue
+        for column in range(width):
+            source = min(n - 1, int(round(column * (n - 1) / max(1, width - 1))))
+            value = values[source]
+            row = int(round((value - low) / (high - low) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+    lines = [f"{high:>10.2f} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{low:>10.2f} +" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {label}" for i, label in enumerate(series.keys())
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def format_result(name: str, metrics: Mapping[str, float]) -> str:
+    """One-line-per-metric textual summary of an experiment's scalar metrics."""
+    lines = [f"== {name} =="]
+    for label, value in metrics.items():
+        lines.append(f"  {label}: {value:.4f}")
+    return "\n".join(lines)

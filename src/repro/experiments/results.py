@@ -1,0 +1,71 @@
+"""Result containers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SampleSizeSeries", "QualitySeries", "ExperimentResult"]
+
+
+@dataclass
+class SampleSizeSeries:
+    """Sample-size trajectory of one sampler in a sample-size experiment (Figure 1)."""
+
+    label: str
+    sizes: list[int] = field(default_factory=list)
+
+    def mean(self) -> float:
+        """Average sample size over the whole trajectory."""
+        if not self.sizes:
+            raise ValueError("the series is empty")
+        return float(np.mean(self.sizes))
+
+    def maximum(self) -> int:
+        """Largest sample size observed."""
+        if not self.sizes:
+            raise ValueError("the series is empty")
+        return int(max(self.sizes))
+
+    def tail_mean(self, tail: int = 100) -> float:
+        """Average over the final ``tail`` batches (steady-state size)."""
+        if not self.sizes:
+            raise ValueError("the series is empty")
+        return float(np.mean(self.sizes[-tail:]))
+
+
+@dataclass
+class QualitySeries:
+    """Per-batch loss trajectory of one sampling scheme in a quality experiment."""
+
+    label: str
+    losses: list[float] = field(default_factory=list)
+    sample_sizes: list[int] = field(default_factory=list)
+
+    def mean_loss(self, skip: int = 0) -> float:
+        """Average loss, optionally skipping the first ``skip`` batches."""
+        values = self.losses[skip:]
+        if not values:
+            raise ValueError("no losses in the requested range")
+        return float(np.mean(values))
+
+
+@dataclass
+class ExperimentResult:
+    """Generic experiment result: named series plus scalar summary metrics."""
+
+    name: str
+    description: str = ""
+    series: dict[str, list[float]] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: list[float]) -> None:
+        """Record a named series (e.g. one line of a figure)."""
+        self.series[label] = [float(v) for v in values]
+
+    def add_metric(self, label: str, value: float) -> None:
+        """Record a named scalar metric (e.g. one cell of a table)."""
+        self.metrics[label] = float(value)

@@ -1,0 +1,122 @@
+"""Figure 1 — sample-size behaviour of T-TBS vs R-TBS under four batch-size regimes.
+
+Each scenario streams 1000 batches of *unlabeled* items (payloads are
+irrelevant to sample-size dynamics) through a T-TBS sampler and an R-TBS
+sampler configured exactly as in the paper:
+
+* (a) growing batches — ``lambda = 0.05``, batch size fixed at 100 until
+  ``t = 200`` then multiplied by ``phi = 1.002`` per batch; T-TBS overflows
+  while R-TBS stays at its cap.
+* (b) stable deterministic batches — ``lambda = 0.1``, ``B_t = 100``; T-TBS
+  fluctuates around the target while R-TBS is constant.
+* (c) stable uniform batches — ``lambda = 0.1``, ``B_t ~ Uniform[0, 200]``;
+  T-TBS fluctuates more, R-TBS is capped but can dip.
+* (d) decaying batches — ``lambda = 0.01``, ``phi = 0.8`` after ``t = 200``;
+  both shrink, R-TBS more gracefully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+from repro.core.rtbs import RTBS
+from repro.core.ttbs import TTBS
+from repro.experiments.results import ExperimentResult, SampleSizeSeries
+from repro.streams.batch_sizes import (
+    BatchSizeProcess,
+    DeterministicBatchSize,
+    GeometricBatchSize,
+    UniformBatchSize,
+)
+
+__all__ = ["SampleSizeScenario", "FIGURE1_SCENARIOS", "run_sample_size_scenario", "run_figure1"]
+
+
+@dataclass(frozen=True)
+class SampleSizeScenario:
+    """Configuration of one Figure 1 panel."""
+
+    name: str
+    lambda_: float
+    batch_sizes: BatchSizeProcess
+    target_size: int = 1000
+    num_batches: int = 1000
+    assumed_mean_batch_size: float = 100.0
+
+
+FIGURE1_SCENARIOS: dict[str, SampleSizeScenario] = {
+    "fig1a_growing": SampleSizeScenario(
+        name="fig1a_growing",
+        lambda_=0.05,
+        batch_sizes=GeometricBatchSize(initial=100, phi=1.002, change_point=200),
+    ),
+    "fig1b_stable_deterministic": SampleSizeScenario(
+        name="fig1b_stable_deterministic",
+        lambda_=0.1,
+        batch_sizes=DeterministicBatchSize(100),
+    ),
+    "fig1c_stable_uniform": SampleSizeScenario(
+        name="fig1c_stable_uniform",
+        lambda_=0.1,
+        batch_sizes=UniformBatchSize(0, 200),
+    ),
+    "fig1d_decaying": SampleSizeScenario(
+        name="fig1d_decaying",
+        lambda_=0.01,
+        batch_sizes=GeometricBatchSize(initial=100, phi=0.8, change_point=200),
+    ),
+}
+
+
+def run_sample_size_scenario(
+    scenario: SampleSizeScenario, rng: np.random.Generator | int | None = None
+) -> ExperimentResult:
+    """Run one Figure 1 panel; returns T-TBS and R-TBS sample-size trajectories."""
+    rng = ensure_rng(rng)
+    ttbs = TTBS(
+        n=scenario.target_size,
+        lambda_=scenario.lambda_,
+        mean_batch_size=scenario.assumed_mean_batch_size,
+        rng=rng,
+        enforce_feasibility=False,
+    )
+    rtbs = RTBS(n=scenario.target_size, lambda_=scenario.lambda_, rng=rng)
+    ttbs_series = SampleSizeSeries(label="T-TBS")
+    rtbs_series = SampleSizeSeries(label="R-TBS")
+    item_counter = 0
+    for batch_index in range(1, scenario.num_batches + 1):
+        size = scenario.batch_sizes.size(batch_index, rng)
+        batch = list(range(item_counter, item_counter + size))
+        item_counter += size
+        ttbs_series.sizes.append(len(ttbs.process_batch(batch)))
+        rtbs_series.sizes.append(len(rtbs.process_batch(batch)))
+
+    result = ExperimentResult(
+        name=scenario.name,
+        description=(
+            "Sample-size trajectories of T-TBS and R-TBS "
+            f"(lambda={scenario.lambda_}, target n={scenario.target_size})"
+        ),
+    )
+    result.add_series("T-TBS", [float(v) for v in ttbs_series.sizes])
+    result.add_series("R-TBS", [float(v) for v in rtbs_series.sizes])
+    result.add_metric("ttbs_max_size", ttbs_series.maximum())
+    result.add_metric("rtbs_max_size", rtbs_series.maximum())
+    result.add_metric("ttbs_mean_size", ttbs_series.mean())
+    result.add_metric("rtbs_mean_size", rtbs_series.mean())
+    result.add_metric("ttbs_tail_mean", ttbs_series.tail_mean())
+    result.add_metric("rtbs_tail_mean", rtbs_series.tail_mean())
+    result.metadata["scenario"] = scenario
+    return result
+
+
+def run_figure1(rng: np.random.Generator | int | None = 2018) -> dict[str, ExperimentResult]:
+    """Run all four Figure 1 panels and return their results keyed by panel name."""
+    rng = ensure_rng(rng)
+    return {
+        name: run_sample_size_scenario(scenario, rng)
+        for name, scenario in FIGURE1_SCENARIOS.items()
+    }

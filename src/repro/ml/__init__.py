@@ -1,0 +1,35 @@
+"""From-scratch machine-learning substrate used by the retraining experiments.
+
+scikit-learn is not a dependency of this reproduction; the three model
+families used in the paper's evaluation are implemented directly on numpy:
+
+* :class:`~repro.ml.knn.KNNClassifier` — k-nearest-neighbour classification
+  (Section 6.2),
+* :class:`~repro.ml.linreg.LinearRegressionModel` — ordinary least squares
+  (Section 6.3),
+* :class:`~repro.ml.naive_bayes.MultinomialNaiveBayes` — bag-of-words Naive
+  Bayes (Section 6.4).
+
+:mod:`repro.ml.metrics` provides misclassification rate, mean squared error
+and the expected-shortfall risk measure; :mod:`repro.ml.retraining` provides
+the online model-management loop that ties a sampler to periodic retraining.
+"""
+
+from repro.ml.base import SupervisedModel
+from repro.ml.knn import KNNClassifier
+from repro.ml.linreg import LinearRegressionModel
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.ml.metrics import expected_shortfall, mean_squared_error, misclassification_rate
+from repro.ml.retraining import ModelManager, RetrainingResult
+
+__all__ = [
+    "SupervisedModel",
+    "KNNClassifier",
+    "LinearRegressionModel",
+    "MultinomialNaiveBayes",
+    "expected_shortfall",
+    "mean_squared_error",
+    "misclassification_rate",
+    "ModelManager",
+    "RetrainingResult",
+]

@@ -1,0 +1,49 @@
+"""Common interface for the supervised models used in the retraining experiments."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.streams.items import Batch, LabeledItem
+
+__all__ = ["SupervisedModel"]
+
+
+class SupervisedModel:
+    """A trainable model with array-based ``fit`` / ``predict`` and item-based helpers.
+
+    Subclasses implement :meth:`fit` and :meth:`predict` on numpy arrays;
+    the item-based wrappers convert lists of
+    :class:`~repro.streams.items.LabeledItem` (what samplers hold) into
+    feature matrices and label arrays.
+    """
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "SupervisedModel":
+        """Train on an ``(n, d)`` feature matrix and length-``n`` label array."""
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict labels/responses for an ``(m, d)`` feature matrix."""
+        raise NotImplementedError
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called with at least one training item."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # item-based convenience wrappers
+    # ------------------------------------------------------------------
+    def fit_items(self, items: Sequence[LabeledItem]) -> "SupervisedModel":
+        """Train on a list of labeled items (e.g. the current sample)."""
+        if not items:
+            return self
+        return self.fit(Batch.feature_matrix(items), Batch.label_array(items))
+
+    def predict_items(self, items: Sequence[LabeledItem]) -> np.ndarray:
+        """Predict for a list of labeled items; the true labels are ignored."""
+        if not items:
+            return np.empty(0)
+        return self.predict(Batch.feature_matrix(items))

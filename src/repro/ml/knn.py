@@ -1,0 +1,71 @@
+"""k-nearest-neighbour classifier (the model of Section 6.2).
+
+Predictions take a majority vote over the ``k`` nearest training points in
+Euclidean distance, with ties broken by the smallest label (deterministic so
+experiments are reproducible). kNN is the paper's motivating example of a
+non-parametric model that cannot easily be re-engineered into an incremental
+algorithm, which is why sample-based retraining is attractive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import SupervisedModel
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier(SupervisedModel):
+    """Majority-vote kNN classifier with Euclidean distance.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours (paper: 7). If fewer than ``k`` training points
+        are available, all of them vote.
+    """
+
+    def __init__(self, k: int = 7) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self._train_features: np.ndarray | None = None
+        self._train_labels: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_features is not None and len(self._train_features) > 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNNClassifier":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-dimensional, got shape {features.shape}")
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features and labels disagree in length: {len(features)} vs {len(labels)}"
+            )
+        self._train_features = features
+        self._train_labels = labels
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("the classifier must be fitted before predicting")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        assert self._train_features is not None and self._train_labels is not None
+        neighbours = min(self.k, len(self._train_features))
+        # Squared Euclidean distances between every query and training point.
+        distances = (
+            np.sum(features**2, axis=1)[:, None]
+            + np.sum(self._train_features**2, axis=1)[None, :]
+            - 2.0 * features @ self._train_features.T
+        )
+        nearest = np.argpartition(distances, neighbours - 1, axis=1)[:, :neighbours]
+        predictions = np.empty(len(features), dtype=self._train_labels.dtype)
+        for row, indices in enumerate(nearest):
+            votes = self._train_labels[indices]
+            values, counts = np.unique(votes, return_counts=True)
+            predictions[row] = values[np.argmax(counts)]
+        return predictions

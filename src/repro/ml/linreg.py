@@ -1,0 +1,57 @@
+"""Ordinary-least-squares linear regression (the model of Section 6.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import SupervisedModel
+
+__all__ = ["LinearRegressionModel"]
+
+
+class LinearRegressionModel(SupervisedModel):
+    """Least-squares linear regression, optionally with an intercept.
+
+    The paper's generating model ``y = b1 x1 + b2 x2 + eps`` has no
+    intercept, but fitting one (the default) is harmless and matches common
+    library behaviour.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = bool(fit_intercept)
+        self.coefficients: np.ndarray | None = None
+        self.intercept: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coefficients is not None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearRegressionModel":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-dimensional, got shape {features.shape}")
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features and labels disagree in length: {len(features)} vs {len(labels)}"
+            )
+        if len(features) == 0:
+            raise ValueError("cannot fit a regression on an empty training set")
+        design = features
+        if self.fit_intercept:
+            design = np.hstack([features, np.ones((len(features), 1))])
+        solution, *_ = np.linalg.lstsq(design, labels, rcond=None)
+        if self.fit_intercept:
+            self.coefficients = solution[:-1]
+            self.intercept = float(solution[-1])
+        else:
+            self.coefficients = solution
+            self.intercept = 0.0
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("the model must be fitted before predicting")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        assert self.coefficients is not None
+        return features @ self.coefficients + self.intercept

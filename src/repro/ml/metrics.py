@@ -1,0 +1,61 @@
+"""Evaluation metrics: misclassification rate, MSE, and expected shortfall.
+
+The paper measures *accuracy* (average misclassification rate or MSE over
+time) and *robustness*. Robustness uses the expected-shortfall (ES) risk
+measure from quantitative risk management: the z% ES of a sequence of
+per-batch losses is the average of the worst z% of values, so it captures
+how badly a method behaves in its worst moments (Section 6.2 uses 10% ES of
+the misclassification rate, Section 6.4 uses 20% ES).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["misclassification_rate", "mean_squared_error", "expected_shortfall"]
+
+
+def misclassification_rate(true_labels: Sequence, predicted_labels: Sequence) -> float:
+    """Fraction of predictions that disagree with the true labels, as a percentage."""
+    true_array = np.asarray(true_labels)
+    predicted_array = np.asarray(predicted_labels)
+    if true_array.shape != predicted_array.shape:
+        raise ValueError(
+            f"label arrays disagree in shape: {true_array.shape} vs {predicted_array.shape}"
+        )
+    if true_array.size == 0:
+        raise ValueError("cannot compute the misclassification rate of zero predictions")
+    return float(np.mean(true_array != predicted_array) * 100.0)
+
+
+def mean_squared_error(true_values: Sequence[float], predicted_values: Sequence[float]) -> float:
+    """Mean squared prediction error."""
+    true_array = np.asarray(true_values, dtype=float)
+    predicted_array = np.asarray(predicted_values, dtype=float)
+    if true_array.shape != predicted_array.shape:
+        raise ValueError(
+            f"value arrays disagree in shape: {true_array.shape} vs {predicted_array.shape}"
+        )
+    if true_array.size == 0:
+        raise ValueError("cannot compute the MSE of zero predictions")
+    return float(np.mean((true_array - predicted_array) ** 2))
+
+
+def expected_shortfall(losses: Sequence[float], level: float = 0.1) -> float:
+    """Average of the worst ``level`` fraction of the losses (higher loss = worse).
+
+    Matches the paper's usage: the 10% ES of a series of misclassification
+    rates is the mean of the highest 10% of the per-batch rates. At least one
+    observation is always included, so short series remain well-defined.
+    """
+    values = np.asarray(list(losses), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute the expected shortfall of an empty series")
+    if not 0 < level <= 1:
+        raise ValueError(f"level must be in (0, 1], got {level}")
+    worst_count = max(1, math.ceil(level * values.size))
+    worst = np.sort(values)[-worst_count:]
+    return float(np.mean(worst))

@@ -1,0 +1,70 @@
+"""Multinomial Naive Bayes over bag-of-words features (the model of Section 6.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import SupervisedModel
+
+__all__ = ["MultinomialNaiveBayes"]
+
+
+class MultinomialNaiveBayes(SupervisedModel):
+    """Multinomial Naive Bayes with Laplace (add-``alpha``) smoothing.
+
+    Features are non-negative word counts; classes are arbitrary labels.
+    Prediction returns the class with the highest log posterior
+    ``log P(class) + sum_w count_w log P(w | class)``.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"the smoothing parameter must be positive, got {alpha}")
+        self.alpha = float(alpha)
+        self.classes_: np.ndarray | None = None
+        self._log_priors: np.ndarray | None = None
+        self._log_likelihoods: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.classes_ is not None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MultinomialNaiveBayes":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-dimensional, got shape {features.shape}")
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features and labels disagree in length: {len(features)} vs {len(labels)}"
+            )
+        if len(features) == 0:
+            raise ValueError("cannot fit Naive Bayes on an empty training set")
+        if np.any(features < 0):
+            raise ValueError("multinomial Naive Bayes requires non-negative count features")
+        self.classes_ = np.unique(labels)
+        num_classes = len(self.classes_)
+        num_features = features.shape[1]
+        class_counts = np.empty(num_classes)
+        word_counts = np.empty((num_classes, num_features))
+        for index, label in enumerate(self.classes_):
+            mask = labels == label
+            class_counts[index] = mask.sum()
+            word_counts[index] = features[mask].sum(axis=0)
+        self._log_priors = np.log(class_counts / class_counts.sum())
+        smoothed = word_counts + self.alpha
+        self._log_likelihoods = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        return self
+
+    def predict_log_proba(self, features: np.ndarray) -> np.ndarray:
+        """Unnormalized log posterior for each class (rows: items, columns: classes)."""
+        if not self.is_fitted:
+            raise RuntimeError("the model must be fitted before predicting")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        assert self._log_priors is not None and self._log_likelihoods is not None
+        return features @ self._log_likelihoods.T + self._log_priors
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        scores = self.predict_log_proba(features)
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,51 @@
+"""Synthetic data-stream generators matching the paper's evaluation workloads.
+
+* :mod:`repro.streams.items` — item / batch containers.
+* :mod:`repro.streams.batch_sizes` — the batch-size processes of Figures 1
+  and 11 (deterministic, uniform, Poisson, geometric growth/decay).
+* :mod:`repro.streams.patterns` — the normal/abnormal temporal mode patterns
+  of Section 6 (single event, ``Periodic(delta, eta)``).
+* :mod:`repro.streams.gaussian_mixture` — the 100-centroid Gaussian mixture
+  classification workload of Section 6.2.
+* :mod:`repro.streams.regression` — the two-covariate linear regression
+  workload of Section 6.3.
+* :mod:`repro.streams.text` — the synthetic recurring-context text stream
+  standing in for the Usenet2 dataset of Section 6.4.
+* :mod:`repro.streams.stream` — the :class:`BatchStream` combinator tying a
+  batch-size process, a pattern, and an item generator together.
+"""
+
+from repro.streams.items import Batch, LabeledItem
+from repro.streams.batch_sizes import (
+    BatchSizeProcess,
+    DeterministicBatchSize,
+    GeometricBatchSize,
+    PoissonBatchSize,
+    UniformBatchSize,
+    PiecewiseBatchSize,
+)
+from repro.streams.patterns import Mode, ModePattern, PeriodicPattern, SingleEventPattern, ConstantPattern
+from repro.streams.gaussian_mixture import GaussianMixtureStream
+from repro.streams.regression import RegressionStream
+from repro.streams.text import RecurringContextTextStream
+from repro.streams.stream import BatchStream
+
+__all__ = [
+    "Batch",
+    "LabeledItem",
+    "BatchSizeProcess",
+    "DeterministicBatchSize",
+    "GeometricBatchSize",
+    "PoissonBatchSize",
+    "UniformBatchSize",
+    "PiecewiseBatchSize",
+    "Mode",
+    "ModePattern",
+    "PeriodicPattern",
+    "SingleEventPattern",
+    "ConstantPattern",
+    "GaussianMixtureStream",
+    "RegressionStream",
+    "RecurringContextTextStream",
+    "BatchStream",
+]

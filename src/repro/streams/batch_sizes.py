@@ -1,0 +1,163 @@
+"""Batch-size processes driving the sample-size and varying-arrival experiments.
+
+Figure 1 of the paper studies T-TBS and R-TBS under four batch-size regimes:
+
+* growing — deterministic, multiplied by ``phi = 1.002`` per batch after a
+  change point (:class:`GeometricBatchSize`);
+* stable deterministic — constant ``B_t = 100`` (:class:`DeterministicBatchSize`);
+* stable random — i.i.d. ``Uniform[0, 200]`` (:class:`UniformBatchSize`);
+* decaying — deterministic, multiplied by ``phi = 0.8`` after a change point.
+
+Figure 11 additionally uses a growing batch size of 2% per batch and a
+uniform batch size for the kNN quality experiments. :class:`PiecewiseBatchSize`
+composes any of these into regime-switching schedules, and
+:class:`PoissonBatchSize` is provided for arrival-rate modelling beyond the
+paper's settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+
+__all__ = [
+    "BatchSizeProcess",
+    "DeterministicBatchSize",
+    "UniformBatchSize",
+    "PoissonBatchSize",
+    "GeometricBatchSize",
+    "PiecewiseBatchSize",
+]
+
+
+class BatchSizeProcess:
+    """Maps a 1-based batch index to a (possibly random) non-negative batch size."""
+
+    def size(self, batch_index: int, rng: np.random.Generator) -> int:
+        """Batch size for the given batch index."""
+        raise NotImplementedError
+
+    def mean(self, batch_index: int) -> float:
+        """Expected batch size at the given index (used to configure T-TBS)."""
+        raise NotImplementedError
+
+
+class DeterministicBatchSize(BatchSizeProcess):
+    """Constant batch size ``B_t = size``."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"batch size must be non-negative, got {size}")
+        self._size = int(size)
+
+    def size(self, batch_index: int, rng: np.random.Generator) -> int:
+        return self._size
+
+    def mean(self, batch_index: int) -> float:
+        return float(self._size)
+
+
+class UniformBatchSize(BatchSizeProcess):
+    """I.i.d. batch sizes uniform on the integers ``[low, high]``."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid uniform range [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def size(self, batch_index: int, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def mean(self, batch_index: int) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class PoissonBatchSize(BatchSizeProcess):
+    """I.i.d. Poisson batch sizes with the given mean arrival rate."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        self.rate = float(rate)
+
+    def size(self, batch_index: int, rng: np.random.Generator) -> int:
+        return int(rng.poisson(self.rate))
+
+    def mean(self, batch_index: int) -> float:
+        return self.rate
+
+
+class GeometricBatchSize(BatchSizeProcess):
+    """Deterministic batch size growing or decaying geometrically after a change point.
+
+    ``B_t = initial`` for ``t <= change_point`` and
+    ``B_t = initial * phi^(t - change_point)`` afterwards, rounded to the
+    nearest integer. ``phi > 1`` reproduces Figure 1(a)'s overload scenario
+    and ``phi < 1`` reproduces Figure 1(d)'s starvation scenario.
+    """
+
+    def __init__(self, initial: int, phi: float, change_point: int = 0) -> None:
+        if initial < 0:
+            raise ValueError(f"initial batch size must be non-negative, got {initial}")
+        if phi <= 0:
+            raise ValueError(f"phi must be positive, got {phi}")
+        if change_point < 0:
+            raise ValueError(f"change_point must be non-negative, got {change_point}")
+        self.initial = int(initial)
+        self.phi = float(phi)
+        self.change_point = int(change_point)
+
+    def _value(self, batch_index: int) -> float:
+        if batch_index <= self.change_point:
+            return float(self.initial)
+        return self.initial * (self.phi ** (batch_index - self.change_point))
+
+    def size(self, batch_index: int, rng: np.random.Generator) -> int:
+        return int(round(self._value(batch_index)))
+
+    def mean(self, batch_index: int) -> float:
+        return self._value(batch_index)
+
+
+class PiecewiseBatchSize(BatchSizeProcess):
+    """Regime-switching schedule composed of other batch-size processes.
+
+    ``segments`` is a list of ``(start_index, process)`` pairs sorted by
+    ``start_index``; the process whose start index is the largest one not
+    exceeding the current batch index is used.
+    """
+
+    def __init__(self, segments: list[tuple[int, BatchSizeProcess]]) -> None:
+        if not segments:
+            raise ValueError("at least one segment is required")
+        ordered = sorted(segments, key=lambda pair: pair[0])
+        if ordered[0][0] > 1:
+            raise ValueError("the first segment must start at batch index 1 or earlier")
+        self.segments = ordered
+
+    def _active(self, batch_index: int) -> BatchSizeProcess:
+        active = self.segments[0][1]
+        for start, process in self.segments:
+            if batch_index >= start:
+                active = process
+            else:
+                break
+        return active
+
+    def size(self, batch_index: int, rng: np.random.Generator) -> int:
+        return self._active(batch_index).size(batch_index, rng)
+
+    def mean(self, batch_index: int) -> float:
+        return self._active(batch_index).mean(batch_index)
+
+
+def generate_sizes(
+    process: BatchSizeProcess, num_batches: int, rng: np.random.Generator | int | None = None
+) -> list[int]:
+    """Materialize ``num_batches`` batch sizes from a process (1-based indices)."""
+    rng = ensure_rng(rng)
+    if num_batches < 0:
+        raise ValueError(f"num_batches must be non-negative, got {num_batches}")
+    return [process.size(index, rng) for index in range(1, num_batches + 1)]

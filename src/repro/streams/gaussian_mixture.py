@@ -1,0 +1,108 @@
+"""Gaussian-mixture classification stream (the kNN workload of Section 6.2).
+
+Data generation follows the paper:
+
+* 100 class centroids are drawn uniformly in the ``[0, 80] x [0, 80]``
+  rectangle;
+* each item picks a ground-truth class according to mode-dependent relative
+  frequencies — in *normal* mode the first 50 classes are five times more
+  frequent than the second 50; in *abnormal* mode the ratio is inverted;
+* the item's coordinates are drawn independently from ``N(x_i, 1)`` and
+  ``N(y_i, 1)`` around the chosen centroid ``(x_i, y_i)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+from repro.streams.items import LabeledItem
+from repro.streams.patterns import Mode
+
+__all__ = ["GaussianMixtureStream"]
+
+
+class GaussianMixtureStream:
+    """Mode-switching Gaussian mixture over ``num_classes`` centroids.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of mixture components / classes (paper: 100, must be even so
+        the frequent/infrequent split is balanced).
+    frequency_ratio:
+        How many times more frequent the favoured class group is (paper: 5).
+    domain:
+        Side length of the square region containing the centroids (paper: 80).
+    noise_std:
+        Standard deviation of the per-coordinate Gaussian noise (paper: 1).
+    rng:
+        Seed or generator controlling both the centroid layout and the item
+        draws.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 100,
+        frequency_ratio: float = 5.0,
+        domain: float = 80.0,
+        noise_std: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_classes < 2 or num_classes % 2 != 0:
+            raise ValueError(f"num_classes must be an even number >= 2, got {num_classes}")
+        if frequency_ratio <= 0:
+            raise ValueError(f"frequency_ratio must be positive, got {frequency_ratio}")
+        if noise_std <= 0:
+            raise ValueError(f"noise_std must be positive, got {noise_std}")
+        self._rng = ensure_rng(rng)
+        self.num_classes = int(num_classes)
+        self.frequency_ratio = float(frequency_ratio)
+        self.noise_std = float(noise_std)
+        self.domain = float(domain)
+        self.centroids = self._rng.uniform(0.0, domain, size=(num_classes, 2))
+        half = num_classes // 2
+        self._normal_probabilities = self._class_probabilities(favoured_first_half=True)
+        self._abnormal_probabilities = self._class_probabilities(favoured_first_half=False)
+        self._first_half = half
+
+    def _class_probabilities(self, favoured_first_half: bool) -> np.ndarray:
+        half = self.num_classes // 2
+        weights = np.empty(self.num_classes)
+        high, low = self.frequency_ratio, 1.0
+        if favoured_first_half:
+            weights[:half], weights[half:] = high, low
+        else:
+            weights[:half], weights[half:] = low, high
+        return weights / weights.sum()
+
+    def class_probabilities(self, mode: Mode | str) -> np.ndarray:
+        """Per-class sampling probabilities for the given mode."""
+        mode = Mode(mode)
+        if mode is Mode.NORMAL:
+            return self._normal_probabilities.copy()
+        return self._abnormal_probabilities.copy()
+
+    def generate_batch(
+        self, size: int, mode: Mode | str = Mode.NORMAL, batch_index: int = 0
+    ) -> list[LabeledItem]:
+        """Generate one batch of labeled items under the given mode."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        mode = Mode(mode)
+        if size == 0:
+            return []
+        probabilities = (
+            self._normal_probabilities if mode is Mode.NORMAL else self._abnormal_probabilities
+        )
+        classes = self._rng.choice(self.num_classes, size=size, p=probabilities)
+        noise = self._rng.normal(0.0, self.noise_std, size=(size, 2))
+        coordinates = self.centroids[classes] + noise
+        return [
+            LabeledItem(
+                features=(float(coordinates[i, 0]), float(coordinates[i, 1])),
+                label=int(classes[i]),
+                batch_index=batch_index,
+            )
+            for i in range(size)
+        ]

@@ -1,0 +1,61 @@
+"""Item and batch containers used by the stream generators and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["LabeledItem", "Batch"]
+
+
+@dataclass(frozen=True)
+class LabeledItem:
+    """A supervised-learning data item: a feature vector with a target.
+
+    Attributes
+    ----------
+    features:
+        Feature vector (tuple of floats so the item is hashable).
+    label:
+        Class label (classification) or response value (regression).
+    batch_index:
+        Index of the batch the item arrived in (1-based), used by the
+        statistical tests to check age-dependent inclusion probabilities.
+    """
+
+    features: tuple[float, ...]
+    label: Any
+    batch_index: int = 0
+
+    def feature_array(self) -> np.ndarray:
+        """The features as a 1-D numpy array."""
+        return np.asarray(self.features, dtype=float)
+
+
+@dataclass
+class Batch:
+    """A batch of items arriving at a single (wall-clock) time point."""
+
+    time: float
+    items: list[Any] = field(default_factory=list)
+    mode: str = "normal"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    @staticmethod
+    def feature_matrix(items: Sequence[LabeledItem]) -> np.ndarray:
+        """Stack the features of labeled items into an ``(n, d)`` matrix."""
+        if not items:
+            return np.empty((0, 0))
+        return np.vstack([item.feature_array() for item in items])
+
+    @staticmethod
+    def label_array(items: Sequence[LabeledItem]) -> np.ndarray:
+        """Collect the labels of labeled items into an array."""
+        return np.asarray([item.label for item in items])

@@ -1,0 +1,101 @@
+"""Temporal mode patterns: when the data-generating process is "normal" vs "abnormal".
+
+Section 6.2 of the paper drives its classification and regression streams
+with two kinds of change patterns (time is measured in batches after a
+warm-up period):
+
+* **Single event** — normal mode up to ``t = 10``, abnormal during
+  ``10 <= t < 20``, then normal again (:class:`SingleEventPattern`).
+* **Periodic(delta, eta)** — ``delta`` normal batches alternating with
+  ``eta`` abnormal batches (:class:`PeriodicPattern`), e.g. ``P(10, 10)``,
+  ``P(20, 10)``, ``P(30, 10)``.
+
+Patterns are queried with the batch index *after warm-up*; indices less than
+or equal to zero (the warm-up itself) are always normal.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Mode", "ModePattern", "ConstantPattern", "SingleEventPattern", "PeriodicPattern"]
+
+
+class Mode(str, Enum):
+    """Data-generation mode."""
+
+    NORMAL = "normal"
+    ABNORMAL = "abnormal"
+
+
+class ModePattern:
+    """Maps a post-warm-up batch index to a :class:`Mode`."""
+
+    def mode_at(self, batch_index: int) -> Mode:
+        """Mode of the batch with the given index (1-based after warm-up)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable name used in experiment reports."""
+        return type(self).__name__
+
+
+class ConstantPattern(ModePattern):
+    """Always the same mode (used for warm-up-only streams and sanity checks)."""
+
+    def __init__(self, mode: Mode = Mode.NORMAL) -> None:
+        self.mode = Mode(mode)
+
+    def mode_at(self, batch_index: int) -> Mode:
+        return self.mode
+
+    def describe(self) -> str:
+        return f"Constant({self.mode.value})"
+
+
+class SingleEventPattern(ModePattern):
+    """Abnormal during ``[start, end)``, normal otherwise (Figure 10(a))."""
+
+    def __init__(self, start: int = 10, end: int = 20) -> None:
+        if end < start:
+            raise ValueError(f"end must be >= start, got [{start}, {end})")
+        self.start = int(start)
+        self.end = int(end)
+
+    def mode_at(self, batch_index: int) -> Mode:
+        if batch_index <= 0:
+            return Mode.NORMAL
+        if self.start <= batch_index < self.end:
+            return Mode.ABNORMAL
+        return Mode.NORMAL
+
+    def describe(self) -> str:
+        return f"SingleEvent[{self.start},{self.end})"
+
+
+class PeriodicPattern(ModePattern):
+    """``Periodic(delta, eta)``: ``delta`` normal batches then ``eta`` abnormal, repeating.
+
+    Matches the paper's convention where, e.g., ``Periodic(10, 10)`` starts
+    with 10 normal batches (indices 1..10) followed by 10 abnormal batches
+    (indices 11..20), and so on.
+    """
+
+    def __init__(self, normal_length: int, abnormal_length: int) -> None:
+        if normal_length <= 0 or abnormal_length <= 0:
+            raise ValueError(
+                "normal_length and abnormal_length must be positive, got "
+                f"({normal_length}, {abnormal_length})"
+            )
+        self.normal_length = int(normal_length)
+        self.abnormal_length = int(abnormal_length)
+
+    def mode_at(self, batch_index: int) -> Mode:
+        if batch_index <= 0:
+            return Mode.NORMAL
+        period = self.normal_length + self.abnormal_length
+        position = (batch_index - 1) % period
+        return Mode.NORMAL if position < self.normal_length else Mode.ABNORMAL
+
+    def describe(self) -> str:
+        return f"Periodic({self.normal_length},{self.abnormal_length})"

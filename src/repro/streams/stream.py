@@ -1,0 +1,96 @@
+"""The :class:`BatchStream` combinator: batch sizes + mode pattern + item generator.
+
+Every quality experiment in the paper follows the same recipe: warm the
+sample up with 100 normal-mode batches, then stream batches whose sizes come
+from a batch-size process and whose generation mode comes from a temporal
+pattern. :class:`BatchStream` packages that recipe so experiments and
+examples can iterate over ``Batch`` objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from repro.core.random_utils import ensure_rng
+from repro.streams.batch_sizes import BatchSizeProcess, DeterministicBatchSize
+from repro.streams.items import Batch, LabeledItem
+from repro.streams.patterns import ConstantPattern, Mode, ModePattern
+
+__all__ = ["ItemGenerator", "BatchStream"]
+
+
+class ItemGenerator(Protocol):
+    """Anything that can generate a batch of labeled items for a given mode."""
+
+    def generate_batch(
+        self, size: int, mode: Mode | str = Mode.NORMAL, batch_index: int = 0
+    ) -> list[LabeledItem]:
+        """Generate ``size`` items under ``mode``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class BatchStream:
+    """Iterable stream of :class:`~repro.streams.items.Batch` objects.
+
+    Parameters
+    ----------
+    generator:
+        The item generator (Gaussian mixture, regression, ...).
+    pattern:
+        Temporal mode pattern applied *after* warm-up; warm-up batches are
+        always normal.
+    batch_sizes:
+        Batch-size process (defaults to the paper's constant 100).
+    warmup_batches:
+        Number of normal-mode warm-up batches emitted before the pattern
+        starts (paper: 100).
+    num_batches:
+        Number of post-warm-up batches to emit.
+    """
+
+    def __init__(
+        self,
+        generator: ItemGenerator,
+        pattern: ModePattern | None = None,
+        batch_sizes: BatchSizeProcess | None = None,
+        warmup_batches: int = 100,
+        num_batches: int = 30,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if warmup_batches < 0:
+            raise ValueError(f"warmup_batches must be non-negative, got {warmup_batches}")
+        if num_batches < 0:
+            raise ValueError(f"num_batches must be non-negative, got {num_batches}")
+        self.generator = generator
+        self.pattern = pattern if pattern is not None else ConstantPattern(Mode.NORMAL)
+        self.batch_sizes = batch_sizes if batch_sizes is not None else DeterministicBatchSize(100)
+        self.warmup_batches = int(warmup_batches)
+        self.num_batches = int(num_batches)
+        self._rng = ensure_rng(rng)
+
+    def __len__(self) -> int:
+        return self.warmup_batches + self.num_batches
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self.batches()
+
+    def batches(self) -> Iterator[Batch]:
+        """Yield warm-up batches followed by pattern-driven batches.
+
+        The batch's ``time`` is its overall 1-based index; its ``mode`` label
+        records which mode generated it so experiments can annotate results.
+        """
+        overall_index = 0
+        for _ in range(self.warmup_batches):
+            overall_index += 1
+            size = self.batch_sizes.size(overall_index, self._rng)
+            items = self.generator.generate_batch(size, Mode.NORMAL, batch_index=overall_index)
+            yield Batch(time=float(overall_index), items=items, mode=Mode.NORMAL.value)
+        for post_index in range(1, self.num_batches + 1):
+            overall_index += 1
+            size = self.batch_sizes.size(overall_index, self._rng)
+            mode = self.pattern.mode_at(post_index)
+            items = self.generator.generate_batch(size, mode, batch_index=overall_index)
+            yield Batch(time=float(overall_index), items=items, mode=mode.value)

@@ -1,0 +1,110 @@
+"""Tests for the closed-form analysis helpers (Theorem 3.1, Theorem 4.2, Remark 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import analysis
+
+
+class TestTTBSExpectedSize:
+    def test_starts_at_initial_size(self):
+        assert analysis.ttbs_expected_size(100, 0.1, 0, initial_size=7) == 7
+
+    def test_converges_to_target(self):
+        assert analysis.ttbs_expected_size(100, 0.1, 10_000, initial_size=0) == pytest.approx(100)
+
+    def test_constant_when_started_at_target(self):
+        for t in range(5):
+            assert analysis.ttbs_expected_size(50, 0.3, t, initial_size=50) == pytest.approx(50)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.ttbs_expected_size(10, 0.1, -1)
+
+
+class TestDeviationExponents:
+    def test_nu_plus_positive_for_large_epsilon(self):
+        assert analysis.nu_plus(1.0, 1.0) > 0
+
+    def test_nu_plus_increasing_in_epsilon(self):
+        values = [analysis.nu_plus(eps, 1.0) for eps in (0.5, 1.0, 2.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_nu_minus_range(self):
+        # nu^- increases from r - 1 - ln r to r as epsilon goes from 0 to 1.
+        r = 2.0
+        low = analysis.nu_minus(1e-9, r)
+        high = analysis.nu_minus(1 - 1e-9, r)
+        assert low == pytest.approx(r - 1 - math.log(r), abs=1e-6)
+        assert high == pytest.approx(r, abs=1e-6)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.nu_plus(0.0, 1.0)
+        with pytest.raises(ValueError):
+            analysis.nu_minus(1.0, 1.0)
+
+    def test_invalid_support_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.nu_plus(0.5, 0.5)
+
+    def test_deviation_bounds_shrink_with_n(self):
+        small = analysis.ttbs_upper_deviation_bound(100, 0.5, 1.0)
+        large = analysis.ttbs_upper_deviation_bound(1000, 0.5, 1.0)
+        assert large < small < 1.0
+        assert analysis.ttbs_lower_deviation_bound(1000, 0.5, 1.0) < 1.0
+
+
+class TestBTBSEquilibrium:
+    def test_matches_formula(self):
+        assert analysis.btbs_equilibrium_size(100, 0.1) == pytest.approx(
+            100 / (1 - math.exp(-0.1))
+        )
+
+    def test_zero_decay_is_infinite(self):
+        assert analysis.btbs_equilibrium_size(10, 0.0) == math.inf
+
+
+class TestRTBSFormulas:
+    def test_total_weight_geometric_sum(self):
+        # Constant batches: W_t = b (p + p^2 + ... ) form, computed directly.
+        sizes = [10] * 5
+        lambda_ = 0.2
+        p = math.exp(-lambda_)
+        expected = sum(10 * p ** (5 - j) for j in range(1, 6))
+        assert analysis.rtbs_total_weight(sizes, lambda_) == pytest.approx(expected)
+
+    def test_expected_size_is_capped_at_n(self):
+        assert analysis.rtbs_expected_size([1000] * 50, 0.05, 100) == 100
+
+    def test_appearance_probability_sums_to_expected_size(self):
+        sizes = [5, 10, 0, 20, 8]
+        lambda_, n = 0.3, 12
+        total = sum(
+            sizes[batch - 1]
+            * analysis.rtbs_appearance_probability(sizes, lambda_, n, batch)
+            for batch in range(1, len(sizes) + 1)
+        )
+        assert total == pytest.approx(analysis.rtbs_expected_size(sizes, lambda_, n))
+
+    def test_appearance_probability_ratio_matches_criterion(self):
+        sizes = [10] * 6
+        lambda_, n = 0.4, 3
+        older = analysis.rtbs_appearance_probability(sizes, lambda_, n, 2)
+        newer = analysis.rtbs_appearance_probability(sizes, lambda_, n, 5)
+        assert older / newer == pytest.approx(math.exp(-lambda_ * 3))
+
+    def test_appearance_probability_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            analysis.rtbs_appearance_probability([5, 5], 0.1, 3, 0)
+
+    def test_relative_appearance_ratio(self):
+        assert analysis.relative_appearance_ratio(0.2, 5) == pytest.approx(math.exp(-1.0))
+        with pytest.raises(ValueError):
+            analysis.relative_appearance_ratio(0.2, -1)
+
+    def test_zero_weight_probability_is_zero(self):
+        assert analysis.rtbs_appearance_probability([0, 0], 0.1, 5, 1) == 0.0

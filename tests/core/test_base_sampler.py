@@ -1,0 +1,90 @@
+"""Tests for the shared Sampler base-class behaviour (time bookkeeping, history)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.core.base import Sampler, SamplerState
+
+
+class _KeepEverything(Sampler):
+    """Minimal sampler used to exercise the base-class machinery."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._items: list[Any] = []
+        self.elapsed_values: list[float] = []
+
+    def sample_items(self) -> list[Any]:
+        return list(self._items)
+
+    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+        self.elapsed_values.append(elapsed)
+        self._items.extend(items)
+
+
+class TestTimeBookkeeping:
+    def test_default_times_are_integers(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1])
+        sampler.process_batch([2])
+        assert sampler.time == 2.0
+        assert sampler.batches_seen == 2
+
+    def test_first_batch_elapsed_is_one(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1], time=10.0)
+        assert sampler.elapsed_values == [1.0]
+
+    def test_elapsed_reflects_gaps(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1], time=1.0)
+        sampler.process_batch([2], time=4.5)
+        assert sampler.elapsed_values[-1] == pytest.approx(3.5)
+
+    def test_non_increasing_time_rejected(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1], time=5.0)
+        with pytest.raises(ValueError):
+            sampler.process_batch([2], time=4.0)
+
+    def test_len_matches_sample(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1, 2, 3])
+        assert len(sampler) == 3
+
+
+class TestHistory:
+    def test_history_disabled_by_default(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1])
+        assert sampler.history == []
+
+    def test_history_records_states(self):
+        sampler = _KeepEverything(record_history=True)
+        sampler.process_batch([1, 2])
+        sampler.process_batch([3])
+        assert len(sampler.history) == 2
+        state = sampler.history[-1]
+        assert isinstance(state, SamplerState)
+        assert state.sample_size == 3
+        assert state.time == 2.0
+
+    def test_expected_size_defaults_to_realized_size(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1, 2, 3, 4])
+        assert sampler.expected_sample_size == 4.0
+
+    def test_total_weight_defaults_to_nan(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1])
+        assert sampler.total_weight != sampler.total_weight  # NaN
+
+    def test_abstract_methods_raise(self):
+        base = Sampler()
+        with pytest.raises(NotImplementedError):
+            base.sample_items()
+        with pytest.raises(NotImplementedError):
+            base.process_batch([1])

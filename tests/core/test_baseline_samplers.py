@@ -1,0 +1,215 @@
+"""Tests for the baseline samplers: B-TBS, B-RS, sliding windows, Unif, A-Res."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import btbs_equilibrium_size
+from repro.core.ares import AResSampler
+from repro.core.brs import BatchedReservoir
+from repro.core.btbs import BTBS
+from repro.core.sliding_window import SlidingWindow, TimeBasedSlidingWindow
+from repro.core.uniform import UniformReservoir
+from tests.conftest import empirical_inclusion_by_batch, make_batches
+
+
+class TestBTBS:
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ValueError):
+            BTBS(lambda_=-1.0)
+
+    def test_all_arriving_items_accepted(self, rng):
+        sampler = BTBS(lambda_=0.5, rng=rng)
+        sample = sampler.process_batch(list(range(10)))
+        assert set(range(10)) <= set(sample)
+
+    def test_appearance_probability_decays_exponentially(self):
+        trials, num_batches, batch_size, lambda_ = 800, 8, 25, 0.4
+        samples = []
+        for trial in range(trials):
+            sampler = BTBS(lambda_=lambda_, rng=trial)
+            for batch in make_batches(num_batches, batch_size):
+                sampler.process_batch(batch)
+            samples.append(sampler.sample_items())
+        empirical = empirical_inclusion_by_batch(samples, num_batches, batch_size)
+        for batch_index in range(1, num_batches + 1):
+            theory = math.exp(-lambda_ * (num_batches - batch_index))
+            assert empirical[batch_index - 1] == pytest.approx(theory, abs=0.05)
+
+    def test_equilibrium_size(self):
+        lambda_, batch_size = 0.1, 50
+        sampler = BTBS(lambda_=lambda_, rng=5)
+        sizes = []
+        for batch in make_batches(400, batch_size):
+            sizes.append(len(sampler.process_batch(batch)))
+        steady = np.mean(sizes[200:])
+        assert steady == pytest.approx(btbs_equilibrium_size(batch_size, lambda_), rel=0.1)
+        assert sampler.equilibrium_size(batch_size) == btbs_equilibrium_size(batch_size, lambda_)
+
+    def test_zero_decay_equilibrium_is_infinite(self):
+        assert BTBS(lambda_=0.0).equilibrium_size(10) == math.inf
+
+    def test_negative_mean_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            BTBS(lambda_=0.1).equilibrium_size(-1)
+
+
+class TestBatchedReservoir:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BatchedReservoir(n=0)
+
+    def test_rejects_oversized_initial_sample(self):
+        with pytest.raises(ValueError):
+            BatchedReservoir(n=1, initial_items=[1, 2])
+
+    def test_size_is_min_of_capacity_and_items_seen(self, rng):
+        sampler = BatchedReservoir(n=20, rng=rng)
+        sampler.process_batch(list(range(5)))
+        assert len(sampler) == 5
+        sampler.process_batch(list(range(5, 50)))
+        assert len(sampler) == 20
+        assert sampler.items_seen == 50
+        assert sampler.total_weight == 50.0
+
+    def test_uniform_inclusion_across_batches(self):
+        # With no time bias, all items seen so far are equally likely to be
+        # in the sample regardless of their arrival batch.
+        trials, num_batches, batch_size, n = 800, 6, 20, 30
+        samples = []
+        for trial in range(trials):
+            sampler = BatchedReservoir(n=n, rng=trial)
+            for batch in make_batches(num_batches, batch_size):
+                sampler.process_batch(batch)
+            samples.append(sampler.sample_items())
+        empirical = empirical_inclusion_by_batch(samples, num_batches, batch_size)
+        expected = n / (num_batches * batch_size)
+        for value in empirical:
+            assert value == pytest.approx(expected, abs=0.04)
+
+    def test_no_duplicates(self, rng):
+        sampler = BatchedReservoir(n=15, rng=rng)
+        for batch in make_batches(30, 10):
+            sample = sampler.process_batch(batch)
+            assert len(sample) == len(set(sample))
+
+    def test_empty_batch_is_noop(self, rng):
+        sampler = BatchedReservoir(n=5, rng=rng)
+        sampler.process_batch(list(range(10)))
+        before = sorted(sampler.sample_items())
+        sampler.process_batch([])
+        assert sorted(sampler.sample_items()) == before
+
+
+class TestSlidingWindow:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(n=0)
+
+    def test_keeps_most_recent_items(self, rng):
+        window = SlidingWindow(n=5, rng=rng)
+        window.process_batch([1, 2, 3])
+        window.process_batch([4, 5, 6, 7])
+        assert window.sample_items() == [3, 4, 5, 6, 7]
+
+    def test_never_exceeds_capacity(self, rng):
+        window = SlidingWindow(n=10, rng=rng)
+        for batch in make_batches(20, 7):
+            assert len(window.process_batch(batch)) <= 10
+
+    def test_old_items_completely_forgotten(self, rng):
+        window = SlidingWindow(n=3, rng=rng)
+        window.process_batch(["old1", "old2", "old3"])
+        window.process_batch(["new1", "new2", "new3"])
+        assert all(not str(item).startswith("old") for item in window.sample_items())
+
+
+class TestTimeBasedSlidingWindow:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TimeBasedSlidingWindow(window=0)
+
+    def test_expires_items_by_age(self, rng):
+        window = TimeBasedSlidingWindow(window=2.0, rng=rng)
+        window.process_batch(["a"], time=1.0)
+        window.process_batch(["b"], time=2.0)
+        window.process_batch(["c"], time=3.5)
+        # Item "a" (age 2.5) is expired; "b" (age 1.5) and "c" remain.
+        assert window.sample_items() == ["b", "c"]
+
+    def test_unbounded_growth_within_window(self, rng):
+        # Unlike the count-based window, memory is unbounded for fast streams.
+        window = TimeBasedSlidingWindow(window=10.0, rng=rng)
+        for batch in make_batches(5, 100):
+            window.process_batch(batch)
+        assert len(window) == 500
+
+
+class TestUniformReservoir:
+    def test_add_single_items(self, rng):
+        reservoir = UniformReservoir(n=10, rng=rng)
+        for value in range(100):
+            reservoir.add(value)
+        assert len(reservoir) == 10
+        assert reservoir.inclusion_probability() == pytest.approx(0.1)
+
+    def test_inclusion_probability_empty(self, rng):
+        assert UniformReservoir(n=10, rng=rng).inclusion_probability() == 0.0
+
+    def test_single_item_uniformity(self):
+        counts = np.zeros(20)
+        for trial in range(3000):
+            reservoir = UniformReservoir(n=5, rng=trial)
+            for value in range(20):
+                reservoir.add(value)
+            for value in reservoir.sample_items():
+                counts[value] += 1
+        proportions = counts / 3000
+        assert np.allclose(proportions, 0.25, atol=0.05)
+
+
+class TestAResSampler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AResSampler(n=0, lambda_=0.1)
+        with pytest.raises(ValueError):
+            AResSampler(n=10, lambda_=-0.1)
+
+    def test_bounded_size(self, rng):
+        sampler = AResSampler(n=12, lambda_=0.2, rng=rng)
+        for batch in make_batches(50, 10):
+            assert len(sampler.process_batch(batch)) <= 12
+
+    def test_recency_bias(self):
+        # With strong decay, recent batches dominate the sample.
+        counts_recent, counts_old = 0, 0
+        for trial in range(200):
+            sampler = AResSampler(n=20, lambda_=1.0, rng=trial)
+            for batch in make_batches(10, 20):
+                sampler.process_batch(batch)
+            for batch_index, _ in sampler.sample_items():
+                if batch_index >= 9:
+                    counts_recent += 1
+                elif batch_index <= 2:
+                    counts_old += 1
+        assert counts_recent > 10 * counts_old
+
+    def test_landmark_renormalization_keeps_running(self, rng):
+        # A long stream with a large decay rate forces the forward-decay
+        # landmark to shift; the sampler must keep functioning.
+        sampler = AResSampler(n=5, lambda_=2.0, rng=rng)
+        for batch_index in range(1, 400):
+            sampler.process_batch([(batch_index, i) for i in range(3)])
+        assert len(sampler) == 5
+        newest = max(batch_index for batch_index, _ in sampler.sample_items())
+        assert newest >= 395
+
+    def test_empty_batches_are_noops(self, rng):
+        sampler = AResSampler(n=5, lambda_=0.5, rng=rng)
+        sampler.process_batch(list(range(10)))
+        before = sorted(sampler.sample_items())
+        sampler.process_batch([])
+        assert sorted(sampler.sample_items()) == before

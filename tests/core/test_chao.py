@@ -1,0 +1,109 @@
+"""Tests for B-Chao (Appendix D) including its documented criterion-(1) violations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.chao import BatchedChao
+from repro.core.rtbs import RTBS
+from tests.conftest import empirical_inclusion_by_batch, make_batches
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BatchedChao(n=0, lambda_=0.1)
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ValueError):
+            BatchedChao(n=5, lambda_=-0.1)
+
+    def test_rejects_oversized_initial_sample(self):
+        with pytest.raises(ValueError):
+            BatchedChao(n=1, lambda_=0.1, initial_items=[1, 2])
+
+
+class TestSizeBehaviour:
+    def test_sample_never_exceeds_capacity(self, rng):
+        sampler = BatchedChao(n=25, lambda_=0.2, rng=rng)
+        for batch in make_batches(80, 9):
+            assert len(sampler.process_batch(batch)) <= 25
+
+    def test_sample_size_never_shrinks_once_full(self, rng):
+        # Unlike R-TBS, B-Chao keeps the sample at exactly n even when the
+        # stream dries up — the root cause of its overweight-item bias.
+        sampler = BatchedChao(n=20, lambda_=0.5, rng=rng)
+        for batch in make_batches(10, 10):
+            sampler.process_batch(batch)
+        assert len(sampler) == 20
+        for _ in range(20):
+            sampler.process_batch([])
+            assert len(sampler) == 20
+
+    def test_fill_up_accepts_everything(self, rng):
+        sampler = BatchedChao(n=100, lambda_=0.5, rng=rng)
+        sampler.process_batch(list(range(30)))
+        assert len(sampler) == 30
+        sampler.process_batch(list(range(30, 60)))
+        assert len(sampler) == 60
+
+    def test_no_duplicates(self, rng):
+        sampler = BatchedChao(n=15, lambda_=0.3, rng=rng)
+        for batch in make_batches(60, 6):
+            sample = sampler.process_batch(batch)
+            assert len(sample) == len(set(sample))
+
+
+class TestOverweightItems:
+    def test_slow_arrivals_create_overweight_items(self, rng):
+        # High decay rate + tiny batches relative to n: new arrivals are
+        # overweight (target inclusion probability n w / W > 1).
+        sampler = BatchedChao(n=50, lambda_=1.0, rng=rng)
+        sampler.process_batch(list(range(50)))  # fill up
+        for batch_index in range(1, 30):
+            sampler.process_batch([(batch_index, 0)])
+        assert len(sampler.overweight_items) > 0
+
+    def test_fast_arrivals_have_no_overweight_items(self, rng):
+        sampler = BatchedChao(n=20, lambda_=0.05, rng=rng)
+        for batch in make_batches(30, 100):
+            sampler.process_batch(batch)
+        assert sampler.overweight_items == []
+
+    def test_total_weight_positive(self, rng):
+        sampler = BatchedChao(n=10, lambda_=0.2, rng=rng)
+        for batch in make_batches(20, 5):
+            sampler.process_batch(batch)
+        assert sampler.total_weight > 0
+
+
+class TestBiasComparedToRTBS:
+    def test_chao_overrepresents_old_items_during_fill_up(self):
+        """Appendix D: during fill-up B-Chao violates criterion (1), R-TBS does not.
+
+        Stream: 10 batches of 5 items with n=40 and a strong decay rate, so the
+        reservoir is still filling. Under criterion (1) the oldest batch should
+        appear far less often than the newest; B-Chao instead keeps everything.
+        """
+        trials, num_batches, batch_size, n, lambda_ = 300, 8, 5, 40, 0.5
+        chao_samples, rtbs_samples = [], []
+        for trial in range(trials):
+            chao = BatchedChao(n=n, lambda_=lambda_, rng=trial)
+            rtbs = RTBS(n=n, lambda_=lambda_, rng=trial + 10_000)
+            for batch in make_batches(num_batches, batch_size):
+                chao.process_batch(batch)
+                rtbs.process_batch(batch)
+            chao_samples.append(chao.sample_items())
+            rtbs_samples.append(rtbs.sample_items())
+        chao_incl = empirical_inclusion_by_batch(chao_samples, num_batches, batch_size)
+        rtbs_incl = empirical_inclusion_by_batch(rtbs_samples, num_batches, batch_size)
+        target_ratio = math.exp(-lambda_ * (num_batches - 1))
+        chao_ratio = chao_incl[0] / chao_incl[-1]
+        rtbs_ratio = rtbs_incl[0] / rtbs_incl[-1]
+        # R-TBS respects the exponential ratio; B-Chao keeps old items with
+        # probability ~1 during fill-up, so its ratio is far too large.
+        assert rtbs_ratio == pytest.approx(target_ratio, abs=0.1)
+        assert chao_ratio > 5 * target_ratio

@@ -1,0 +1,113 @@
+"""Unit tests for decay functions and decay-rate calibration helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    appearance_ratio,
+    lambda_for_retention,
+    lambda_for_survival,
+)
+
+
+class TestExponentialDecay:
+    def test_factor_at_one_unit(self):
+        decay = ExponentialDecay(0.1)
+        assert decay.factor(1.0) == pytest.approx(math.exp(-0.1))
+
+    def test_factor_is_multiplicative_over_time(self):
+        decay = ExponentialDecay(0.3)
+        assert decay.factor(2.0) == pytest.approx(decay.factor(1.0) ** 2)
+
+    def test_zero_rate_means_no_decay(self):
+        decay = ExponentialDecay(0.0)
+        assert decay.factor(100.0) == 1.0
+        assert decay.half_life() == math.inf
+
+    def test_half_life(self):
+        decay = ExponentialDecay(0.07)
+        assert decay.factor(decay.half_life()) == pytest.approx(0.5)
+
+    def test_retention_probability(self):
+        assert ExponentialDecay(0.2).retention_probability == pytest.approx(math.exp(-0.2))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(-0.1)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(0.1).factor(-1.0)
+
+    def test_weight_at_age_matches_factor(self):
+        decay = ExponentialDecay(0.5)
+        assert decay.weight_at_age(3.0) == decay.factor(3.0)
+
+
+class TestLambdaForRetention:
+    def test_paper_example(self):
+        # "by setting lambda = 0.058, around 10% of the data items from 40
+        # batches ago are included" (Section 1).
+        assert lambda_for_retention(0.1, 40) == pytest.approx(0.0576, abs=1e-3)
+
+    def test_round_trip(self):
+        lam = lambda_for_retention(0.25, 12)
+        assert math.exp(-lam * 12) == pytest.approx(0.25)
+
+    def test_full_retention_gives_zero(self):
+        assert lambda_for_retention(1.0, 10) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_invalid_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            lambda_for_retention(fraction, 10)
+
+    def test_invalid_age_rejected(self):
+        with pytest.raises(ValueError):
+            lambda_for_retention(0.5, 0)
+
+
+class TestLambdaForSurvival:
+    def test_paper_example(self):
+        # n=1000 items, k=150 batches ago, survival probability q=0.01
+        # gives lambda ~= 0.077 (Section 1).
+        assert lambda_for_survival(1000, 150, 0.01) == pytest.approx(0.077, abs=2e-3)
+
+    def test_round_trip(self):
+        num_items, age, probability = 50, 30, 0.2
+        lam = lambda_for_survival(num_items, age, probability)
+        item_survival = math.exp(-lam * age)
+        at_least_one = 1.0 - (1.0 - item_survival) ** num_items
+        assert at_least_one == pytest.approx(probability, rel=1e-6)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_num_items_rejected(self, bad):
+        with pytest.raises(ValueError):
+            lambda_for_survival(bad, 10, 0.1)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0])
+    def test_invalid_probability_rejected(self, bad):
+        with pytest.raises(ValueError):
+            lambda_for_survival(10, 10, bad)
+
+
+class TestAppearanceRatio:
+    def test_matches_criterion(self):
+        assert appearance_ratio(0.1, older_time=3.0, newer_time=7.0) == pytest.approx(
+            math.exp(-0.4)
+        )
+
+    def test_equal_times_give_one(self):
+        assert appearance_ratio(0.5, 4.0, 4.0) == 1.0
+
+    def test_wrong_order_rejected(self):
+        with pytest.raises(ValueError):
+            appearance_ratio(0.5, 5.0, 4.0)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            appearance_ratio(-0.5, 1.0, 2.0)

@@ -1,0 +1,158 @@
+"""Tests for latent (fractional) samples and Algorithm 3 downsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latent import LatentSample, downsample
+
+
+class TestLatentSampleBasics:
+    def test_empty(self):
+        latent = LatentSample.empty()
+        latent.check_invariants()
+        assert latent.weight == 0.0
+        assert latent.footprint == 0
+        assert latent.items() == []
+
+    def test_from_full_items(self):
+        latent = LatentSample.from_full_items(["a", "b", "c"])
+        latent.check_invariants()
+        assert latent.weight == 3.0
+        assert latent.fraction == 0.0
+        assert latent.footprint == 3
+
+    def test_fractional_footprint(self):
+        latent = LatentSample(full=["a", "b", "c"], partial=["d"], weight=3.6)
+        latent.check_invariants()
+        assert latent.footprint == 4
+        assert latent.fraction == pytest.approx(0.6)
+
+    def test_invariant_violation_missing_partial(self):
+        with pytest.raises(ValueError):
+            LatentSample(full=["a"], partial=[], weight=1.5).check_invariants()
+
+    def test_invariant_violation_wrong_full_count(self):
+        with pytest.raises(ValueError):
+            LatentSample(full=["a", "b"], partial=["c"], weight=1.5).check_invariants()
+
+    def test_invariant_violation_unexpected_partial(self):
+        with pytest.raises(ValueError):
+            LatentSample(full=["a", "b"], partial=["c"], weight=2.0).check_invariants()
+
+    def test_invariant_violation_two_partials(self):
+        with pytest.raises(ValueError):
+            LatentSample(full=[], partial=["a", "b"], weight=0.5).check_invariants()
+
+    def test_copy_is_independent(self):
+        latent = LatentSample(full=["a"], partial=["b"], weight=1.5)
+        clone = latent.copy()
+        clone.full.append("c")
+        assert latent.full == ["a"]
+
+
+class TestRealize:
+    def test_realized_size_distribution_matches_weight(self, rng):
+        # Equation (3): E[|S|] equals the sample weight C.
+        latent = LatentSample(full=["a", "b", "c"], partial=["d"], weight=3.6)
+        sizes = [len(latent.realize(rng)) for _ in range(20000)]
+        assert set(sizes) == {3, 4}
+        assert np.mean(sizes) == pytest.approx(3.6, abs=0.02)
+
+    def test_integral_weight_realizes_exactly(self, rng):
+        latent = LatentSample.from_full_items(list(range(5)))
+        for _ in range(10):
+            assert len(latent.realize(rng)) == 5
+
+    def test_full_items_always_present(self, rng):
+        latent = LatentSample(full=["a", "b"], partial=["c"], weight=2.2)
+        for _ in range(50):
+            realized = latent.realize(rng)
+            assert "a" in realized and "b" in realized
+
+
+class TestDownsampleValidation:
+    def test_rejects_non_positive_target(self, rng):
+        latent = LatentSample.from_full_items([1, 2, 3])
+        with pytest.raises(ValueError):
+            downsample(latent, 0.0, rng)
+
+    def test_rejects_target_larger_than_current(self, rng):
+        latent = LatentSample.from_full_items([1, 2, 3])
+        with pytest.raises(ValueError):
+            downsample(latent, 4.0, rng)
+
+    def test_target_equal_to_current_is_a_copy(self, rng):
+        latent = LatentSample.from_full_items([1, 2, 3])
+        result = downsample(latent, 3.0, rng)
+        assert sorted(result.full) == [1, 2, 3]
+
+    def test_output_invariants_hold(self, rng):
+        latent = LatentSample(full=list(range(7)), partial=[99], weight=7.4)
+        for target in (0.3, 1.0, 2.5, 6.9, 7.2):
+            result = downsample(latent, target, rng)
+            result.check_invariants()
+            assert result.weight == pytest.approx(target)
+
+    def test_items_come_from_input(self, rng):
+        latent = LatentSample(full=list(range(10)), partial=[42], weight=10.5)
+        result = downsample(latent, 4.7, rng)
+        assert set(result.items()) <= set(latent.items())
+
+
+class TestDownsampleScaling:
+    """Theorem 4.1: Pr[i in S'] = (C'/C) Pr[i in S] for every item."""
+
+    @staticmethod
+    def _empirical_probabilities(latent, target, trials, seed):
+        rng = np.random.default_rng(seed)
+        counts: dict[object, int] = {item: 0 for item in latent.items()}
+        for _ in range(trials):
+            realized = downsample(latent, target, rng).realize(rng)
+            for item in realized:
+                counts[item] += 1
+        return {item: count / trials for item, count in counts.items()}
+
+    def test_full_items_scale_from_integral_weight(self):
+        # Figure 4(a): from C=3 (all full) to C'=1.5 every item should appear
+        # with probability 1 * (1.5/3) = 0.5.
+        latent = LatentSample.from_full_items(["a", "b", "c"])
+        probabilities = self._empirical_probabilities(latent, 1.5, 20000, seed=1)
+        for item in "abc":
+            assert probabilities[item] == pytest.approx(0.5, abs=0.02)
+
+    def test_partial_item_scales(self):
+        # Figure 4(b): from C=3.2 to C'=1.6 the partial item d (p=0.2) should
+        # appear with probability 0.1 and the full items with probability 0.5.
+        latent = LatentSample(full=["a", "b", "c"], partial=["d"], weight=3.2)
+        probabilities = self._empirical_probabilities(latent, 1.6, 30000, seed=2)
+        assert probabilities["d"] == pytest.approx(0.1, abs=0.01)
+        for item in "abc":
+            assert probabilities[item] == pytest.approx(0.5, abs=0.02)
+
+    def test_no_full_item_retained_case(self):
+        # Figure 4(c): from C=2.4 to C'=0.4; every item scales by 1/6.
+        latent = LatentSample(full=["a", "b"], partial=["c"], weight=2.4)
+        probabilities = self._empirical_probabilities(latent, 0.4, 30000, seed=3)
+        assert probabilities["a"] == pytest.approx(1.0 / 6.0, abs=0.02)
+        assert probabilities["b"] == pytest.approx(1.0 / 6.0, abs=0.02)
+        assert probabilities["c"] == pytest.approx(0.4 * (0.4 / 2.4), abs=0.01)
+
+    def test_no_item_deleted_case(self):
+        # Figure 4(d): from C=2.4 to C'=2.1; full items scale to 2.1/2.4 and
+        # the partial item to 0.4 * (2.1/2.4) = 0.35.
+        latent = LatentSample(full=["a", "b"], partial=["c"], weight=2.4)
+        probabilities = self._empirical_probabilities(latent, 2.1, 30000, seed=4)
+        assert probabilities["a"] == pytest.approx(2.1 / 2.4, abs=0.02)
+        assert probabilities["b"] == pytest.approx(2.1 / 2.4, abs=0.02)
+        assert probabilities["c"] == pytest.approx(0.35, abs=0.02)
+
+    def test_downsample_to_integral_target(self):
+        # Downsampling to an integral target drops the partial item but must
+        # still scale every input item's probability by C'/C.
+        latent = LatentSample(full=["a", "b", "c", "d"], partial=["e"], weight=4.5)
+        probabilities = self._empirical_probabilities(latent, 2.0, 30000, seed=5)
+        for item in "abcd":
+            assert probabilities[item] == pytest.approx(2.0 / 4.5, abs=0.02)
+        assert probabilities["e"] == pytest.approx(0.5 * (2.0 / 4.5), abs=0.02)

@@ -1,0 +1,186 @@
+"""Unit tests for the shared random primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.random_utils import (
+    binomial,
+    choose_indices,
+    ensure_rng,
+    hypergeometric,
+    multivariate_hypergeometric,
+    sample_without_replacement,
+    spawn_rngs,
+    stochastic_round,
+)
+
+
+class TestEnsureRng:
+    def test_accepts_seed(self):
+        generator = ensure_rng(7)
+        assert isinstance(generator, np.random.Generator)
+
+    def test_passes_through_generator(self, rng):
+        assert ensure_rng(rng) is rng
+
+    def test_accepts_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert ensure_rng(3).random() == ensure_rng(3).random()
+
+
+class TestSpawnRngs:
+    def test_count(self, rng):
+        children = spawn_rngs(rng, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_objects(self, rng):
+        children = spawn_rngs(rng, 3)
+        values = {child.random() for child in children}
+        assert len(values) == 3
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            spawn_rngs(rng, -1)
+
+    def test_zero_count(self, rng):
+        assert spawn_rngs(rng, 0) == []
+
+
+class TestBinomial:
+    def test_zero_trials(self, rng):
+        assert binomial(rng, 0, 0.5) == 0
+
+    def test_probability_one(self, rng):
+        assert binomial(rng, 10, 1.0) == 10
+
+    def test_probability_zero(self, rng):
+        assert binomial(rng, 10, 0.0) == 0
+
+    def test_clamps_probability_above_one(self, rng):
+        assert binomial(rng, 10, 1.2) == 10
+
+    def test_negative_trials_rejected(self, rng):
+        with pytest.raises(ValueError):
+            binomial(rng, -1, 0.5)
+
+    def test_mean_is_approximately_np(self, rng):
+        draws = [binomial(rng, 100, 0.3) for _ in range(2000)]
+        assert abs(np.mean(draws) - 30.0) < 1.0
+
+
+class TestHypergeometric:
+    def test_zero_draws(self, rng):
+        assert hypergeometric(rng, 0, 5, 5) == 0
+
+    def test_no_good_items(self, rng):
+        assert hypergeometric(rng, 5, 0, 10) == 0
+
+    def test_all_good_items(self, rng):
+        assert hypergeometric(rng, 5, 10, 0) == 5
+
+    def test_draws_capped_at_population(self, rng):
+        value = hypergeometric(rng, 100, 3, 4)
+        assert value <= 3
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            hypergeometric(rng, -1, 5, 5)
+
+    def test_mean(self, rng):
+        draws = [hypergeometric(rng, 10, 50, 50) for _ in range(2000)]
+        assert abs(np.mean(draws) - 5.0) < 0.2
+
+
+class TestStochasticRound:
+    def test_integer_passthrough(self, rng):
+        assert stochastic_round(rng, 4.0) == 4
+
+    def test_zero(self, rng):
+        assert stochastic_round(rng, 0.0) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            stochastic_round(rng, -0.1)
+
+    def test_adjacent_integers_only(self, rng):
+        values = {stochastic_round(rng, 2.3) for _ in range(200)}
+        assert values <= {2, 3}
+
+    def test_mean_preserving(self, rng):
+        draws = [stochastic_round(rng, 2.3) for _ in range(20000)]
+        assert abs(np.mean(draws) - 2.3) < 0.02
+
+
+class TestSampleWithoutReplacement:
+    def test_empty_request(self, rng):
+        assert sample_without_replacement(rng, [1, 2, 3], 0) == []
+
+    def test_whole_population(self, rng):
+        assert sorted(sample_without_replacement(rng, [1, 2, 3], 3)) == [1, 2, 3]
+
+    def test_oversized_request_capped(self, rng):
+        assert len(sample_without_replacement(rng, [1, 2], 10)) == 2
+
+    def test_no_duplicates(self, rng):
+        sample = sample_without_replacement(rng, list(range(100)), 50)
+        assert len(sample) == len(set(sample)) == 50
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, [1], -1)
+
+    def test_uniformity(self, rng):
+        counts = np.zeros(5)
+        for _ in range(5000):
+            for value in sample_without_replacement(rng, list(range(5)), 2):
+                counts[value] += 1
+        proportions = counts / 5000
+        assert np.allclose(proportions, 0.4, atol=0.03)
+
+
+class TestChooseIndices:
+    def test_range_and_uniqueness(self, rng):
+        indices = choose_indices(rng, 20, 10)
+        assert len(set(indices.tolist())) == 10
+        assert indices.min() >= 0 and indices.max() < 20
+
+    def test_empty(self, rng):
+        assert choose_indices(rng, 10, 0).size == 0
+
+    def test_capped(self, rng):
+        assert choose_indices(rng, 3, 10).size == 3
+
+
+class TestMultivariateHypergeometric:
+    def test_totals(self, rng):
+        counts = multivariate_hypergeometric(rng, [10, 20, 30], 15)
+        assert sum(counts) == 15
+        assert all(c <= s for c, s in zip(counts, [10, 20, 30]))
+
+    def test_zero_draws(self, rng):
+        assert multivariate_hypergeometric(rng, [5, 5], 0) == [0, 0]
+
+    def test_draw_everything(self, rng):
+        assert multivariate_hypergeometric(rng, [3, 4], 7) == [3, 4]
+
+    def test_too_many_draws_rejected(self, rng):
+        with pytest.raises(ValueError):
+            multivariate_hypergeometric(rng, [2, 2], 5)
+
+    def test_negative_group_rejected(self, rng):
+        with pytest.raises(ValueError):
+            multivariate_hypergeometric(rng, [-1, 5], 2)
+
+    def test_empty_groups(self, rng):
+        assert multivariate_hypergeometric(rng, [], 0) == []
+
+    def test_proportional_allocation(self, rng):
+        totals = np.zeros(2)
+        for _ in range(2000):
+            totals += multivariate_hypergeometric(rng, [100, 300], 40)
+        proportions = totals / (2000 * 40)
+        assert np.allclose(proportions, [0.25, 0.75], atol=0.02)

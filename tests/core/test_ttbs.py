@@ -1,0 +1,126 @@
+"""Tests for T-TBS (Algorithm 1, Theorem 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import ttbs_expected_size, ttbs_stationary_variance
+from repro.core.ttbs import TTBS
+from tests.conftest import empirical_inclusion_by_batch, make_batches
+
+
+class TestConstruction:
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValueError):
+            TTBS(n=0, lambda_=0.1, mean_batch_size=10)
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ValueError):
+            TTBS(n=10, lambda_=-0.1, mean_batch_size=10)
+
+    def test_rejects_non_positive_mean_batch_size(self):
+        with pytest.raises(ValueError):
+            TTBS(n=10, lambda_=0.1, mean_batch_size=0)
+
+    def test_rejects_infeasible_configuration(self):
+        # b < n (1 - e^-lambda): items decay faster than they arrive.
+        with pytest.raises(ValueError):
+            TTBS(n=1000, lambda_=0.5, mean_batch_size=10)
+
+    def test_infeasible_allowed_when_not_enforced(self):
+        sampler = TTBS(n=1000, lambda_=0.5, mean_batch_size=10, enforce_feasibility=False)
+        assert sampler.acceptance_probability == 1.0
+
+    def test_acceptance_probability_formula(self):
+        n, lambda_, b = 200, 0.1, 100
+        sampler = TTBS(n=n, lambda_=lambda_, mean_batch_size=b)
+        assert sampler.acceptance_probability == pytest.approx(n * (1 - math.exp(-lambda_)) / b)
+
+
+class TestExpectedSize:
+    def test_expected_size_converges_to_target(self):
+        n, lambda_, b = 150, 0.1, 50
+        trials, batches = 300, 80
+        final_sizes = []
+        for trial in range(trials):
+            sampler = TTBS(n=n, lambda_=lambda_, mean_batch_size=b, rng=trial)
+            for batch in make_batches(batches, b):
+                sampler.process_batch(batch)
+            final_sizes.append(len(sampler))
+        assert np.mean(final_sizes) == pytest.approx(n, rel=0.05)
+
+    def test_theoretical_expected_size_helper(self):
+        sampler = TTBS(n=100, lambda_=0.2, mean_batch_size=50)
+        # E[C_t] = n + p^t (C_0 - n) with C_0 = 0.
+        assert sampler.theoretical_expected_size(0) == 0.0
+        assert sampler.theoretical_expected_size(5) == pytest.approx(
+            ttbs_expected_size(100, 0.2, 5, 0.0)
+        )
+        with pytest.raises(ValueError):
+            sampler.theoretical_expected_size(-1)
+
+    def test_variance_formula_is_positive_and_finite(self):
+        variance = ttbs_stationary_variance(1000, 0.1, 100, 50.0)
+        assert 0 < variance < 10_000
+
+    def test_sample_size_fluctuates_unlike_rtbs(self, rng):
+        sampler = TTBS(n=100, lambda_=0.1, mean_batch_size=100, rng=rng)
+        sizes = []
+        for batch in make_batches(200, 100):
+            sizes.append(len(sampler.process_batch(batch)))
+        # Theorem 3.1(i): every size is hit infinitely often, so the
+        # trajectory cannot be constant once near the target.
+        steady = sizes[50:]
+        assert len(set(steady)) > 5
+        assert max(steady) > 100 > min(steady)
+
+
+class TestAppearanceProbabilities:
+    def test_relative_criterion_holds(self):
+        # Pr[x in S_t] = q e^{-lambda (t - s)} for x arriving in batch s, so
+        # the ratio between consecutive batches is e^{-lambda}.
+        trials, num_batches, batch_size, n, lambda_ = 600, 10, 50, 100, 0.3
+        samples = []
+        for trial in range(trials):
+            sampler = TTBS(n=n, lambda_=lambda_, mean_batch_size=batch_size, rng=trial)
+            for batch in make_batches(num_batches, batch_size):
+                sampler.process_batch(batch)
+            samples.append(sampler.sample_items())
+        empirical = empirical_inclusion_by_batch(samples, num_batches, batch_size)
+        q = n * (1 - math.exp(-lambda_)) / batch_size
+        for batch_index in range(4, num_batches + 1):
+            theory = q * math.exp(-lambda_ * (num_batches - batch_index))
+            assert empirical[batch_index - 1] == pytest.approx(theory, abs=0.06)
+
+
+class TestBehaviour:
+    def test_no_duplicates_and_items_from_stream(self, rng):
+        sampler = TTBS(n=50, lambda_=0.2, mean_batch_size=20, rng=rng)
+        seen: set = set()
+        for batch in make_batches(60, 20):
+            seen.update(batch)
+            sample = sampler.process_batch(batch)
+            assert len(sample) == len(set(sample))
+            assert set(sample) <= seen
+
+    def test_overflows_when_batches_grow(self, rng):
+        # Figure 1(a): growing batches overflow T-TBS because the assumed
+        # mean batch size is stale.
+        sampler = TTBS(n=100, lambda_=0.05, mean_batch_size=20, rng=rng)
+        size = 20
+        for batch_index in range(1, 200):
+            sampler.process_batch([(batch_index, i) for i in range(int(size))])
+            if batch_index > 50:
+                size *= 1.05
+        assert len(sampler) > 150
+
+    def test_empty_batches_only_decay(self, rng):
+        sampler = TTBS(n=100, lambda_=0.3, mean_batch_size=50, rng=rng)
+        sampler.process_batch(list(range(100)))
+        before = len(sampler)
+        for _ in range(5):
+            sampler.process_batch([])
+        assert len(sampler) < before

@@ -1,0 +1,113 @@
+"""Tests for the cost model, simulated cluster, and distributed batch container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.batches import DistributedBatch
+from repro.distributed.cluster import SimulatedCluster
+from repro.distributed.costmodel import CostModel
+
+
+class TestCostModel:
+    def test_defaults_are_positive(self):
+        model = CostModel()
+        assert model.local(1) > 0
+        assert model.network(1) > model.local(1)
+        assert model.kv(1) > model.network(1)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            CostModel(local_item_cost=-1.0)
+
+    def test_linear_scaling(self):
+        model = CostModel(local_item_cost=2.0)
+        assert model.local(10) == 20.0
+        assert model.network(0) == 0.0
+        assert model.driver_slots(3) == 3 * model.driver_slot_cost
+        assert model.driver_counts(4) == 4 * model.driver_count_cost
+
+
+class TestSimulatedCluster:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(num_workers=0)
+
+    def test_stage_duration_uses_slowest_worker(self):
+        model = CostModel(stage_overhead=1.0, task_overhead=0.0)
+        cluster = SimulatedCluster(num_workers=3, cost_model=model)
+        record = cluster.run_stage("stage", worker_times=[1.0, 5.0, 2.0], driver_time=0.5)
+        assert record.duration == pytest.approx(1.0 + 0.5 + 5.0)
+        assert cluster.elapsed == record.duration
+
+    def test_scalar_worker_time_broadcast(self):
+        cluster = SimulatedCluster(num_workers=4)
+        record = cluster.run_stage("stage", worker_times=2.0)
+        assert record.worker_times == (2.0,) * 4
+
+    def test_wrong_worker_count_rejected(self):
+        cluster = SimulatedCluster(num_workers=2)
+        with pytest.raises(ValueError):
+            cluster.run_stage("stage", worker_times=[1.0, 2.0, 3.0])
+
+    def test_negative_times_rejected(self):
+        cluster = SimulatedCluster(num_workers=1)
+        with pytest.raises(ValueError):
+            cluster.run_stage("stage", worker_times=-1.0)
+
+    def test_elapsed_accumulates_and_resets(self):
+        cluster = SimulatedCluster(num_workers=1)
+        cluster.run_stage("a")
+        cluster.run_stage("b")
+        assert len(cluster.stages) == 2
+        assert cluster.elapsed > 0
+        cluster.reset_clock()
+        assert cluster.elapsed == 0.0
+        assert cluster.stages == []
+
+    def test_split_evenly(self):
+        cluster = SimulatedCluster(num_workers=4)
+        assert cluster.split_evenly(10) == [3, 3, 2, 2]
+        assert sum(cluster.split_evenly(7)) == 7
+        with pytest.raises(ValueError):
+            cluster.split_evenly(-1)
+
+
+class TestDistributedBatch:
+    def test_from_items_round_robin(self):
+        batch = DistributedBatch.from_items(list(range(7)), num_partitions=3)
+        assert batch.is_materialized
+        assert batch.partition_sizes == [3, 2, 2]
+        assert len(batch) == 7
+        assert sorted(batch.all_items()) == list(range(7))
+
+    def test_virtual_batch(self):
+        batch = DistributedBatch.virtual(10, num_partitions=4, batch_id=9)
+        assert not batch.is_materialized
+        assert sum(batch.partition_sizes) == 10
+        assert batch.item_at(0, 0) == (9, 0, 0)
+
+    def test_item_at_bounds(self):
+        batch = DistributedBatch.from_items([1, 2, 3], num_partitions=2)
+        with pytest.raises(IndexError):
+            batch.item_at(0, 5)
+
+    def test_sample_positions_unique_and_capped(self, rng):
+        batch = DistributedBatch.virtual(20, num_partitions=2)
+        positions = batch.sample_positions(0, 100, rng)
+        assert len(positions) == batch.partition_sizes[0]
+        assert len(set(positions)) == len(positions)
+
+    def test_mismatched_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedBatch(partition_sizes=[2], partitions=[[1]])
+        with pytest.raises(ValueError):
+            DistributedBatch(partition_sizes=[1, 1], partitions=[[1]])
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedBatch.virtual(-1, 2)
+        with pytest.raises(ValueError):
+            DistributedBatch.virtual(5, 0)
+        with pytest.raises(ValueError):
+            DistributedBatch.from_items([1], 0)

@@ -1,0 +1,86 @@
+"""Tests for the co-partitioned and key-value-store reservoir representations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.reservoirs import CoPartitionedReservoir, KeyValueStoreReservoir
+
+
+class TestCoPartitionedReservoir:
+    def test_rejects_bad_partition_count(self):
+        with pytest.raises(ValueError):
+            CoPartitionedReservoir(0)
+
+    def test_inserts_are_local(self):
+        reservoir = CoPartitionedReservoir(3)
+        reservoir.insert(["a", "b"], source_partition=1)
+        assert reservoir.partition_sizes() == [0, 2, 0]
+        assert reservoir.network_items == 0
+        assert reservoir.kv_operations == 0
+        assert reservoir.local_items == 2
+
+    def test_insert_bad_partition_rejected(self):
+        with pytest.raises(IndexError):
+            CoPartitionedReservoir(2).insert(["a"], source_partition=5)
+
+    def test_delete_from_partition(self, rng):
+        reservoir = CoPartitionedReservoir(2)
+        reservoir.insert(list(range(10)), source_partition=0)
+        removed = reservoir.delete_from_partition(0, 4, rng)
+        assert len(removed) == 4
+        assert reservoir.total_items() == 6
+        assert set(removed) <= set(range(10))
+        assert set(removed).isdisjoint(reservoir.all_items())
+
+    def test_delete_more_than_present(self, rng):
+        reservoir = CoPartitionedReservoir(1)
+        reservoir.insert([1, 2], source_partition=0)
+        removed = reservoir.delete_from_partition(0, 10, rng)
+        assert len(removed) == 2
+        assert reservoir.total_items() == 0
+
+    def test_delete_per_partition(self, rng):
+        reservoir = CoPartitionedReservoir(3)
+        for partition in range(3):
+            reservoir.insert(list(range(partition * 10, partition * 10 + 5)), partition)
+        removed = reservoir.delete_per_partition([1, 2, 3], rng)
+        assert len(removed) == 6
+        assert reservoir.partition_sizes() == [4, 3, 2]
+
+    def test_counter_reset(self, rng):
+        reservoir = CoPartitionedReservoir(1)
+        reservoir.insert([1, 2, 3], 0)
+        reservoir.reset_counters()
+        assert reservoir.local_items == 0
+        assert len(reservoir) == 3
+
+
+class TestKeyValueStoreReservoir:
+    def test_every_operation_is_a_kv_round_trip(self, rng):
+        reservoir = KeyValueStoreReservoir(4, rng=rng)
+        reservoir.insert(list(range(20)), source_partition=0)
+        assert reservoir.kv_operations == 20
+        assert reservoir.total_items() == 20
+        reservoir.delete_per_partition([1, 1, 1, 1], rng)
+        assert reservoir.kv_operations >= 20
+
+    def test_hash_placement_spreads_items(self, rng):
+        reservoir = KeyValueStoreReservoir(4, rng=0)
+        reservoir.insert(list(range(400)), source_partition=0)
+        sizes = reservoir.partition_sizes()
+        assert sum(sizes) == 400
+        assert all(size > 50 for size in sizes)
+
+    def test_network_traffic_for_non_colocated_inserts(self):
+        reservoir = KeyValueStoreReservoir(4, rng=1)
+        reservoir.insert(list(range(100)), source_partition=0)
+        # Roughly 3/4 of inserts land on a different partition than the source.
+        assert reservoir.network_items > 50
+
+    def test_items_preserved_across_operations(self, rng):
+        reservoir = KeyValueStoreReservoir(3, rng=2)
+        reservoir.insert(list(range(30)), source_partition=1)
+        removed = reservoir.delete_per_partition([2, 2, 2], rng)
+        assert len(removed) == 6
+        assert sorted(removed + reservoir.all_items()) == list(range(30))

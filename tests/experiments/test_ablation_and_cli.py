@@ -1,0 +1,64 @@
+"""Tests for the ablation experiments and the command-line runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import compare_sample_size_variability, measure_chao_bias
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestAblations:
+    def test_rtbs_variance_below_bernoulli(self):
+        result = compare_sample_size_variability(
+            lambda_=0.3, batch_size=8, num_batches=30, trials=120, rng=0
+        )
+        assert result.metrics["rtbs_mean_size"] == pytest.approx(
+            result.metrics["btbs_mean_size"], rel=0.1
+        )
+        assert result.metrics["rtbs_size_variance"] < result.metrics["btbs_size_variance"]
+        # Theorem 4.4: the R-TBS realized size only takes two adjacent values,
+        # so its variance is below 1/4 + noise.
+        assert result.metrics["rtbs_size_variance"] < 1.0
+
+    def test_chao_bias_exceeds_rtbs(self):
+        result = measure_chao_bias(trials=150, trickle_batches=8, rng=1)
+        assert (
+            result.metrics["chao_worst_relative_deviation"]
+            > 3 * result.metrics["rtbs_worst_relative_deviation"]
+        )
+        assert len(result.series["chao_appearance_probability"]) == 9
+
+
+class TestCLI:
+    def test_experiment_registry_names(self):
+        assert {"fig1", "fig7", "table1", "ablations"} <= set(EXPERIMENTS)
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_experiment("not-an-experiment")
+
+    def test_parser_list_command(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_parser_run_command_with_options(self):
+        arguments = build_parser().parse_args(["run", "fig1", "fig7", "--runs", "2"])
+        assert arguments.names == ["fig1", "fig7"]
+        assert arguments.runs == 2
+
+    def test_main_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig1" in output and "table1" in output
+
+    def test_main_rejects_unknown_experiment(self, capsys):
+        assert main(["run", "bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_main_runs_ablations(self, capsys):
+        # The ablation group is the cheapest full experiment; run it end to end.
+        assert main(["run", "ablations", "--no-charts"]) == 0
+        output = capsys.readouterr().out
+        assert "ablation_sample_size_variability" in output
+        assert "ablation_chao_bias" in output

@@ -1,0 +1,58 @@
+"""Tests for the text-table and ASCII-chart reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ascii_chart, format_result, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.50" in table and "2.25" in table
+
+    def test_column_alignment(self):
+        table = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = table.splitlines()
+        assert len(lines[1]) >= len("a-much-longer-cell")
+
+    def test_custom_float_format(self):
+        table = format_table(["v"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in table
+
+    def test_non_float_cells_pass_through(self):
+        table = format_table(["v"], [[42], ["text"]])
+        assert "42" in table and "text" in table
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, height=6, width=20)
+        assert "*" in chart and "o" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"s": [0.0, 10.0]}, height=5, width=10)
+        assert "10.00" in chart and "0.00" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+
+
+class TestFormatResult:
+    def test_metric_lines(self):
+        text = format_result("demo", {"accuracy": 0.5, "es": 1.25})
+        assert "demo" in text
+        assert "accuracy: 0.5000" in text
+        assert "es: 1.2500" in text

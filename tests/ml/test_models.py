@@ -1,0 +1,145 @@
+"""Tests for the kNN, linear-regression and Naive-Bayes models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNNClassifier
+from repro.ml.linreg import LinearRegressionModel
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.streams.items import LabeledItem
+
+
+class TestKNNClassifier:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNClassifier(k=1).predict(np.zeros((1, 2)))
+
+    def test_fit_validates_shapes(self):
+        model = KNNClassifier(k=1)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_nearest_neighbour_classification(self):
+        features = np.array([[0.0, 0.0], [0.0, 1.0], [10.0, 10.0], [10.0, 11.0]])
+        labels = np.array([0, 0, 1, 1])
+        model = KNNClassifier(k=1).fit(features, labels)
+        assert model.predict(np.array([[0.5, 0.5]]))[0] == 0
+        assert model.predict(np.array([[9.5, 10.5]]))[0] == 1
+
+    def test_majority_vote(self):
+        features = np.array([[0.0], [0.1], [0.2], [5.0], [5.1]])
+        labels = np.array([0, 0, 0, 1, 1])
+        model = KNNClassifier(k=5).fit(features, labels)
+        assert model.predict(np.array([[0.15]]))[0] == 0
+
+    def test_k_larger_than_training_set(self):
+        model = KNNClassifier(k=50).fit(np.array([[0.0], [1.0]]), np.array([3, 3]))
+        assert model.predict(np.array([[0.4]]))[0] == 3
+
+    def test_fit_items_and_predict_items(self):
+        items = [
+            LabeledItem(features=(0.0, 0.0), label="a"),
+            LabeledItem(features=(5.0, 5.0), label="b"),
+        ]
+        model = KNNClassifier(k=1)
+        model.fit_items(items)
+        assert model.is_fitted
+        predictions = model.predict_items([LabeledItem(features=(4.9, 5.1), label="?")])
+        assert predictions[0] == "b"
+
+    def test_empty_fit_items_is_noop(self):
+        model = KNNClassifier(k=1)
+        model.fit_items([])
+        assert not model.is_fitted
+        assert model.predict_items([]).size == 0
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self):
+        rng = np.random.default_rng(0)
+        features = rng.uniform(0, 1, size=(200, 2))
+        labels = features @ np.array([4.2, -0.4])
+        model = LinearRegressionModel().fit(features, labels)
+        assert np.allclose(model.coefficients, [4.2, -0.4], atol=1e-8)
+        assert model.intercept == pytest.approx(0.0, abs=1e-8)
+
+    def test_intercept_fitting(self):
+        features = np.array([[0.0], [1.0], [2.0], [3.0]])
+        labels = 2.0 * features[:, 0] + 5.0
+        model = LinearRegressionModel(fit_intercept=True).fit(features, labels)
+        assert model.intercept == pytest.approx(5.0)
+        model_no_intercept = LinearRegressionModel(fit_intercept=False).fit(features, labels)
+        assert model_no_intercept.intercept == 0.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressionModel().predict(np.zeros((1, 2)))
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            LinearRegressionModel().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_prediction_shape(self):
+        model = LinearRegressionModel().fit(np.array([[1.0], [2.0]]), np.array([1.0, 2.0]))
+        assert model.predict(np.array([[3.0], [4.0], [5.0]])).shape == (3,)
+
+
+class TestMultinomialNaiveBayes:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes(alpha=0.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit(np.array([[-1.0, 2.0]]), np.array([0]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MultinomialNaiveBayes().predict(np.zeros((1, 2)))
+
+    def test_separable_topics(self):
+        # Class 0 uses words {0,1}; class 1 uses words {2,3}.
+        rng = np.random.default_rng(1)
+        features, labels = [], []
+        for _ in range(200):
+            counts = np.zeros(4)
+            label = int(rng.random() < 0.5)
+            active = [0, 1] if label == 0 else [2, 3]
+            for _ in range(20):
+                counts[rng.choice(active)] += 1
+            features.append(counts)
+            labels.append(label)
+        model = MultinomialNaiveBayes().fit(np.array(features), np.array(labels))
+        assert model.predict(np.array([[10.0, 10.0, 0.0, 0.0]]))[0] == 0
+        assert model.predict(np.array([[0.0, 0.0, 10.0, 10.0]]))[0] == 1
+
+    def test_log_proba_shape(self):
+        features = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array(["x", "y"])
+        model = MultinomialNaiveBayes().fit(features, labels)
+        assert model.predict_log_proba(np.array([[1.0, 1.0]])).shape == (1, 2)
+
+    def test_priors_influence_prediction(self):
+        # With identical likelihoods, the majority class wins.
+        features = np.ones((10, 2))
+        labels = np.array([0] * 8 + [1] * 2)
+        model = MultinomialNaiveBayes().fit(features, labels)
+        assert model.predict(np.array([[1.0, 1.0]]))[0] == 0
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit(np.empty((0, 2)), np.empty(0))

@@ -1,0 +1,112 @@
+"""Tests for the batch-size processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.batch_sizes import (
+    DeterministicBatchSize,
+    GeometricBatchSize,
+    PiecewiseBatchSize,
+    PoissonBatchSize,
+    UniformBatchSize,
+    generate_sizes,
+)
+
+
+class TestDeterministic:
+    def test_constant(self, rng):
+        process = DeterministicBatchSize(100)
+        assert [process.size(t, rng) for t in range(1, 5)] == [100] * 4
+        assert process.mean(3) == 100.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeterministicBatchSize(-1)
+
+
+class TestUniform:
+    def test_bounds(self, rng):
+        process = UniformBatchSize(0, 200)
+        sizes = [process.size(t, rng) for t in range(1, 500)]
+        assert min(sizes) >= 0 and max(sizes) <= 200
+        assert process.mean(1) == 100.0
+
+    def test_mean_is_midpoint(self, rng):
+        process = UniformBatchSize(50, 150)
+        sizes = [process.size(t, rng) for t in range(1, 3000)]
+        assert np.mean(sizes) == pytest.approx(100.0, rel=0.05)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformBatchSize(10, 5)
+        with pytest.raises(ValueError):
+            UniformBatchSize(-1, 5)
+
+
+class TestPoisson:
+    def test_mean(self, rng):
+        process = PoissonBatchSize(40.0)
+        sizes = [process.size(t, rng) for t in range(1, 3000)]
+        assert np.mean(sizes) == pytest.approx(40.0, rel=0.05)
+        assert process.mean(1) == 40.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PoissonBatchSize(-1.0)
+
+
+class TestGeometric:
+    def test_constant_before_change_point(self, rng):
+        process = GeometricBatchSize(initial=100, phi=1.002, change_point=200)
+        assert process.size(200, rng) == 100
+        assert process.size(1, rng) == 100
+
+    def test_growth_after_change_point(self, rng):
+        process = GeometricBatchSize(initial=100, phi=1.002, change_point=200)
+        assert process.size(400, rng) == round(100 * 1.002**200)
+        assert process.mean(400) == pytest.approx(100 * 1.002**200)
+
+    def test_decay_after_change_point(self, rng):
+        process = GeometricBatchSize(initial=100, phi=0.8, change_point=200)
+        assert process.size(210, rng) == round(100 * 0.8**10)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GeometricBatchSize(initial=-1, phi=1.0)
+        with pytest.raises(ValueError):
+            GeometricBatchSize(initial=10, phi=0.0)
+        with pytest.raises(ValueError):
+            GeometricBatchSize(initial=10, phi=1.0, change_point=-1)
+
+
+class TestPiecewise:
+    def test_switches_between_regimes(self, rng):
+        process = PiecewiseBatchSize(
+            [(1, DeterministicBatchSize(10)), (5, DeterministicBatchSize(99))]
+        )
+        assert process.size(4, rng) == 10
+        assert process.size(5, rng) == 99
+        assert process.mean(6) == 99.0
+
+    def test_rejects_empty_segments(self):
+        with pytest.raises(ValueError):
+            PiecewiseBatchSize([])
+
+    def test_rejects_late_first_segment(self):
+        with pytest.raises(ValueError):
+            PiecewiseBatchSize([(5, DeterministicBatchSize(1))])
+
+
+class TestGenerateSizes:
+    def test_length_and_reproducibility(self):
+        process = UniformBatchSize(0, 10)
+        first = generate_sizes(process, 20, rng=3)
+        second = generate_sizes(process, 20, rng=3)
+        assert len(first) == 20
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_sizes(DeterministicBatchSize(1), -1)

@@ -1,0 +1,177 @@
+"""Tests for the Gaussian-mixture, regression and text stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.gaussian_mixture import GaussianMixtureStream
+from repro.streams.patterns import Mode, PeriodicPattern
+from repro.streams.regression import RegressionStream
+from repro.streams.stream import BatchStream
+from repro.streams.batch_sizes import DeterministicBatchSize, UniformBatchSize
+from repro.streams.text import RecurringContextTextStream
+
+
+class TestGaussianMixtureStream:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureStream(num_classes=3)
+        with pytest.raises(ValueError):
+            GaussianMixtureStream(frequency_ratio=0)
+        with pytest.raises(ValueError):
+            GaussianMixtureStream(noise_std=0)
+
+    def test_batch_shape_and_labels(self):
+        stream = GaussianMixtureStream(num_classes=10, rng=0)
+        batch = stream.generate_batch(50, Mode.NORMAL, batch_index=3)
+        assert len(batch) == 50
+        assert all(0 <= item.label < 10 for item in batch)
+        assert all(item.batch_index == 3 for item in batch)
+        assert all(len(item.features) == 2 for item in batch)
+
+    def test_empty_batch(self):
+        assert GaussianMixtureStream(rng=0).generate_batch(0) == []
+
+    def test_mode_flips_class_frequencies(self):
+        stream = GaussianMixtureStream(num_classes=10, frequency_ratio=5.0, rng=1)
+        normal = stream.generate_batch(4000, Mode.NORMAL)
+        abnormal = stream.generate_batch(4000, Mode.ABNORMAL)
+        normal_first_half = np.mean([item.label < 5 for item in normal])
+        abnormal_first_half = np.mean([item.label < 5 for item in abnormal])
+        assert normal_first_half == pytest.approx(5.0 / 6.0, abs=0.05)
+        assert abnormal_first_half == pytest.approx(1.0 / 6.0, abs=0.05)
+
+    def test_class_probabilities_sum_to_one(self):
+        stream = GaussianMixtureStream(num_classes=100, rng=2)
+        assert stream.class_probabilities(Mode.NORMAL).sum() == pytest.approx(1.0)
+        assert stream.class_probabilities(Mode.ABNORMAL).sum() == pytest.approx(1.0)
+
+    def test_items_are_near_their_centroids(self):
+        stream = GaussianMixtureStream(num_classes=4, domain=1000.0, noise_std=1.0, rng=3)
+        batch = stream.generate_batch(200, Mode.NORMAL)
+        for item in batch:
+            centroid = stream.centroids[item.label]
+            assert np.linalg.norm(item.feature_array() - centroid) < 6.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureStream(rng=0).generate_batch(-1)
+
+
+class TestRegressionStream:
+    def test_coefficients_per_mode(self):
+        stream = RegressionStream(rng=0)
+        assert np.allclose(stream.coefficients(Mode.NORMAL), [4.2, -0.4])
+        assert np.allclose(stream.coefficients(Mode.ABNORMAL), [-3.6, 3.8])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RegressionStream(noise_std=-1)
+        with pytest.raises(ValueError):
+            RegressionStream(normal_coefficients=(1.0, 2.0, 3.0))
+
+    def test_generated_data_fits_the_model(self):
+        stream = RegressionStream(noise_std=0.0, rng=1)
+        batch = stream.generate_batch(100, Mode.NORMAL)
+        for item in batch:
+            x1, x2 = item.features
+            assert item.label == pytest.approx(4.2 * x1 - 0.4 * x2, abs=1e-9)
+
+    def test_covariates_in_unit_square(self):
+        stream = RegressionStream(rng=2)
+        batch = stream.generate_batch(500, Mode.ABNORMAL)
+        features = np.array([item.features for item in batch])
+        assert features.min() >= 0.0 and features.max() <= 1.0
+
+    def test_empty_batch(self):
+        assert RegressionStream(rng=0).generate_batch(0) == []
+
+
+class TestRecurringContextTextStream:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RecurringContextTextStream(num_topics=3)
+        with pytest.raises(ValueError):
+            RecurringContextTextStream(vocabulary_size=2, num_topics=4)
+        with pytest.raises(ValueError):
+            RecurringContextTextStream(label_noise=0.7)
+
+    def test_stream_shape(self):
+        stream = RecurringContextTextStream(num_messages=200, context_length=50, rng=0)
+        batches = stream.generate_stream(batch_size=50)
+        assert len(batches) == 4
+        assert all(len(batch) == 50 for batch in batches)
+
+    def test_context_flips_every_context_length(self):
+        stream = RecurringContextTextStream(context_length=300, rng=0)
+        assert stream.context_of_message(0) == 0
+        assert stream.context_of_message(299) == 0
+        assert stream.context_of_message(300) == 1
+        assert stream.context_of_message(600) == 0
+
+    def test_interests_partially_overlap_between_contexts(self):
+        stream = RecurringContextTextStream(num_topics=4, rng=0)
+        context_a = stream.interesting_topics(0)
+        context_b = stream.interesting_topics(1)
+        assert context_a != context_b
+        assert context_a & context_b  # some topics stay interesting
+
+    def test_word_counts_are_non_negative_and_sum_to_document_length(self):
+        stream = RecurringContextTextStream(words_per_document=25, label_noise=0.0, rng=1)
+        message = stream.generate_message(0)
+        counts = np.asarray(message.features)
+        assert counts.min() >= 0
+        assert counts.sum() == 25
+
+    def test_labels_are_binary(self):
+        stream = RecurringContextTextStream(rng=2)
+        labels = {stream.generate_message(i).label for i in range(100)}
+        assert labels <= {0, 1}
+
+    def test_negative_message_index_rejected(self):
+        with pytest.raises(ValueError):
+            RecurringContextTextStream(rng=0).context_of_message(-1)
+
+
+class TestBatchStream:
+    def test_length_and_modes(self):
+        generator = GaussianMixtureStream(num_classes=4, rng=0)
+        stream = BatchStream(
+            generator,
+            pattern=PeriodicPattern(2, 2),
+            batch_sizes=DeterministicBatchSize(10),
+            warmup_batches=3,
+            num_batches=8,
+            rng=1,
+        )
+        batches = list(stream)
+        assert len(batches) == len(stream) == 11
+        assert all(batch.mode == "normal" for batch in batches[:3])
+        post = [batch.mode for batch in batches[3:]]
+        assert post == ["normal", "normal", "abnormal", "abnormal"] * 2
+
+    def test_batch_times_are_increasing(self):
+        generator = RegressionStream(rng=0)
+        stream = BatchStream(generator, warmup_batches=2, num_batches=3, rng=1)
+        times = [batch.time for batch in stream]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_batch_sizes_follow_process(self):
+        generator = RegressionStream(rng=0)
+        stream = BatchStream(
+            generator,
+            batch_sizes=UniformBatchSize(5, 15),
+            warmup_batches=0,
+            num_batches=20,
+            rng=2,
+        )
+        assert all(5 <= len(batch) <= 15 for batch in stream)
+
+    def test_rejects_negative_counts(self):
+        generator = RegressionStream(rng=0)
+        with pytest.raises(ValueError):
+            BatchStream(generator, warmup_batches=-1)
+        with pytest.raises(ValueError):
+            BatchStream(generator, num_batches=-1)

@@ -1,0 +1,111 @@
+"""Tests for temporal mode patterns and item/batch containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.items import Batch, LabeledItem
+from repro.streams.patterns import (
+    ConstantPattern,
+    Mode,
+    PeriodicPattern,
+    SingleEventPattern,
+)
+
+
+class TestConstantPattern:
+    def test_always_same_mode(self):
+        pattern = ConstantPattern(Mode.ABNORMAL)
+        assert all(pattern.mode_at(t) is Mode.ABNORMAL for t in range(-5, 50))
+
+    def test_describe(self):
+        assert "normal" in ConstantPattern().describe()
+
+
+class TestSingleEventPattern:
+    def test_paper_configuration(self):
+        # Normal up to t=10, abnormal during [10, 20), normal afterwards.
+        pattern = SingleEventPattern(10, 20)
+        assert pattern.mode_at(9) is Mode.NORMAL
+        assert pattern.mode_at(10) is Mode.ABNORMAL
+        assert pattern.mode_at(19) is Mode.ABNORMAL
+        assert pattern.mode_at(20) is Mode.NORMAL
+
+    def test_warmup_is_normal(self):
+        assert SingleEventPattern(1, 100).mode_at(0) is Mode.NORMAL
+        assert SingleEventPattern(1, 100).mode_at(-3) is Mode.NORMAL
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            SingleEventPattern(10, 5)
+
+    def test_describe(self):
+        assert SingleEventPattern(10, 20).describe() == "SingleEvent[10,20)"
+
+
+class TestPeriodicPattern:
+    def test_p10_10_structure(self):
+        pattern = PeriodicPattern(10, 10)
+        assert all(pattern.mode_at(t) is Mode.NORMAL for t in range(1, 11))
+        assert all(pattern.mode_at(t) is Mode.ABNORMAL for t in range(11, 21))
+        assert pattern.mode_at(21) is Mode.NORMAL
+
+    def test_asymmetric_periods(self):
+        pattern = PeriodicPattern(30, 10)
+        assert pattern.mode_at(30) is Mode.NORMAL
+        assert pattern.mode_at(31) is Mode.ABNORMAL
+        assert pattern.mode_at(40) is Mode.ABNORMAL
+        assert pattern.mode_at(41) is Mode.NORMAL
+
+    def test_first_batches_match_single_event(self):
+        # The paper notes Periodic(10, 10)'s first 30 batches look like the
+        # single-event experiment.
+        periodic = PeriodicPattern(10, 10)
+        single = SingleEventPattern(10, 20)
+        for t in range(1, 31):
+            # Offset by one convention: periodic abnormal spans 11..20,
+            # single-event abnormal spans 10..19; both give 10 abnormal batches.
+            pass
+        assert sum(periodic.mode_at(t) is Mode.ABNORMAL for t in range(1, 31)) == 10
+        assert sum(single.mode_at(t) is Mode.ABNORMAL for t in range(1, 31)) == 10
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            PeriodicPattern(0, 10)
+        with pytest.raises(ValueError):
+            PeriodicPattern(10, 0)
+
+    def test_describe(self):
+        assert PeriodicPattern(20, 10).describe() == "Periodic(20,10)"
+
+
+class TestLabeledItem:
+    def test_feature_array(self):
+        item = LabeledItem(features=(1.0, 2.0), label=3, batch_index=7)
+        assert np.allclose(item.feature_array(), [1.0, 2.0])
+        assert item.batch_index == 7
+
+    def test_hashable(self):
+        item = LabeledItem(features=(1.0, 2.0), label=1)
+        assert len({item, item}) == 1
+
+
+class TestBatch:
+    def test_len_and_iter(self):
+        batch = Batch(time=1.0, items=[1, 2, 3])
+        assert len(batch) == 3
+        assert list(batch) == [1, 2, 3]
+
+    def test_feature_matrix_and_labels(self):
+        items = [
+            LabeledItem(features=(1.0, 2.0), label=0),
+            LabeledItem(features=(3.0, 4.0), label=1),
+        ]
+        matrix = Batch.feature_matrix(items)
+        labels = Batch.label_array(items)
+        assert matrix.shape == (2, 2)
+        assert labels.tolist() == [0, 1]
+
+    def test_empty_feature_matrix(self):
+        assert Batch.feature_matrix([]).size == 0

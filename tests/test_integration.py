@@ -1,0 +1,149 @@
+"""End-to-end integration tests exercising the public API the way a user would."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    BatchedChao,
+    BatchedReservoir,
+    BTBS,
+    ModelManager,
+    RTBS,
+    SlidingWindow,
+    TTBS,
+    UniformReservoir,
+    lambda_for_retention,
+)
+from repro.distributed import DistributedBatch, DistributedRTBS, SimulatedCluster
+from repro.ml import KNNClassifier, LinearRegressionModel, mean_squared_error, misclassification_rate
+from repro.streams import (
+    BatchStream,
+    DeterministicBatchSize,
+    GaussianMixtureStream,
+    PeriodicPattern,
+    RegressionStream,
+    SingleEventPattern,
+)
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__ == "1.0.0"
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_quickstart_docstring_flow(self):
+        sampler = RTBS(n=100, lambda_=0.1, rng=42)
+        sample = []
+        for batch_number in range(10):
+            sample = sampler.process_batch(
+                range(batch_number * 50, (batch_number + 1) * 50)
+            )
+        assert len(sample) <= 100
+
+
+class TestSamplerInteroperability:
+    def test_all_samplers_share_the_interface(self):
+        samplers = [
+            RTBS(n=50, lambda_=0.1, rng=0),
+            TTBS(n=50, lambda_=0.1, mean_batch_size=20, rng=0),
+            BTBS(lambda_=0.1, rng=0),
+            BatchedReservoir(n=50, rng=0),
+            BatchedChao(n=50, lambda_=0.1, rng=0),
+            SlidingWindow(n=50, rng=0),
+            UniformReservoir(n=50, rng=0),
+        ]
+        for sampler in samplers:
+            for batch_index in range(1, 6):
+                sample = sampler.process_batch([(batch_index, i) for i in range(20)])
+            assert isinstance(sample, list)
+            assert sampler.batches_seen == 5
+
+    def test_lambda_calibration_feeds_sampler(self):
+        lam = lambda_for_retention(0.1, 40)
+        sampler = RTBS(n=10, lambda_=lam, rng=0)
+        sampler.process_batch(list(range(5)))
+        assert sampler.total_weight == 5.0
+
+
+class TestEndToEndClassification:
+    def test_rtbs_recovers_faster_than_uniform_after_mode_change(self):
+        """The paper's central claim at small scale: time-biased retraining adapts."""
+        generator = GaussianMixtureStream(num_classes=30, rng=3)
+        stream = BatchStream(
+            generator,
+            pattern=SingleEventPattern(3, 100),  # switch to abnormal and stay there
+            batch_sizes=DeterministicBatchSize(100),
+            warmup_batches=30,
+            num_batches=16,
+            rng=4,
+        )
+        batches = list(stream)
+        results = {}
+        for label, sampler in {
+            "R-TBS": RTBS(n=600, lambda_=0.2, rng=5),
+            "Unif": UniformReservoir(n=600, rng=5),
+        }.items():
+            manager = ModelManager(
+                sampler, lambda: KNNClassifier(k=7), misclassification_rate
+            )
+            manager.warmup(batches[:30])
+            results[label] = manager.run(batches[30:])
+        # Late in the abnormal period the time-biased sample has adapted while
+        # the uniform sample is still dominated by stale normal-mode data.
+        rtbs_late = np.mean(results["R-TBS"].losses[-5:])
+        unif_late = np.mean(results["Unif"].losses[-5:])
+        assert rtbs_late < unif_late
+
+    def test_regression_pipeline_produces_sane_mse(self):
+        generator = RegressionStream(rng=0)
+        stream = BatchStream(
+            generator,
+            pattern=PeriodicPattern(5, 5),
+            warmup_batches=20,
+            num_batches=10,
+            rng=1,
+        )
+        batches = list(stream)
+        manager = ModelManager(
+            RTBS(n=500, lambda_=0.1, rng=2),
+            LinearRegressionModel,
+            mean_squared_error,
+            min_train_size=2,
+        )
+        manager.warmup(batches[:20])
+        result = manager.run(batches[20:])
+        assert len(result.losses) == 10
+        assert min(result.losses) < 3.0
+
+
+class TestSerialVersusDistributed:
+    def test_serial_and_distributed_rtbs_agree_statistically(self):
+        """Both implementations must produce the same sample weight trajectory."""
+        lambda_, n, batch_size, num_batches = 0.15, 80, 25, 40
+        serial = RTBS(n=n, lambda_=lambda_, rng=1)
+        cluster = SimulatedCluster(num_workers=3)
+        distributed = DistributedRTBS(n=n, lambda_=lambda_, cluster=cluster, rng=2)
+        for batch_index in range(1, num_batches + 1):
+            batch = [(batch_index, i) for i in range(batch_size)]
+            serial.process_batch(batch)
+            distributed.process_batch(batch)
+            assert distributed.sample_weight == pytest.approx(serial.sample_weight)
+            assert distributed.total_weight == pytest.approx(serial.total_weight)
+        serial_ages = np.mean([num_batches - b for b, _ in serial.sample_items()])
+        distributed_ages = np.mean([num_batches - b for b, _ in distributed.sample_items()])
+        # Same time-biased age profile (loose check, both heavily recent).
+        assert abs(serial_ages - distributed_ages) < 3.0
+
+    def test_virtual_cluster_scale_run(self):
+        cluster = SimulatedCluster(num_workers=8)
+        algorithm = DistributedRTBS(n=1_000_000, lambda_=0.07, cluster=cluster, rng=0)
+        for batch_index in range(1, 11):
+            runtime = algorithm.process_batch(
+                DistributedBatch.virtual(500_000, 8, batch_id=batch_index)
+            )
+            assert runtime > 0
+        assert algorithm.full_item_count() <= 1_000_000

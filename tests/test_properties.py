@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import rtbs_expected_size, rtbs_total_weight
+from repro.core.brs import BatchedReservoir
+from repro.core.chao import BatchedChao
+from repro.core.latent import LatentSample, downsample
+from repro.core.random_utils import multivariate_hypergeometric, stochastic_round
+from repro.core.rtbs import RTBS
+from repro.core.sliding_window import SlidingWindow
+from repro.core.ttbs import TTBS
+from repro.ml.metrics import expected_shortfall
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+batch_size_lists = st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=40)
+decay_rates = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+capacities = st.integers(min_value=1, max_value=50)
+
+
+def _run_sampler(sampler, batch_sizes):
+    item = 0
+    sample = []
+    for size in batch_sizes:
+        batch = list(range(item, item + size))
+        item += size
+        sample = sampler.process_batch(batch)
+    return sample, item
+
+
+# ----------------------------------------------------------------------
+# latent samples and downsampling
+# ----------------------------------------------------------------------
+class TestLatentSampleProperties:
+    @given(
+        full_count=st.integers(min_value=0, max_value=40),
+        fraction=st.one_of(st.just(0.0), st.floats(min_value=0.01, max_value=0.99)),
+        fraction_of_weight=st.floats(min_value=0.01, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_downsample_preserves_invariants(self, full_count, fraction, fraction_of_weight, seed):
+        """Any valid downsample target yields a structurally valid latent sample."""
+        rng = np.random.default_rng(seed)
+        weight = full_count + fraction
+        if weight <= 0:
+            return
+        full = list(range(full_count))
+        partial = ["partial"] if fraction > 0 else []
+        latent = LatentSample(full=full, partial=partial, weight=weight)
+        latent.check_invariants()
+        target = weight * fraction_of_weight
+        if target <= 0:
+            return
+        result = downsample(latent, target, rng)
+        result.check_invariants()
+        assert result.weight == pytest.approx(target)
+        assert set(result.items()) <= set(latent.items())
+        assert result.footprint <= latent.footprint + 1
+
+    @given(
+        full_count=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_realized_size_is_floor_or_ceil(self, full_count, seed):
+        rng = np.random.default_rng(seed)
+        weight = full_count + float(rng.uniform(0.01, 0.99))
+        latent = LatentSample(full=list(range(full_count)), partial=["p"], weight=weight)
+        realized = latent.realize(rng)
+        assert len(realized) in {full_count, full_count + 1}
+
+
+# ----------------------------------------------------------------------
+# random primitives
+# ----------------------------------------------------------------------
+class TestRandomPrimitiveProperties:
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_stochastic_round_adjacent(self, value, seed):
+        rng = np.random.default_rng(seed)
+        rounded = stochastic_round(rng, value)
+        assert math.floor(value) <= rounded <= math.ceil(value)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_multivariate_hypergeometric_totals(self, sizes, seed, data):
+        rng = np.random.default_rng(seed)
+        total = sum(sizes)
+        draws = data.draw(st.integers(min_value=0, max_value=total))
+        counts = multivariate_hypergeometric(rng, sizes, draws)
+        assert sum(counts) == draws
+        assert all(0 <= count <= size for count, size in zip(counts, sizes))
+
+
+# ----------------------------------------------------------------------
+# samplers under arbitrary batch-size sequences
+# ----------------------------------------------------------------------
+class TestSamplerProperties:
+    @given(batch_sizes=batch_size_lists, n=capacities, lambda_=decay_rates,
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_rtbs_bound_and_weight(self, batch_sizes, n, lambda_, seed):
+        """R-TBS never exceeds its capacity and tracks the analytic weight exactly."""
+        sampler = RTBS(n=n, lambda_=lambda_, rng=seed)
+        sample, total_items = _run_sampler(sampler, batch_sizes)
+        assert len(sample) <= n
+        assert len(set(sample)) == len(sample)
+        assert sampler.total_weight == pytest.approx(
+            rtbs_total_weight(batch_sizes, lambda_), rel=1e-9, abs=1e-9
+        )
+        assert sampler.sample_weight == pytest.approx(
+            rtbs_expected_size(batch_sizes, lambda_, n), rel=1e-9, abs=1e-9
+        )
+        assert all(0 <= item < total_items for item in sample)
+
+    @given(batch_sizes=batch_size_lists, n=capacities,
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_reservoir_size(self, batch_sizes, n, seed):
+        """B-RS holds exactly min(n, items seen) distinct stream items."""
+        sampler = BatchedReservoir(n=n, rng=seed)
+        sample, total_items = _run_sampler(sampler, batch_sizes)
+        assert len(sample) == min(n, total_items)
+        assert len(set(sample)) == len(sample)
+
+    @given(batch_sizes=batch_size_lists, n=capacities, lambda_=decay_rates,
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_chao_bound(self, batch_sizes, n, lambda_, seed):
+        """B-Chao never exceeds n and never shrinks once full."""
+        sampler = BatchedChao(n=n, lambda_=lambda_, rng=seed)
+        was_full = False
+        item = 0
+        for size in batch_sizes:
+            sample = sampler.process_batch(list(range(item, item + size)))
+            item += size
+            assert len(sample) <= n
+            assert len(set(sample)) == len(sample)
+            if was_full:
+                assert len(sample) == n
+            was_full = was_full or len(sample) == n
+
+    @given(batch_sizes=batch_size_lists, n=capacities,
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_sliding_window_keeps_exactly_the_latest(self, batch_sizes, n, seed):
+        sampler = SlidingWindow(n=n, rng=seed)
+        sample, total_items = _run_sampler(sampler, batch_sizes)
+        expected = list(range(max(0, total_items - n), total_items))
+        assert sample == expected
+
+    @given(batch_sizes=batch_size_lists, lambda_=st.floats(min_value=0.01, max_value=1.0),
+           n=capacities, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_ttbs_sample_items_are_from_stream(self, batch_sizes, lambda_, n, seed):
+        sampler = TTBS(
+            n=n, lambda_=lambda_, mean_batch_size=30, rng=seed, enforce_feasibility=False
+        )
+        sample, total_items = _run_sampler(sampler, batch_sizes)
+        assert len(set(sample)) == len(sample)
+        assert all(0 <= item < total_items for item in sample)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @given(
+        losses=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+        ),
+        level=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_expected_shortfall_bounds(self, losses, level):
+        """ES lies between the mean and the maximum and is monotone in the level."""
+        es = expected_shortfall(losses, level)
+        assert np.mean(losses) - 1e-9 <= es <= max(losses) + 1e-9
+        stricter = expected_shortfall(losses, level / 2)
+        assert stricter >= es - 1e-9
