@@ -6,16 +6,27 @@ serial samplers' per-batch processing cost at a fixed operating point
 figure/table benches: the paper's scalability claims are about the
 distributed implementations, but the serial algorithms themselves should all
 be cheap, with T-TBS and B-TBS cheapest and R-TBS close behind.
+
+A second, large-batch operating point (batch size 100k) measures the
+vectorized array-backed engines against the scalar per-item reference
+implementations (:mod:`repro.core.reference`) and asserts the R-TBS speedup,
+guarding the vectorization against regressions. Batches are fed as 1-D NumPy
+arrays through :meth:`~repro.core.base.Sampler.process_stream`, the intended
+bulk-ingest fast path.
 """
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.core.ares import AResSampler
 from repro.core.brs import BatchedReservoir
 from repro.core.btbs import BTBS
 from repro.core.chao import BatchedChao
+from repro.core.reference import ScalarRTBS, ScalarTTBS
 from repro.core.rtbs import RTBS
 from repro.core.sliding_window import SlidingWindow
 from repro.core.ttbs import TTBS
@@ -24,6 +35,10 @@ from repro.core.uniform import UniformReservoir
 _BATCH_SIZE = 1000
 _CAPACITY = 10_000
 _LAMBDA = 0.07
+
+_LARGE_BATCH = 100_000
+_LARGE_WARMUP = 20
+_LARGE_TIMED = 10
 
 
 def _sampler_factories():
@@ -55,3 +70,94 @@ def test_per_batch_update_latency(benchmark, name):
         sampler.process_batch([(index, i) for i in range(_BATCH_SIZE)])
 
     benchmark(process_one_batch)
+
+
+# ----------------------------------------------------------------------
+# large-batch operating point: vectorized engine vs scalar reference
+# ----------------------------------------------------------------------
+def _large_batches(count: int, start: int = 0) -> list[np.ndarray]:
+    """Pre-built 100k-item batches of integer payloads (built outside timers)."""
+    return [
+        np.arange(offset, offset + _LARGE_BATCH)
+        for offset in range(start, start + count * _LARGE_BATCH, _LARGE_BATCH)
+    ]
+
+
+def _per_batch_seconds(sampler, batches: list[np.ndarray]) -> float:
+    """Mean wall-clock seconds per batch via the bulk-ingest API."""
+    begin = time.perf_counter()
+    sampler.process_stream(batches)
+    return (time.perf_counter() - begin) / len(batches)
+
+
+def _endless_batches(start: int):
+    """Endless 100k-item batches for benchmark rounds of unknown count."""
+    offset = start
+    while True:
+        yield np.arange(offset, offset + _LARGE_BATCH)
+        offset += _LARGE_BATCH
+
+
+def test_rtbs_large_batch_vectorized_speedup(benchmark):
+    """R-TBS at batch size 100k: the array-backed engine must be >= 5x the seed.
+
+    Both samplers are warmed past saturation so the timed region exercises
+    the steady-state replace path (Algorithm 2's saturated case), which is
+    where production ingest spends its time.
+    """
+    warm = _large_batches(_LARGE_WARMUP)
+    timed = _large_batches(_LARGE_TIMED, start=_LARGE_WARMUP * _LARGE_BATCH)
+
+    fast = RTBS(n=_CAPACITY, lambda_=_LAMBDA, rng=0)
+    fast.process_stream(warm)
+    slow = ScalarRTBS(n=_CAPACITY, lambda_=_LAMBDA, rng=0)
+    slow.process_stream(warm)
+
+    scalar_latency = _per_batch_seconds(slow, timed)
+    state = {"next": _endless_batches((_LARGE_WARMUP + _LARGE_TIMED) * _LARGE_BATCH)}
+
+    def one_vectorized_batch():
+        fast.process_stream([next(state["next"])])
+
+    benchmark(one_vectorized_batch)
+    vectorized_latency = benchmark.stats.stats.mean
+    speedup = scalar_latency / vectorized_latency
+    benchmark.extra_info["batch_size"] = _LARGE_BATCH
+    benchmark.extra_info["scalar_ms_per_batch"] = round(scalar_latency * 1e3, 3)
+    benchmark.extra_info["vectorized_ms_per_batch"] = round(vectorized_latency * 1e3, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    print(
+        f"\nR-TBS @ batch {_LARGE_BATCH:,}: scalar {scalar_latency * 1e3:.2f} ms/batch, "
+        f"vectorized {vectorized_latency * 1e3:.3f} ms/batch, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, f"vectorized R-TBS speedup regressed: {speedup:.1f}x < 5x"
+
+
+def test_ttbs_large_batch_vectorized_speedup(benchmark):
+    """T-TBS at batch size 100k: Bernoulli-mask thinning vs the scalar reference."""
+    warm = _large_batches(_LARGE_WARMUP)
+    timed = _large_batches(_LARGE_TIMED, start=_LARGE_WARMUP * _LARGE_BATCH)
+
+    fast = TTBS(n=_CAPACITY, lambda_=_LAMBDA, mean_batch_size=_LARGE_BATCH, rng=0)
+    fast.process_stream(warm)
+    slow = ScalarTTBS(n=_CAPACITY, lambda_=_LAMBDA, mean_batch_size=_LARGE_BATCH, rng=0)
+    slow.process_stream(warm)
+
+    scalar_latency = _per_batch_seconds(slow, timed)
+    state = {"next": _endless_batches((_LARGE_WARMUP + _LARGE_TIMED) * _LARGE_BATCH)}
+
+    def one_vectorized_batch():
+        fast.process_stream([next(state["next"])])
+
+    benchmark(one_vectorized_batch)
+    vectorized_latency = benchmark.stats.stats.mean
+    speedup = scalar_latency / vectorized_latency
+    benchmark.extra_info["batch_size"] = _LARGE_BATCH
+    benchmark.extra_info["scalar_ms_per_batch"] = round(scalar_latency * 1e3, 3)
+    benchmark.extra_info["vectorized_ms_per_batch"] = round(vectorized_latency * 1e3, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    print(
+        f"\nT-TBS @ batch {_LARGE_BATCH:,}: scalar {scalar_latency * 1e3:.2f} ms/batch, "
+        f"vectorized {vectorized_latency * 1e3:.3f} ms/batch, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, f"vectorized T-TBS speedup regressed: {speedup:.1f}x < 5x"

@@ -22,10 +22,14 @@ or compares against:
 * :class:`~repro.core.ares.AResSampler` — Efraimidis–Spirakis weighted
   reservoir sampling with exponential weights (Section 7 related work).
 
-Supporting machinery lives in :mod:`repro.core.latent` (fractional samples
-and the downsampling procedure of Algorithm 3), :mod:`repro.core.decay`
-(decay-rate calibration helpers) and :mod:`repro.core.analysis` (closed-form
-predictions from Theorems 3.1 and 4.2–4.4 used by the test suite).
+Supporting machinery lives in :mod:`repro.core.latent` (array-backed
+fractional samples and the vectorized downsampling procedure of Algorithm 3),
+:mod:`repro.core.arrays` (opaque-payload array helpers shared by the
+vectorized engines), :mod:`repro.core.decay` (decay-rate calibration helpers)
+and :mod:`repro.core.analysis` (closed-form predictions from Theorems 3.1 and
+4.2–4.4 used by the test suite). :mod:`repro.core.reference` keeps the
+original scalar (per-item) R-TBS/T-TBS implementations as an executable
+specification for the equivalence tests and benchmarks.
 """
 
 from repro.core.base import Sampler, SamplerState
@@ -44,8 +48,14 @@ from repro.core.chao import BatchedChao
 from repro.core.sliding_window import SlidingWindow, TimeBasedSlidingWindow
 from repro.core.uniform import UniformReservoir
 from repro.core.ares import AResSampler
+from repro.core.arrays import as_item_array
+from repro.core.reference import ScalarRTBS, ScalarTTBS, scalar_downsample
 
 __all__ = [
+    "ScalarRTBS",
+    "ScalarTTBS",
+    "as_item_array",
+    "scalar_downsample",
     "Sampler",
     "SamplerState",
     "DecayFunction",

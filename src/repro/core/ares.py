@@ -11,17 +11,22 @@ The paper uses A-Res as a related-work baseline to illustrate that biasing
 *acceptance* probabilities is not the same as biasing *appearance*
 probabilities: A-Res does not satisfy criterion (1), and the statistical
 tests in this repository demonstrate the discrepancy empirically.
+
+The reservoir is array-backed: keys and payloads live in parallel arrays, a
+whole batch's keys are drawn in one vectorized pass, and eviction keeps the
+``n`` largest keys of the union via ``np.argpartition`` — an O(n + b)
+selection that replaces the per-item heap of the textbook formulation while
+producing exactly the same reservoir contents.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.arrays import as_item_array, concat_items, empty_item_array
 from repro.core.base import Sampler
 
 __all__ = ["AResSampler"]
@@ -62,13 +67,17 @@ class AResSampler(Sampler):
         self.n = int(n)
         self.lambda_ = float(lambda_)
         self._landmark = 0.0
-        # Min-heap of (key, tiebreak, item): the root is the smallest key and
-        # is evicted first. Keys live in the log domain: log(U) / w <= 0.
-        self._heap: list[tuple[float, int, Any]] = []
-        self._counter = itertools.count()
+        # Parallel arrays: log-domain keys (log(U) / w <= 0) and payloads.
+        # The smallest key is evicted first; order within the arrays is
+        # arbitrary.
+        self._keys = np.empty(0, dtype=np.float64)
+        self._items = empty_item_array()
 
     def sample_items(self) -> list[Any]:
-        return [item for _, _, item in self._heap]
+        return self._items.tolist()
+
+    def _sample_size(self) -> int:
+        return len(self._keys)
 
     def _forward_weight(self, arrival_time: float) -> float:
         """Forward-decay weight ``e^{lambda (t - landmark)}`` with landmark shifting."""
@@ -78,25 +87,27 @@ class AResSampler(Sampler):
             # log-domain keys by that constant, preserving their order.
             shift = arrival_time - self._landmark
             scale = math.exp(-self.lambda_ * shift)
-            self._heap = [
-                (key / scale if key != 0.0 else 0.0, tiebreak, item)
-                for key, tiebreak, item in self._heap
-            ]
-            heapq.heapify(self._heap)
+            self._keys = self._keys / scale
             self._landmark = arrival_time
             exponent = 0.0
         return math.exp(exponent)
 
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
-        if not items:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
+        if not len(items):
             return
         weight = self._forward_weight(self._time)
-        for item in items:
-            u = self._rng.random()
-            # Guard against log(0); the key ordering is unaffected.
-            key = math.log(max(u, 1e-300)) / weight
-            entry = (key, next(self._counter), item)
-            if len(self._heap) < self.n:
-                heapq.heappush(self._heap, entry)
-            elif key > self._heap[0][0]:
-                heapq.heapreplace(self._heap, entry)
+        batch = as_item_array(items)
+        draws = self._rng.random(len(batch))
+        # Guard against log(0); the key ordering is unaffected.
+        batch_keys = np.log(np.maximum(draws, 1e-300)) / weight
+
+        keys = np.concatenate([self._keys, batch_keys])
+        payloads = concat_items(self._items, batch)
+        if len(keys) > self.n:
+            # Keep the n largest keys of the union — identical contents to
+            # feeding the batch through a min-heap one item at a time.
+            keep = np.argpartition(keys, len(keys) - self.n)[len(keys) - self.n :]
+            keys = keys[keep]
+            payloads = payloads[keep]
+        self._keys = keys
+        self._items = payloads

@@ -1,0 +1,70 @@
+"""Array-backed item storage helpers shared by the vectorized samplers.
+
+Samplers treat item payloads as opaque, so payloads live in 1-D NumPy arrays
+(``dtype=object`` for arbitrary Python objects; typed arrays pass through
+unchanged for numeric streams). All hot-path operations — batch acceptance,
+reservoir eviction, downsampling — then reduce to fancy indexing, boolean
+masking, and concatenation, which run at C speed instead of per-item Python
+loops.
+
+The single subtlety these helpers hide: ``np.asarray`` on a list of
+equal-length tuples builds a 2-D array, silently splitting each item into its
+components. :func:`as_item_array` always produces a 1-D array whose elements
+are the original payload objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["as_item_array", "empty_item_array", "concat_items"]
+
+
+def empty_item_array() -> np.ndarray:
+    """A fresh empty 1-D item array (``dtype=object``)."""
+    return np.empty(0, dtype=object)
+
+
+def as_item_array(
+    items: Sequence[Any] | Iterable[Any] | np.ndarray | None, copy: bool = False
+) -> np.ndarray:
+    """Coerce a batch of item payloads into a 1-D NumPy array.
+
+    A 1-D ``ndarray`` is returned unchanged (zero-copy fast path for numeric
+    streams) unless ``copy=True``, which callers use when the result will be
+    *retained* rather than immediately fancy-indexed — a sampler must never
+    keep a reference to a caller-owned buffer. Anything else becomes an
+    ``object``-dtype array with one element per payload — tuples,
+    dataclasses, and other composite items stay intact.
+    """
+    if items is None:
+        return empty_item_array()
+    if isinstance(items, np.ndarray):
+        if items.ndim == 1:
+            return items.copy() if copy else items
+        # Multi-dimensional input: treat each row as one opaque payload.
+        out = np.empty(len(items), dtype=object)
+        for index in range(len(items)):
+            out[index] = items[index]
+        return out
+    seq = items if isinstance(items, (list, tuple)) else list(items)
+    return np.fromiter(seq, dtype=object, count=len(seq))
+
+
+def concat_items(*arrays: np.ndarray) -> np.ndarray:
+    """Concatenate item arrays, skipping empties to avoid needless dtype promotion.
+
+    Always returns a fresh array the caller owns: when only one input is
+    non-empty it is copied rather than returned directly, so samplers that
+    store the result never alias a caller's (mutable) batch buffer. The copy
+    only arises when appending to an empty sample — steady-state paths
+    concatenate two non-empty arrays, which copies anyway.
+    """
+    useful = [a for a in arrays if len(a)]
+    if not useful:
+        return empty_item_array()
+    if len(useful) == 1:
+        return useful[0].copy()
+    return np.concatenate(useful)

@@ -8,7 +8,16 @@ loop and the distributed simulator can swap them freely.
 
 Samplers treat items as opaque payloads; identity for statistical tests is
 whatever equality the caller's items define (the test-suite uses small
-integers or ``(time, index)`` tuples).
+integers or ``(time, index)`` tuples). Batches may be any iterable; passing a
+1-D :class:`numpy.ndarray` lets the vectorized samplers ingest without any
+per-item conversion.
+
+Two ingestion entry points exist:
+
+* :meth:`Sampler.process_batch` — one batch in, current realized sample out;
+* :meth:`Sampler.process_stream` — many batches in one call, amortizing time
+  bookkeeping and history recording and skipping the per-batch sample
+  materialization that :meth:`process_batch` performs for its return value.
 """
 
 from __future__ import annotations
@@ -54,7 +63,8 @@ class Sampler:
     Subclasses implement :meth:`_process_batch` and may override
     :meth:`sample_items`. The public entry point :meth:`process_batch`
     handles time bookkeeping (including arbitrary real-valued gaps between
-    batches) and state-history recording.
+    batches) and state-history recording; :meth:`process_stream` does the
+    same for a whole sequence of batches in one call.
 
     Parameters
     ----------
@@ -97,33 +107,36 @@ class Sampler:
 
     @property
     def expected_sample_size(self) -> float:
-        """Expected size of the realized sample at the current time."""
-        return float(len(self.sample_items()))
+        """Expected size of the realized sample at the current time.
+
+        Contract: this is a *cheap* bookkeeping query — it must not draw
+        randomness, must not mutate state, and should cost O(1) for any
+        sampler that tracks its size (the array-backed samplers all do).
+        The base implementation falls back to :meth:`_sample_size`, which
+        itself defaults to materializing the sample once; subclasses with
+        fractional state (e.g. R-TBS returning ``C_t``) or an internal size
+        counter should override one of the two.
+        """
+        return float(self._sample_size())
 
     def process_batch(
-        self, batch: Sequence[Any] | Iterable[Any], time: float | None = None
+        self, batch: Sequence[Any] | Iterable[Any] | np.ndarray, time: float | None = None
     ) -> list[Any]:
         """Ingest one arriving batch and return the new realized sample.
 
         Parameters
         ----------
         batch:
-            The arriving items (may be empty).
+            The arriving items (may be empty). Lists and 1-D NumPy arrays
+            are passed to the sampler unchanged; other iterables are
+            materialized first.
         time:
             Wall-clock arrival time. Defaults to the previous time plus one,
             matching the paper's integer batch sequence; arbitrary increasing
             real values are accepted (Section 2's extension).
         """
-        items = list(batch)
-        if time is None:
-            time = self._time + 1.0
-        if time <= self._time and self._batches_seen > 0:
-            raise ValueError(
-                f"batch times must be strictly increasing: got {time} after {self._time}"
-            )
-        elapsed = time - self._time if self._batches_seen > 0 else 1.0
-        self._time = time
-        self._batches_seen += 1
+        items = self._coerce_batch(batch)
+        elapsed = self._advance_time(time)
         self._process_batch(items, elapsed)
         sample = self.sample_items()
         if self._record_history:
@@ -137,20 +150,101 @@ class Sampler:
             )
         return sample
 
+    def process_stream(
+        self,
+        batches: Iterable[Sequence[Any] | Iterable[Any] | np.ndarray],
+        times: Iterable[float] | None = None,
+    ) -> list[Any]:
+        """Bulk-ingest a sequence of batches and return the final realized sample.
+
+        Equivalent to calling :meth:`process_batch` on each batch in order,
+        but without materializing the realized sample after every batch —
+        only the final sample is built. History recording (when enabled)
+        still captures one :class:`SamplerState` per batch, using the O(1)
+        :meth:`_sample_size` hook instead of a full materialization.
+
+        Parameters
+        ----------
+        batches:
+            Iterable of batches (lists, arrays, or any iterables of items).
+        times:
+            Optional iterable of arrival times, consumed in lockstep with
+            ``batches``; when omitted, batches arrive at ``t+1, t+2, ...``.
+        """
+        time_iter = iter(times) if times is not None else None
+        for batch in batches:
+            items = self._coerce_batch(batch)
+            if time_iter is None:
+                time = None
+            else:
+                try:
+                    time = next(time_iter)
+                except StopIteration:
+                    raise ValueError(
+                        "times iterable exhausted before batches; provide one "
+                        "arrival time per batch or omit times entirely"
+                    ) from None
+            elapsed = self._advance_time(time)
+            self._process_batch(items, elapsed)
+            if self._record_history:
+                self.history.append(
+                    SamplerState(
+                        time=self._time,
+                        sample_size=self._sample_size(),
+                        total_weight=self.total_weight,
+                        expected_size=self.expected_sample_size,
+                    )
+                )
+        return self.sample_items()
+
     def sample_items(self) -> list[Any]:
         """Return the current realized sample ``S_t`` as a list."""
         raise NotImplementedError
 
     def __len__(self) -> int:
-        return len(self.sample_items())
+        return self._sample_size()
 
     # ------------------------------------------------------------------
     # subclass hooks
     # ------------------------------------------------------------------
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
         """Update internal state for a batch that arrived ``elapsed`` after the last.
 
         When this hook runs, :attr:`time` already reflects the arrival time
-        of the batch being processed.
+        of the batch being processed. ``items`` is a list or a 1-D NumPy
+        array; implementations must not hold on to the container itself
+        (callers may reuse it), only to the item payloads.
         """
         raise NotImplementedError
+
+    def _sample_size(self) -> int:
+        """Size of the current realized sample.
+
+        Defaults to materializing the sample; array-backed samplers override
+        this with an O(1) length query so history recording and
+        :attr:`expected_sample_size` stay cheap at large capacities.
+        """
+        return len(self.sample_items())
+
+    # ------------------------------------------------------------------
+    # shared internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_batch(batch: Sequence[Any] | Iterable[Any] | np.ndarray) -> Sequence[Any]:
+        """Normalize a batch to a random-access container without copying arrays."""
+        if isinstance(batch, np.ndarray) or isinstance(batch, list):
+            return batch
+        return list(batch)
+
+    def _advance_time(self, time: float | None) -> float:
+        """Validate and apply a batch-arrival time; return the elapsed gap."""
+        if time is None:
+            time = self._time + 1.0
+        if time <= self._time and self._batches_seen > 0:
+            raise ValueError(
+                f"batch times must be strictly increasing: got {time} after {self._time}"
+            )
+        elapsed = time - self._time if self._batches_seen > 0 else 1.0
+        self._time = time
+        self._batches_seen += 1
+        return elapsed

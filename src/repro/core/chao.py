@@ -16,15 +16,25 @@ is that the appearance-probability criterion (1) is violated
 The paper uses B-Chao as the closest prior baseline; tests and an ablation
 bench in this repository demonstrate exactly where its bias appears relative
 to R-TBS.
+
+The common steady-state case — reservoir full, no overweight items, and
+arrivals fast enough that none can become overweight — is vectorized: the
+per-item acceptance probabilities ``n / (W + k)`` form a deterministic
+sequence within a batch, so acceptance is one Bernoulli mask and victim
+replacement is one fancy-indexed slot assignment over the whole batch. The
+scalar per-item path is kept for fill-up remainders and overweight handling,
+where Algorithm 7's sequential weight bookkeeping is inherently order
+dependent.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.arrays import as_item_array
 from repro.core.base import Sampler
 
 __all__ = ["BatchedChao"]
@@ -91,22 +101,59 @@ class BatchedChao(Sampler):
     def sample_items(self) -> list[Any]:
         return list(self._sample) + [item for item, _ in self._overweight]
 
+    def _sample_size(self) -> int:
+        return len(self._sample) + len(self._overweight)
+
     # ------------------------------------------------------------------
     # Algorithm 6
     # ------------------------------------------------------------------
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
         decay = math.exp(-self.lambda_ * elapsed)
         self._stream_weight *= decay
         self._overweight = [(item, weight * decay) for item, weight in self._overweight]
 
-        for item in items:
-            if len(self._sample) + len(self._overweight) < self.n:
-                # Initial fill-up: accept unconditionally (this is one source
-                # of the criterion-(1) violation the paper points out).
-                self._sample.append(item)
-                self._stream_weight += 1.0
-            else:
-                self._insert_into_full_reservoir(item)
+        # Initial fill-up: accept unconditionally (this is one source of the
+        # criterion-(1) violation the paper points out).
+        start = 0
+        free = self.n - len(self._sample) - len(self._overweight)
+        if free > 0:
+            take = min(free, len(items))
+            self._sample.extend(items[index] for index in range(take))
+            self._stream_weight += float(take)
+            start = take
+        if start >= len(items):
+            return
+
+        # Fast path: with no overweight items pinned and the first remaining
+        # item already non-overweight (n / (W + 1) <= 1), the whole rest of
+        # the batch stays non-overweight because W only grows within a batch.
+        if not self._overweight and self._stream_weight + 1.0 >= self.n:
+            self._bulk_insert(as_item_array(items)[start:])
+        else:
+            for index in range(start, len(items)):
+                self._insert_into_full_reservoir(items[index])
+
+    def _bulk_insert(self, batch: np.ndarray) -> None:
+        """Vectorized Algorithm 6 inner loop for the non-overweight saturated case.
+
+        The sequential acceptance probabilities are ``n / (W + k)`` for the
+        ``k``-th remaining item (``W`` grows by one per item regardless of
+        acceptance), and every accepted item replaces a uniformly random
+        member of the reservoir. Writing accepted items into uniform slots of
+        the sample array reproduces the sequential eviction process exactly:
+        with duplicate slots NumPy keeps the last write, matching a later
+        arrival evicting an earlier one.
+        """
+        count = len(batch)
+        acceptance = self.n / (self._stream_weight + np.arange(1, count + 1))
+        accepted = batch[self._rng.random(count) <= acceptance]
+        self._stream_weight += float(count)
+        if len(accepted) == 0:
+            return
+        slots = self._rng.integers(0, len(self._sample), size=len(accepted))
+        sample = np.fromiter(self._sample, dtype=object, count=len(self._sample))
+        sample[slots] = accepted.astype(object, copy=False)
+        self._sample = sample.tolist()
 
     def _insert_into_full_reservoir(self, item: Any) -> None:
         """Process one arriving item once the reservoir holds ``n`` items."""

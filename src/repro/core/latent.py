@@ -11,17 +11,24 @@ by taking every full item and including the partial item with probability
 weight ``C'`` such that every item's realized inclusion probability is scaled
 by exactly ``C'/C`` (Theorem 4.1). R-TBS relies on this to preserve the
 appearance-probability invariant (4) under decay.
+
+Storage is array-backed: payloads live in a 1-D NumPy array with parallel
+``float64`` arrays of per-item arrival weights and arrival timestamps, so
+Algorithm 3's ``Sample(A, m)``/``Swap1``/``Move1`` primitives are fancy-index
+operations over whole arrays rather than per-item Python loops. The list
+facade (:attr:`LatentSample.full` / :attr:`LatentSample.partial`) is
+preserved for callers that want plain Python objects.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.random_utils import ensure_rng, sample_without_replacement
+from repro.core.arrays import as_item_array, concat_items, empty_item_array
+from repro.core.random_utils import choose_indices, ensure_rng
 
 __all__ = ["LatentSample", "downsample"]
 
@@ -44,26 +51,104 @@ def _floor(x: float) -> int:
     return int(math.floor(x))
 
 
-@dataclass
-class LatentSample:
-    """A fractional sample ``(A, pi, C)``.
+def _meta_array(values: Sequence[float] | np.ndarray | None, count: int, default: float) -> np.ndarray:
+    """A ``float64`` metadata array of length ``count`` (filled with ``default`` if absent)."""
+    if values is None:
+        return np.full(count, default, dtype=np.float64)
+    arr = np.asarray(values, dtype=np.float64)
+    if len(arr) != count:
+        raise ValueError(f"metadata array has length {len(arr)}, expected {count}")
+    return arr
 
-    Attributes
+
+class _Items:
+    """A column group: parallel (payloads, weights, timestamps) arrays."""
+
+    __slots__ = ("payloads", "weights", "timestamps")
+
+    def __init__(self, payloads: np.ndarray, weights: np.ndarray, timestamps: np.ndarray) -> None:
+        self.payloads = payloads
+        self.weights = weights
+        self.timestamps = timestamps
+
+    @classmethod
+    def build(
+        cls,
+        payloads: Any,
+        weights: Sequence[float] | np.ndarray | None = None,
+        timestamps: Sequence[float] | np.ndarray | None = None,
+    ) -> "_Items":
+        arr = as_item_array(payloads)
+        return cls(arr, _meta_array(weights, len(arr), 1.0), _meta_array(timestamps, len(arr), 0.0))
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def take(self, indices: np.ndarray) -> "_Items":
+        return _Items(self.payloads[indices], self.weights[indices], self.timestamps[indices])
+
+    def drop_index(self, index: int) -> "_Items":
+        mask = np.ones(len(self.payloads), dtype=bool)
+        mask[index] = False
+        return _Items(self.payloads[mask], self.weights[mask], self.timestamps[mask])
+
+    def concat(self, other: "_Items") -> "_Items":
+        return _Items(
+            concat_items(self.payloads, other.payloads),
+            np.concatenate([self.weights, other.weights]),
+            np.concatenate([self.timestamps, other.timestamps]),
+        )
+
+    def copy(self) -> "_Items":
+        return _Items(self.payloads.copy(), self.weights.copy(), self.timestamps.copy())
+
+    @classmethod
+    def empty(cls) -> "_Items":
+        return cls(empty_item_array(), np.empty(0), np.empty(0))
+
+
+class LatentSample:
+    """A fractional sample ``(A, pi, C)`` backed by parallel NumPy arrays.
+
+    Parameters
     ----------
     full:
-        The full items ``A``; each appears in the realized sample with
-        probability 1.
+        The full items ``A`` (list, sequence, or 1-D array); each appears in
+        the realized sample with probability 1.
     partial:
-        A list holding the partial item if one exists (length 0 or 1); it
-        appears in the realized sample with probability ``frac(weight)``.
+        Zero or one partial item; it appears in the realized sample with
+        probability ``frac(weight)``.
     weight:
         The sample weight ``C``. Invariant: ``len(full) == floor(C)`` and a
         partial item exists iff ``frac(C) > 0``.
+    full_weights, full_timestamps, partial_weights, partial_timestamps:
+        Optional parallel per-item metadata (arrival weight, default 1.0, and
+        arrival timestamp, default 0.0). They travel with the payloads through
+        every downsampling/eviction operation.
     """
 
-    full: list[Any] = field(default_factory=list)
-    partial: list[Any] = field(default_factory=list)
-    weight: float = 0.0
+    __slots__ = ("_full", "_partial", "weight")
+
+    def __init__(
+        self,
+        full: Any = None,
+        partial: Any = None,
+        weight: float = 0.0,
+        *,
+        full_weights: Sequence[float] | np.ndarray | None = None,
+        full_timestamps: Sequence[float] | np.ndarray | None = None,
+        partial_weights: Sequence[float] | np.ndarray | None = None,
+        partial_timestamps: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        self._full = (
+            full if isinstance(full, _Items) else _Items.build(full, full_weights, full_timestamps)
+        )
+        self._partial = (
+            partial
+            if isinstance(partial, _Items)
+            else _Items.build(partial, partial_weights, partial_timestamps)
+        )
+        self.weight = float(weight)
 
     # ------------------------------------------------------------------
     # constructors and invariants
@@ -71,31 +156,35 @@ class LatentSample:
     @classmethod
     def empty(cls) -> "LatentSample":
         """An empty latent sample of weight 0."""
-        return cls(full=[], partial=[], weight=0.0)
+        return cls(_Items.empty(), _Items.empty(), 0.0)
 
     @classmethod
-    def from_full_items(cls, items: list[Any]) -> "LatentSample":
+    def from_full_items(cls, items: Any, timestamp: float = 0.0) -> "LatentSample":
         """A latent sample containing the given items as full items (integral weight)."""
-        return cls(full=list(items), partial=[], weight=float(len(items)))
+        arr = as_item_array(items, copy=True)
+        columns = _Items(
+            arr, np.ones(len(arr)), np.full(len(arr), float(timestamp), dtype=np.float64)
+        )
+        return cls(columns, _Items.empty(), float(len(arr)))
 
     def check_invariants(self) -> None:
         """Raise :class:`ValueError` if the latent-sample invariants are violated."""
         if self.weight < -_WEIGHT_TOLERANCE:
             raise ValueError(f"latent sample weight must be non-negative, got {self.weight}")
-        if len(self.partial) > 1:
+        if len(self._partial) > 1:
             raise ValueError("a latent sample holds at most one partial item")
         expected_full = _floor(self.weight)
-        if len(self.full) != expected_full:
+        if len(self._full) != expected_full:
             raise ValueError(
                 f"latent sample with weight {self.weight} must have {expected_full} "
-                f"full items, found {len(self.full)}"
+                f"full items, found {len(self._full)}"
             )
         has_frac = _frac(self.weight) > 0.0
-        if has_frac and not self.partial:
+        if has_frac and not len(self._partial):
             raise ValueError(
                 f"latent sample with fractional weight {self.weight} is missing a partial item"
             )
-        if not has_frac and self.partial:
+        if not has_frac and len(self._partial):
             raise ValueError(
                 f"latent sample with integral weight {self.weight} must not hold a partial item"
             )
@@ -104,9 +193,44 @@ class LatentSample:
     # queries
     # ------------------------------------------------------------------
     @property
+    def full(self) -> list[Any]:
+        """The full items ``A`` as a plain list (materialized view)."""
+        return self._full.payloads.tolist()
+
+    @property
+    def partial(self) -> list[Any]:
+        """The partial item as a list of length 0 or 1 (materialized view)."""
+        return self._partial.payloads.tolist()
+
+    @property
+    def full_array(self) -> np.ndarray:
+        """The full-item payload array; treat as read-only."""
+        return self._full.payloads
+
+    @property
+    def item_weights(self) -> np.ndarray:
+        """Per-item arrival weights parallel to :attr:`full_array`; treat as read-only."""
+        return self._full.weights
+
+    @property
+    def item_timestamps(self) -> np.ndarray:
+        """Per-item arrival timestamps parallel to :attr:`full_array`; treat as read-only."""
+        return self._full.timestamps
+
+    @property
+    def full_count(self) -> int:
+        """Number of full items, i.e. ``floor(C)`` — an O(1) query."""
+        return len(self._full)
+
+    @property
+    def has_partial(self) -> bool:
+        """Whether a partial item is currently stored."""
+        return len(self._partial) > 0
+
+    @property
     def footprint(self) -> int:
         """Number of items physically stored (``floor(C)`` or ``floor(C)+1``)."""
-        return len(self.full) + len(self.partial)
+        return len(self._full) + len(self._partial)
 
     @property
     def fraction(self) -> float:
@@ -115,43 +239,81 @@ class LatentSample:
 
     def items(self) -> list[Any]:
         """All stored items, full items first, then the partial item if any."""
-        return list(self.full) + list(self.partial)
+        return self._full.payloads.tolist() + self._partial.payloads.tolist()
+
+    def decayed_item_weights(self, lambda_: float, now: float) -> np.ndarray:
+        """Vectorized per-item decayed weights ``w_i e^{-lambda (now - t_i)}``."""
+        return self._full.weights * np.exp(-lambda_ * (now - self._full.timestamps))
+
+    def materialize(self, include_partial: bool) -> list[Any]:
+        """The realized sample as a list, given the partial item's coin flip."""
+        sample = self._full.payloads.tolist()
+        if include_partial and len(self._partial):
+            sample.append(self._partial.payloads[0])
+        return sample
 
     def realize(self, rng: np.random.Generator | int | None = None) -> list[Any]:
         """Draw a realized sample ``S`` from this latent sample (equation (2))."""
         rng = ensure_rng(rng)
-        sample = list(self.full)
-        if self.partial and rng.random() < self.fraction:
-            sample.append(self.partial[0])
-        return sample
+        include = bool(len(self._partial)) and rng.random() < self.fraction
+        return self.materialize(include)
 
     def copy(self) -> "LatentSample":
         """Shallow copy (items shared, containers new)."""
-        return LatentSample(full=list(self.full), partial=list(self.partial), weight=self.weight)
+        return LatentSample(self._full.copy(), self._partial.copy(), self.weight)
+
+    # ------------------------------------------------------------------
+    # array-native builders (used by the vectorized samplers)
+    # ------------------------------------------------------------------
+    def with_appended_full(
+        self,
+        items: Any,
+        timestamp: float = 0.0,
+        item_weights: Sequence[float] | np.ndarray | None = None,
+    ) -> "LatentSample":
+        """A new latent sample with ``items`` appended as full items.
+
+        The sample weight grows by ``len(items)``; the partial item (if any)
+        is carried over unchanged. This is the unsaturated-arrival primitive
+        of Algorithm 2 expressed as one array concatenation.
+        """
+        arr = as_item_array(items)
+        appended = _Items(
+            arr,
+            _meta_array(item_weights, len(arr), 1.0),
+            np.full(len(arr), float(timestamp), dtype=np.float64),
+        )
+        return LatentSample(
+            self._full.concat(appended), self._partial.copy(), self.weight + len(arr)
+        )
 
 
 # ----------------------------------------------------------------------
-# Algorithm 3 primitives
+# Algorithm 3 primitives (array form)
 # ----------------------------------------------------------------------
-def _swap1(rng: np.random.Generator, full: list[Any], partial: list[Any]) -> tuple[list, list]:
+def _swap1(rng: np.random.Generator, full: _Items, partial: _Items) -> tuple[_Items, _Items]:
     """``Swap1(A, pi)``: move a random full item to ``pi``, old partial item to ``A``."""
-    if not full:
+    if not len(full):
         raise ValueError("Swap1 requires at least one full item")
-    idx = int(rng.integers(len(full)))
-    chosen = full[idx]
-    new_full = full[:idx] + full[idx + 1 :]
-    new_full.extend(partial)
-    return new_full, [chosen]
+    index = int(rng.integers(len(full)))
+    chosen = full.take(np.array([index]))
+    return full.drop_index(index).concat(partial), chosen
 
 
-def _move1(rng: np.random.Generator, full: list[Any], partial: list[Any]) -> tuple[list, list]:
+def _move1(rng: np.random.Generator, full: _Items, partial: _Items) -> tuple[_Items, _Items]:
     """``Move1(A, pi)``: move a random full item to ``pi``, discarding the old partial item."""
-    if not full:
+    if not len(full):
         raise ValueError("Move1 requires at least one full item")
-    idx = int(rng.integers(len(full)))
-    chosen = full[idx]
-    new_full = full[:idx] + full[idx + 1 :]
-    return new_full, [chosen]
+    index = int(rng.integers(len(full)))
+    chosen = full.take(np.array([index]))
+    return full.drop_index(index), chosen
+
+
+def _subsample(rng: np.random.Generator, columns: _Items, size: int) -> _Items:
+    """``Sample(A, m)``: a uniform random subset as one fancy-indexing pass."""
+    if size >= len(columns):
+        return columns
+    return columns.take(choose_indices(rng, len(columns), size))
 
 
 def downsample(
@@ -164,6 +326,9 @@ def downsample(
     Produces a new latent sample ``L' = (A', pi', C')`` with
     ``C' = target_weight`` such that ``Pr[i in S'] = (C'/C) Pr[i in S]`` for
     every item ``i`` of the input (Theorem 4.1). The input is not modified.
+
+    All item movement is expressed as whole-array selection, so the cost is a
+    handful of NumPy operations regardless of how many items are deleted.
 
     Raises
     ------
@@ -181,8 +346,8 @@ def downsample(
             f"target weight {target_weight} must be smaller than the current weight {weight}"
         )
 
-    full = list(latent.full)
-    partial = list(latent.partial)
+    full = latent._full
+    partial = latent._partial
     frac_c = _frac(weight)
     frac_cprime = _frac(target_weight)
     floor_cprime = _floor(target_weight)
@@ -193,7 +358,7 @@ def downsample(
         # No full items are retained; only a partial item survives.
         if u > (frac_c / weight if frac_c > 0.0 else 0.0):
             full, partial = _swap1(rng, full, partial)
-        full = []
+        full = _Items.empty()
     elif floor_cprime == floor_c:
         # No items are deleted; the partial item may be promoted to full.
         keep_probability = (1.0 - (target_weight / weight) * frac_c) / (1.0 - frac_cprime)
@@ -202,15 +367,15 @@ def downsample(
     else:
         # 0 < floor(C') < floor(C): some full items are deleted.
         if frac_c > 0.0 and u <= (target_weight / weight) * frac_c:
-            full = sample_without_replacement(rng, full, floor_cprime)
+            full = _subsample(rng, full, floor_cprime)
             full, partial = _swap1(rng, full, partial)
         else:
-            full = sample_without_replacement(rng, full, floor_cprime + 1)
+            full = _subsample(rng, full, floor_cprime + 1)
             full, partial = _move1(rng, full, partial)
 
     if frac_cprime == 0.0:
-        partial = []
+        partial = _Items.empty()
 
-    result = LatentSample(full=full, partial=partial, weight=float(target_weight))
+    result = LatentSample(full, partial, float(target_weight))
     result.check_invariants()
     return result

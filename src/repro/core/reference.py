@@ -1,0 +1,305 @@
+"""Scalar (pre-vectorization) reference implementations of the samplers.
+
+These are the original pure-Python, list-based implementations of the latent
+sample (Algorithm 3), R-TBS (Algorithm 2), and T-TBS (Algorithm 1), kept
+verbatim as an executable specification. They exist for two reasons:
+
+* the equivalence test-suite (``tests/core/test_vectorized_equivalence.py``)
+  proves that the vectorized engines in :mod:`repro.core.latent`,
+  :mod:`repro.core.rtbs`, and :mod:`repro.core.ttbs` produce identical
+  ``W_t``/``C_t`` bookkeeping trajectories and statistically
+  indistinguishable samples;
+* the throughput benchmark (``benchmarks/bench_sampler_throughput.py``)
+  measures the vectorized engines' speedup against this baseline at the
+  large-batch operating point.
+
+Do not use these classes in production code paths — they iterate item by
+item and are orders of magnitude slower at realistic batch sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.base import Sampler
+from repro.core.random_utils import (
+    binomial,
+    ensure_rng,
+    sample_without_replacement,
+    stochastic_round,
+)
+
+__all__ = ["ScalarLatentSample", "scalar_downsample", "ScalarRTBS", "ScalarTTBS"]
+
+_WEIGHT_TOLERANCE = 1e-9
+_WEIGHT_EPSILON = 1e-12
+
+
+def _frac(x: float) -> float:
+    f = x - math.floor(x)
+    if f < _WEIGHT_TOLERANCE or f > 1.0 - _WEIGHT_TOLERANCE:
+        return 0.0
+    return f
+
+
+def _floor(x: float) -> int:
+    nearest = round(x)
+    if abs(x - nearest) < _WEIGHT_TOLERANCE:
+        return int(nearest)
+    return int(math.floor(x))
+
+
+@dataclass
+class ScalarLatentSample:
+    """List-based latent sample ``(A, pi, C)`` — the seed data structure."""
+
+    full: list[Any] = field(default_factory=list)
+    partial: list[Any] = field(default_factory=list)
+    weight: float = 0.0
+
+    @classmethod
+    def empty(cls) -> "ScalarLatentSample":
+        return cls(full=[], partial=[], weight=0.0)
+
+    @classmethod
+    def from_full_items(cls, items: list[Any]) -> "ScalarLatentSample":
+        return cls(full=list(items), partial=[], weight=float(len(items)))
+
+    @property
+    def fraction(self) -> float:
+        return _frac(self.weight)
+
+    def items(self) -> list[Any]:
+        return list(self.full) + list(self.partial)
+
+    def realize(self, rng: np.random.Generator | int | None = None) -> list[Any]:
+        rng = ensure_rng(rng)
+        sample = list(self.full)
+        if self.partial and rng.random() < self.fraction:
+            sample.append(self.partial[0])
+        return sample
+
+    def copy(self) -> "ScalarLatentSample":
+        return ScalarLatentSample(
+            full=list(self.full), partial=list(self.partial), weight=self.weight
+        )
+
+
+def _swap1(rng: np.random.Generator, full: list[Any], partial: list[Any]) -> tuple[list, list]:
+    if not full:
+        raise ValueError("Swap1 requires at least one full item")
+    idx = int(rng.integers(len(full)))
+    chosen = full[idx]
+    new_full = full[:idx] + full[idx + 1 :]
+    new_full.extend(partial)
+    return new_full, [chosen]
+
+
+def _move1(rng: np.random.Generator, full: list[Any], partial: list[Any]) -> tuple[list, list]:
+    if not full:
+        raise ValueError("Move1 requires at least one full item")
+    idx = int(rng.integers(len(full)))
+    chosen = full[idx]
+    new_full = full[:idx] + full[idx + 1 :]
+    return new_full, [chosen]
+
+
+def scalar_downsample(
+    latent: ScalarLatentSample,
+    target_weight: float,
+    rng: np.random.Generator | int | None = None,
+) -> ScalarLatentSample:
+    """Algorithm 3 over Python lists — the seed implementation, kept verbatim."""
+    rng = ensure_rng(rng)
+    weight = latent.weight
+    if target_weight <= 0:
+        raise ValueError(f"target weight must be positive, got {target_weight}")
+    if target_weight >= weight - _WEIGHT_TOLERANCE:
+        if abs(target_weight - weight) <= _WEIGHT_TOLERANCE:
+            return latent.copy()
+        raise ValueError(
+            f"target weight {target_weight} must be smaller than the current weight {weight}"
+        )
+
+    full = list(latent.full)
+    partial = list(latent.partial)
+    frac_c = _frac(weight)
+    frac_cprime = _frac(target_weight)
+    floor_cprime = _floor(target_weight)
+    floor_c = _floor(weight)
+    u = rng.random()
+
+    if floor_cprime == 0:
+        if u > (frac_c / weight if frac_c > 0.0 else 0.0):
+            full, partial = _swap1(rng, full, partial)
+        full = []
+    elif floor_cprime == floor_c:
+        keep_probability = (1.0 - (target_weight / weight) * frac_c) / (1.0 - frac_cprime)
+        if u > keep_probability:
+            full, partial = _swap1(rng, full, partial)
+    else:
+        if frac_c > 0.0 and u <= (target_weight / weight) * frac_c:
+            full = sample_without_replacement(rng, full, floor_cprime)
+            full, partial = _swap1(rng, full, partial)
+        else:
+            full = sample_without_replacement(rng, full, floor_cprime + 1)
+            full, partial = _move1(rng, full, partial)
+
+    if frac_cprime == 0.0:
+        partial = []
+
+    return ScalarLatentSample(full=full, partial=partial, weight=float(target_weight))
+
+
+class ScalarRTBS(Sampler):
+    """The seed's per-item R-TBS (Algorithm 2) — reference baseline only."""
+
+    def __init__(
+        self,
+        n: int,
+        lambda_: float,
+        initial_items: list[Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if n <= 0:
+            raise ValueError(f"maximum sample size must be positive, got {n}")
+        if lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        initial = list(initial_items or [])
+        if len(initial) > n:
+            raise ValueError(
+                f"initial sample has {len(initial)} items but the capacity is {n}"
+            )
+        self.n = int(n)
+        self.lambda_ = float(lambda_)
+        self._latent = ScalarLatentSample.from_full_items(initial)
+        self._total_weight = float(len(initial))
+        self._realized: list[Any] = list(initial)
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def sample_weight(self) -> float:
+        return self._latent.weight
+
+    @property
+    def expected_sample_size(self) -> float:
+        return self._latent.weight
+
+    @property
+    def is_saturated(self) -> bool:
+        return self._total_weight >= self.n
+
+    def sample_items(self) -> list[Any]:
+        return list(self._realized)
+
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
+        items = list(items)
+        decay = math.exp(-self.lambda_ * elapsed)
+        batch_size = len(items)
+
+        if self._total_weight < self.n:
+            self._process_unsaturated(items, batch_size, decay)
+        else:
+            self._process_saturated(items, batch_size, decay)
+
+        self._realized = self._latent.realize(self._rng)
+
+    def _process_unsaturated(self, items: list[Any], batch_size: int, decay: float) -> None:
+        new_weight = self._total_weight * decay
+        if new_weight > _WEIGHT_EPSILON:
+            self._latent = scalar_downsample(self._latent, new_weight, self._rng)
+        else:
+            new_weight = 0.0
+            self._latent = ScalarLatentSample.empty()
+
+        self._latent = ScalarLatentSample(
+            full=self._latent.full + list(items),
+            partial=list(self._latent.partial),
+            weight=self._latent.weight + batch_size,
+        )
+        self._total_weight = new_weight + batch_size
+
+        if self._total_weight > self.n:
+            self._latent = scalar_downsample(self._latent, float(self.n), self._rng)
+
+    def _process_saturated(self, items: list[Any], batch_size: int, decay: float) -> None:
+        decayed_weight = self._total_weight * decay
+        self._total_weight = decayed_weight + batch_size
+
+        if self._total_weight >= self.n:
+            accepted = stochastic_round(self._rng, batch_size * self.n / self._total_weight)
+            accepted = min(accepted, batch_size, self.n)
+            if accepted > 0:
+                survivors = sample_without_replacement(
+                    self._rng, self._latent.full, self.n - accepted
+                )
+                inserted = sample_without_replacement(self._rng, items, accepted)
+                self._latent = ScalarLatentSample(
+                    full=survivors + inserted, partial=[], weight=float(self.n)
+                )
+        else:
+            target = self._total_weight - batch_size
+            if target > _WEIGHT_EPSILON:
+                self._latent = scalar_downsample(self._latent, target, self._rng)
+            else:
+                self._latent = ScalarLatentSample.empty()
+            self._latent = ScalarLatentSample(
+                full=self._latent.full + list(items),
+                partial=list(self._latent.partial),
+                weight=self._latent.weight + batch_size,
+            )
+
+
+class ScalarTTBS(Sampler):
+    """The seed's per-item T-TBS (Algorithm 1) — reference baseline only."""
+
+    def __init__(
+        self,
+        n: int,
+        lambda_: float,
+        mean_batch_size: float,
+        initial_items: list[Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+        enforce_feasibility: bool = True,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        if n <= 0:
+            raise ValueError(f"target sample size must be positive, got {n}")
+        if lambda_ < 0:
+            raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        if mean_batch_size <= 0:
+            raise ValueError(f"mean batch size must be positive, got {mean_batch_size}")
+        self.n = int(n)
+        self.lambda_ = float(lambda_)
+        self.mean_batch_size = float(mean_batch_size)
+        self.retention_probability = math.exp(-lambda_)
+        required = n * (1.0 - self.retention_probability)
+        if enforce_feasibility and mean_batch_size < required - 1e-12:
+            raise ValueError("infeasible configuration")
+        self.acceptance_probability = min(1.0, required / mean_batch_size)
+        self._sample: list[Any] = list(initial_items or [])
+
+    def sample_items(self) -> list[Any]:
+        return list(self._sample)
+
+    @property
+    def total_weight(self) -> float:
+        return float("nan")
+
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
+        items = list(items)
+        retention = math.exp(-self.lambda_ * elapsed)
+        keep = binomial(self._rng, len(self._sample), retention)
+        self._sample = sample_without_replacement(self._rng, self._sample, keep)
+        accept = binomial(self._rng, len(items), self.acceptance_probability)
+        self._sample.extend(sample_without_replacement(self._rng, items, accept))

@@ -14,18 +14,26 @@ the sample and stochastic rounding to accept new items when saturated.
 Theorem 4.2 shows the invariant ``Pr[i in S_t] = (C_t / W_t) w_t(i)`` holds
 for every item, and Theorems 4.3/4.4 show R-TBS maximizes expected sample
 size when unsaturated and minimizes sample-size variance.
+
+This implementation is vectorized: the latent sample is array-backed
+(:class:`repro.core.latent.LatentSample`), so batch acceptance, reservoir
+eviction, and downsampling are whole-array NumPy operations. Per-batch cost
+is therefore dominated by a few fancy-indexing passes over at most ``n``
+items, independent of how the batch is represented — feeding 1-D NumPy
+arrays as batches avoids per-item conversion entirely.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.arrays import as_item_array, concat_items
 from repro.core.base import Sampler
 from repro.core.latent import LatentSample, downsample
-from repro.core.random_utils import sample_without_replacement, stochastic_round
+from repro.core.random_utils import choose_indices, stochastic_round
 
 __all__ = ["RTBS"]
 
@@ -70,16 +78,19 @@ class RTBS(Sampler):
             raise ValueError(f"maximum sample size must be positive, got {n}")
         if lambda_ < 0:
             raise ValueError(f"decay rate must be non-negative, got {lambda_}")
-        initial = list(initial_items or [])
+        initial = as_item_array(initial_items)
         if len(initial) > n:
             raise ValueError(
                 f"initial sample has {len(initial)} items but the capacity is {n}"
             )
         self.n = int(n)
         self.lambda_ = float(lambda_)
-        self._latent = LatentSample.from_full_items(initial)
+        self._latent = LatentSample.from_full_items(initial, timestamp=0.0)
         self._total_weight = float(len(initial))
-        self._realized: list[Any] = list(initial)
+        # Outcome of the partial item's coin flip for the current realized
+        # sample; redrawn after every batch so sample_items() is stable
+        # between batches and O(1) bookkeeping stays possible.
+        self._include_partial = False
 
     # ------------------------------------------------------------------
     # Sampler interface
@@ -96,6 +107,7 @@ class RTBS(Sampler):
 
     @property
     def expected_sample_size(self) -> float:
+        """``C_t`` — an O(1) query on the latent sample's bookkeeping."""
         return self._latent.weight
 
     @property
@@ -109,7 +121,14 @@ class RTBS(Sampler):
         return self._latent
 
     def sample_items(self) -> list[Any]:
-        return list(self._realized)
+        return self._latent.materialize(self._include_partial)
+
+    def sample_ages(self) -> np.ndarray:
+        """Ages ``t - t_i`` of the current full items (vectorized, for analysis)."""
+        return self._time - self._latent.item_timestamps
+
+    def _sample_size(self) -> int:
+        return self._latent.full_count + (1 if self._include_partial else 0)
 
     def theoretical_inclusion_probability(self, item_age: float) -> float:
         """Invariant (4): probability that an item of the given age is in the sample."""
@@ -123,19 +142,24 @@ class RTBS(Sampler):
     # ------------------------------------------------------------------
     # Algorithm 2
     # ------------------------------------------------------------------
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
+        batch = as_item_array(items)
         decay = math.exp(-self.lambda_ * elapsed)
-        batch_size = len(items)
 
         if self._total_weight < self.n:
-            self._process_unsaturated(items, batch_size, decay)
+            self._process_unsaturated(batch, decay)
         else:
-            self._process_saturated(items, batch_size, decay)
+            self._process_saturated(batch, decay)
 
-        self._realized = self._latent.realize(self._rng)
+        # Realize the partial item's coin flip for this batch's sample
+        # (equation (2)); the full items are realized implicitly.
+        self._include_partial = (
+            self._latent.has_partial and self._rng.random() < self._latent.fraction
+        )
 
-    def _process_unsaturated(self, items: list[Any], batch_size: int, decay: float) -> None:
+    def _process_unsaturated(self, batch: np.ndarray, decay: float) -> None:
         """Previously unsaturated: ``W_{t-1} < n`` and ``C_{t-1} = W_{t-1}``."""
+        batch_size = len(batch)
         new_weight = self._total_weight * decay
         if new_weight > _WEIGHT_EPSILON:
             self._latent = downsample(self._latent, new_weight, self._rng)
@@ -144,11 +168,7 @@ class RTBS(Sampler):
             self._latent = LatentSample.empty()
 
         # Accept every arriving item as a full item (inclusion probability 1).
-        self._latent = LatentSample(
-            full=self._latent.full + list(items),
-            partial=list(self._latent.partial),
-            weight=self._latent.weight + batch_size,
-        )
+        self._latent = self._latent.with_appended_full(batch, timestamp=self._time)
         self._total_weight = new_weight + batch_size
 
         if self._total_weight > self.n:
@@ -156,8 +176,9 @@ class RTBS(Sampler):
             self._latent = downsample(self._latent, float(self.n), self._rng)
         self._latent.check_invariants()
 
-    def _process_saturated(self, items: list[Any], batch_size: int, decay: float) -> None:
+    def _process_saturated(self, batch: np.ndarray, decay: float) -> None:
         """Previously saturated: ``W_{t-1} >= n`` and the latent sample holds n full items."""
+        batch_size = len(batch)
         decayed_weight = self._total_weight * decay
         self._total_weight = decayed_weight + batch_size
 
@@ -166,12 +187,22 @@ class RTBS(Sampler):
             accepted = stochastic_round(self._rng, batch_size * self.n / self._total_weight)
             accepted = min(accepted, batch_size, self.n)
             if accepted > 0:
-                survivors = sample_without_replacement(
-                    self._rng, self._latent.full, self.n - accepted
+                survivor_idx = choose_indices(
+                    self._rng, self._latent.full_count, self.n - accepted
                 )
-                inserted = sample_without_replacement(self._rng, items, accepted)
+                insert_idx = choose_indices(self._rng, batch_size, accepted)
                 self._latent = LatentSample(
-                    full=survivors + inserted, partial=[], weight=float(self.n)
+                    full=concat_items(self._latent.full_array[survivor_idx], batch[insert_idx]),
+                    weight=float(self.n),
+                    full_weights=np.concatenate(
+                        [self._latent.item_weights[survivor_idx], np.ones(accepted)]
+                    ),
+                    full_timestamps=np.concatenate(
+                        [
+                            self._latent.item_timestamps[survivor_idx],
+                            np.full(accepted, self._time),
+                        ]
+                    ),
                 )
         else:
             # Undershoot: the batch cannot refill the reservoir, so the sample
@@ -181,9 +212,5 @@ class RTBS(Sampler):
                 self._latent = downsample(self._latent, target, self._rng)
             else:
                 self._latent = LatentSample.empty()
-            self._latent = LatentSample(
-                full=self._latent.full + list(items),
-                partial=list(self._latent.partial),
-                weight=self._latent.weight + batch_size,
-            )
+            self._latent = self._latent.with_appended_full(batch, timestamp=self._time)
         self._latent.check_invariants()

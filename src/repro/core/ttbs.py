@@ -8,17 +8,24 @@ batch size. At the target size the expected number of deletions matches the
 expected number of insertions, so the sample size drifts towards ``n``
 (Theorem 3.1), but it is not bounded: bursts of large batches overflow it
 (Figure 1a) and the mean batch size must be known in advance.
+
+The implementation is vectorized: the sample lives in a 1-D NumPy array,
+retention is a single Bernoulli mask draw over the whole array, and batch
+acceptance follows the paper's ``Binomial(|B|, q)`` + ``Sample(B, m)``
+formulation with the subset realized by one fancy-indexing pass — both are
+i.i.d. thinning, with no per-item Python work.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.arrays import as_item_array, concat_items
 from repro.core.base import Sampler
-from repro.core.random_utils import binomial, sample_without_replacement
+from repro.core.random_utils import binomial, choose_indices
 
 __all__ = ["TTBS"]
 
@@ -79,13 +86,16 @@ class TTBS(Sampler):
                 "items would decay faster than they arrive at the target size"
             )
         self.acceptance_probability = min(1.0, required / mean_batch_size)
-        self._sample: list[Any] = list(initial_items or [])
+        self._sample = as_item_array(initial_items, copy=True)
 
     # ------------------------------------------------------------------
     # Sampler interface
     # ------------------------------------------------------------------
     def sample_items(self) -> list[Any]:
-        return list(self._sample)
+        return self._sample.tolist()
+
+    def _sample_size(self) -> int:
+        return len(self._sample)
 
     @property
     def total_weight(self) -> float:
@@ -102,11 +112,17 @@ class TTBS(Sampler):
         return self.n + (self.retention_probability**t) * (c0 - self.n)
 
     # ------------------------------------------------------------------
-    # Algorithm 1
+    # Algorithm 1 (vectorized Bernoulli thinning)
     # ------------------------------------------------------------------
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
         retention = math.exp(-self.lambda_ * elapsed)
-        keep = binomial(self._rng, len(self._sample), retention)
-        self._sample = sample_without_replacement(self._rng, self._sample, keep)
-        accept = binomial(self._rng, len(items), self.acceptance_probability)
-        self._sample.extend(sample_without_replacement(self._rng, items, accept))
+        kept = self._sample
+        if len(kept) and retention < 1.0:
+            kept = kept[self._rng.random(len(kept)) < retention]
+        batch = as_item_array(items)
+        accept = binomial(self._rng, len(batch), self.acceptance_probability)
+        if accept:
+            accepted = batch[choose_indices(self._rng, len(batch), accept)]
+            self._sample = concat_items(kept, accepted)
+        else:
+            self._sample = kept

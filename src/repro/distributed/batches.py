@@ -98,6 +98,22 @@ class DistributedBatch:
             return self.partitions[partition][position]
         return (self.batch_id, partition, position)
 
+    def partition_items(self, partition: int) -> list[Any]:
+        """All items of one partition (materializes virtual items lazily)."""
+        if self.partitions is not None:
+            return list(self.partitions[partition])
+        return [
+            (self.batch_id, partition, position)
+            for position in range(self.partition_sizes[partition])
+        ]
+
+    def take(self, partition: int, positions: Sequence[int]) -> list[Any]:
+        """The items at the given positions of one partition, in one pass."""
+        if self.partitions is not None:
+            bucket = self.partitions[partition]
+            return [bucket[position] for position in positions]
+        return [(self.batch_id, partition, position) for position in positions]
+
     def sample_positions(
         self,
         partition: int,

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from enum import Enum
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -191,6 +191,18 @@ class DistributedRTBS:
     # ------------------------------------------------------------------
     # batch processing
     # ------------------------------------------------------------------
+    def process_stream(self, batches: Iterable[DistributedBatch | Sequence[Any]]) -> list[float]:
+        """Ingest a sequence of batches; return the per-batch simulated runtimes.
+
+        Convenience counterpart of
+        :meth:`repro.core.base.Sampler.process_stream` so the experiment
+        harness can feed whole simulated streams through one uniform
+        bulk-ingest interface; each batch is processed exactly as by
+        :meth:`process_batch`. Virtual and materialized batches are both
+        accepted, but may not be mixed within one run.
+        """
+        return [self.process_batch(batch) for batch in batches]
+
     def process_batch(self, batch: DistributedBatch | Sequence[Any]) -> float:
         """Process one batch; return the simulated runtime of this batch (seconds)."""
         batch = self._coerce_batch(batch)
@@ -318,11 +330,9 @@ class DistributedRTBS:
             self._virtual_full_count += batch_size
         else:
             for partition in range(batch.num_partitions):
-                items = [
-                    batch.item_at(partition, position)
-                    for position in range(batch.partition_sizes[partition])
-                ]
-                self._reservoir.insert(items, self._target_partition(partition))
+                self._reservoir.insert(
+                    batch.partition_items(partition), self._target_partition(partition)
+                )
         self._charge_insert_stage(batch_size, full_batch=True)
 
     def _replace(self, batch: DistributedBatch, accepted: int) -> None:
@@ -341,8 +351,9 @@ class DistributedRTBS:
                 )
                 for partition, count in enumerate(insert_counts):
                     positions = batch.sample_positions(partition, count, self._rng)
-                    items = [batch.item_at(partition, position) for position in positions]
-                    self._reservoir.insert(items, self._target_partition(partition))
+                    self._reservoir.insert(
+                        batch.take(partition, positions), self._target_partition(partition)
+                    )
         self._charge_plan_stage(accepted, accepted)
         self._charge_retrieve_stage(batch_size, accepted)
         self._charge_delete_stage(accepted)

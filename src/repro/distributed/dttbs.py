@@ -7,16 +7,22 @@ and unions the results. No master coordination is required beyond launching
 the single stage, which is why D-T-TBS is much faster than any D-R-TBS
 variant in Figure 7 — at the price of only probabilistic sample-size control
 and the requirement that the mean batch size be known in advance.
+
+Worker reservoirs are array-backed: each partition is a 1-D NumPy array and
+the retention/acceptance steps are single Bernoulli mask draws over the whole
+partition — the same vectorized thinning as the serial
+:class:`repro.core.ttbs.TTBS`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.random_utils import binomial, ensure_rng, sample_without_replacement, spawn_rngs
+from repro.core.arrays import as_item_array, concat_items, empty_item_array
+from repro.core.random_utils import binomial, ensure_rng, spawn_rngs
 from repro.distributed.batches import DistributedBatch
 from repro.distributed.cluster import SimulatedCluster
 
@@ -50,7 +56,9 @@ class DistributedTTBS:
         )
         self._rng = ensure_rng(rng)
         self._worker_rngs = spawn_rngs(self._rng, cluster.num_workers)
-        self._partitions: list[list[Any]] = [[] for _ in range(cluster.num_workers)]
+        self._partitions: list[np.ndarray] = [
+            empty_item_array() for _ in range(cluster.num_workers)
+        ]
         self._virtual_counts: list[int] = [0] * cluster.num_workers
         self._virtual_mode = False
         self._batches_seen = 0
@@ -63,7 +71,7 @@ class DistributedTTBS:
         """All sample items across workers (materialized mode only)."""
         if self._virtual_mode:
             raise RuntimeError("sample items are not materialized in virtual mode")
-        return [item for partition in self._partitions for item in partition]
+        return [item for partition in self._partitions for item in partition.tolist()]
 
     def sample_size(self) -> int:
         """Current total sample size across all workers."""
@@ -74,6 +82,15 @@ class DistributedTTBS:
     # ------------------------------------------------------------------
     # processing
     # ------------------------------------------------------------------
+    def process_stream(self, batches: Iterable[DistributedBatch | Sequence[Any]]) -> list[float]:
+        """Ingest a sequence of batches; return the per-batch simulated runtimes.
+
+        Convenience counterpart of
+        :meth:`repro.core.base.Sampler.process_stream`; each batch is
+        processed exactly as by :meth:`process_batch`.
+        """
+        return [self.process_batch(batch) for batch in batches]
+
     def process_batch(self, batch: DistributedBatch | Sequence[Any]) -> float:
         """Process one batch; return the simulated runtime of this batch (seconds)."""
         if not isinstance(batch, DistributedBatch):
@@ -128,11 +145,16 @@ class DistributedTTBS:
             self._virtual_counts[worker] = kept + accepted
             return
         current = self._partitions[worker]
-        kept_count = binomial(rng, len(current), self.retention_probability)
-        kept_items = sample_without_replacement(rng, current, kept_count)
+        if len(current) and self.retention_probability < 1.0:
+            current = current[rng.random(len(current)) < self.retention_probability]
+        pieces = [current]
         for partition in batch_partitions:
-            size = batch.partition_sizes[partition]
-            accepted_count = binomial(rng, size, self.acceptance_probability)
-            positions = batch.sample_positions(partition, accepted_count, rng)
-            kept_items.extend(batch.item_at(partition, position) for position in positions)
-        self._partitions[worker] = kept_items
+            # Draw the acceptance count first so only the accepted items are
+            # ever materialized — O(accepted), not O(partition size).
+            accepted = binomial(
+                rng, batch.partition_sizes[partition], self.acceptance_probability
+            )
+            if accepted:
+                positions = batch.sample_positions(partition, accepted, rng)
+                pieces.append(as_item_array(batch.take(partition, positions)))
+        self._partitions[worker] = concat_items(*pieces)

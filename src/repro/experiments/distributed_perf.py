@@ -97,9 +97,12 @@ def measure_drtbs_runtime(
         join=variant.join,
         rng=rng,
     )
-    for batch_index in range(1, num_batches + 1):
-        batch = DistributedBatch.virtual(batch_size, num_workers, batch_id=batch_index)
-        algorithm.process_batch(batch)
+    # The simulated batches are virtual (no payloads): the stream carries
+    # only per-partition counts, generated lazily.
+    algorithm.process_stream(
+        DistributedBatch.virtual(batch_size, num_workers, batch_id=batch_index)
+        for batch_index in range(1, num_batches + 1)
+    )
     return _average_runtime(algorithm.batch_runtimes, discard)
 
 
@@ -122,9 +125,10 @@ def measure_dttbs_runtime(
         cluster=cluster,
         rng=rng,
     )
-    for batch_index in range(1, num_batches + 1):
-        batch = DistributedBatch.virtual(batch_size, num_workers, batch_id=batch_index)
-        algorithm.process_batch(batch)
+    algorithm.process_stream(
+        DistributedBatch.virtual(batch_size, num_workers, batch_id=batch_index)
+        for batch_index in range(1, num_batches + 1)
+    )
     return _average_runtime(algorithm.batch_runtimes, discard)
 
 

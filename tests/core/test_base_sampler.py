@@ -88,3 +88,47 @@ class TestHistory:
             base.sample_items()
         with pytest.raises(NotImplementedError):
             base.process_batch([1])
+
+
+class TestProcessStream:
+    def test_stream_equals_sequential_batches(self):
+        batches = [[1, 2], [3], [], [4, 5, 6]]
+        sequential = _KeepEverything()
+        for batch in batches:
+            sequential.process_batch(batch)
+        streamed = _KeepEverything()
+        final = streamed.process_stream(batches)
+        assert final == sequential.sample_items()
+        assert streamed.time == sequential.time
+        assert streamed.batches_seen == sequential.batches_seen
+        assert streamed.elapsed_values == sequential.elapsed_values
+
+    def test_stream_with_explicit_times(self):
+        sampler = _KeepEverything()
+        sampler.process_stream([[1], [2], [3]], times=[0.5, 2.0, 2.25])
+        assert sampler.time == 2.25
+        assert sampler.elapsed_values == pytest.approx([1.0, 1.5, 0.25])
+
+    def test_stream_rejects_non_increasing_times(self):
+        sampler = _KeepEverything()
+        with pytest.raises(ValueError):
+            sampler.process_stream([[1], [2]], times=[3.0, 3.0])
+
+    def test_stream_records_history_per_batch(self):
+        sampler = _KeepEverything(record_history=True)
+        sampler.process_stream([[1, 2], [3], [4]])
+        assert [state.sample_size for state in sampler.history] == [2, 3, 4]
+        assert [state.time for state in sampler.history] == [1.0, 2.0, 3.0]
+
+    def test_stream_accepts_generators_of_iterables(self):
+        sampler = _KeepEverything()
+        sampler.process_stream(iter([range(3), range(3, 5)]))
+        assert sampler.sample_items() == [0, 1, 2, 3, 4]
+
+    def test_expected_sample_size_is_len_by_default(self):
+        # Contract: the base property answers via _sample_size without
+        # randomness; for this list-backed sampler that is the realized size.
+        sampler = _KeepEverything()
+        sampler.process_stream([[1, 2], [3]])
+        assert sampler.expected_sample_size == 3.0
+        assert len(sampler) == 3

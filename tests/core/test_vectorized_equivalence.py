@@ -1,0 +1,329 @@
+"""Scalar-vs-vectorized equivalence: the array-backed engines must reproduce
+the seed implementations.
+
+The vectorized samplers (:mod:`repro.core.rtbs`, :mod:`repro.core.ttbs`,
+:mod:`repro.core.latent`, :mod:`repro.core.chao`, :mod:`repro.core.ares`)
+replace per-item Python loops with whole-array NumPy operations. These tests
+pin the refactor to the original semantics along three axes:
+
+* **bookkeeping** — the ``W_t``/``C_t`` trajectories are deterministic
+  functions of the batch sizes and must match the scalar reference
+  (:mod:`repro.core.reference`) batch for batch, to floating-point accuracy;
+* **distribution** — realized sample sizes and per-batch inclusion
+  probabilities must be statistically indistinguishable from the scalar
+  implementations under matched workloads;
+* **identity** — where the vectorized form consumes the identical random
+  stream (A-Res batch key draws), the final sample must match item for item.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ares import AResSampler
+from repro.core.chao import BatchedChao
+from repro.core.latent import LatentSample, downsample
+from repro.core.reference import (
+    ScalarLatentSample,
+    ScalarRTBS,
+    ScalarTTBS,
+    scalar_downsample,
+)
+from repro.core.rtbs import RTBS
+from repro.core.ttbs import TTBS
+from tests.conftest import empirical_inclusion_by_batch, make_batches
+
+
+# ----------------------------------------------------------------------
+# workloads exercising every Algorithm 2 branch
+# ----------------------------------------------------------------------
+def _workloads() -> dict[str, tuple[int, float, list[int]]]:
+    """(capacity, lambda, batch sizes) per named regime."""
+    rng = np.random.default_rng(7)
+    return {
+        "unsaturated_growth": (10_000, 0.1, [30] * 40),
+        "saturated_steady": (50, 0.25, [40] * 30),
+        "bursty": (60, 0.1, [500 if t % 10 == 0 else 3 for t in range(1, 60)]),
+        "undershoot_with_gaps": (80, 0.4, [100, 0, 0, 5, 0, 120, 0, 0, 0, 2] * 4),
+        "random_sizes": (70, 0.2, [int(s) for s in rng.integers(0, 150, size=50)]),
+    }
+
+
+class TestBookkeepingTrajectories:
+    """``W_t`` and ``C_t`` depend only on batch sizes — they must match exactly."""
+
+    @pytest.mark.parametrize("regime", list(_workloads().keys()))
+    def test_rtbs_weight_trajectories_match_scalar(self, regime):
+        n, lambda_, sizes = _workloads()[regime]
+        fast = RTBS(n=n, lambda_=lambda_, rng=0)
+        slow = ScalarRTBS(n=n, lambda_=lambda_, rng=1)
+        counter = 0
+        for size in sizes:
+            batch = [(counter + i) for i in range(size)]
+            counter += size
+            fast.process_batch(batch)
+            slow.process_batch(batch)
+            assert fast.total_weight == pytest.approx(slow.total_weight, rel=1e-12, abs=1e-12)
+            assert fast.sample_weight == pytest.approx(slow.sample_weight, rel=1e-12, abs=1e-12)
+            assert fast.expected_sample_size == pytest.approx(
+                slow.expected_sample_size, rel=1e-12, abs=1e-12
+            )
+            assert fast.is_saturated == slow.is_saturated
+
+    def test_rtbs_real_valued_times_match_scalar(self):
+        fast = RTBS(n=40, lambda_=0.3, rng=0)
+        slow = ScalarRTBS(n=40, lambda_=0.3, rng=1)
+        times = [0.5, 1.0, 3.25, 3.5, 7.0, 11.125]
+        for index, time in enumerate(times):
+            batch = list(range(index * 20, index * 20 + 15))
+            fast.process_batch(batch, time=time)
+            slow.process_batch(batch, time=time)
+            assert fast.total_weight == pytest.approx(slow.total_weight, rel=1e-12)
+            assert fast.sample_weight == pytest.approx(slow.sample_weight, rel=1e-12)
+
+
+class TestRTBSSampleDistributions:
+    def test_realized_size_is_floor_or_ceil_of_shared_weight(self):
+        n, lambda_, sizes = _workloads()["random_sizes"]
+        fast = RTBS(n=n, lambda_=lambda_, rng=3)
+        counter = 0
+        for size in sizes:
+            sample = fast.process_batch(list(range(counter, counter + size)))
+            counter += size
+            weight = fast.sample_weight
+            assert len(sample) in {math.floor(weight), math.ceil(weight)}
+
+    def test_mean_sample_size_matches_scalar(self):
+        # E[|S_t|] = C_t for both; compare the empirical means over trials.
+        trials, num_batches, batch_size, n, lambda_ = 300, 15, 30, 60, 0.3
+        fast_sizes, slow_sizes = [], []
+        for trial in range(trials):
+            fast = RTBS(n=n, lambda_=lambda_, rng=trial)
+            slow = ScalarRTBS(n=n, lambda_=lambda_, rng=trial + 50_000)
+            for batch in make_batches(num_batches, batch_size):
+                fast.process_batch(batch)
+                slow.process_batch(batch)
+            fast_sizes.append(len(fast.sample_items()))
+            slow_sizes.append(len(slow.sample_items()))
+        assert np.mean(fast_sizes) == pytest.approx(np.mean(slow_sizes), abs=0.5)
+
+    def test_inclusion_probabilities_match_scalar(self):
+        trials, num_batches, batch_size, n, lambda_ = 500, 12, 40, 60, 0.3
+        fast_samples, slow_samples = [], []
+        for trial in range(trials):
+            fast = RTBS(n=n, lambda_=lambda_, rng=trial)
+            slow = ScalarRTBS(n=n, lambda_=lambda_, rng=trial + 100_000)
+            for batch in make_batches(num_batches, batch_size):
+                fast.process_batch(batch)
+                slow.process_batch(batch)
+            fast_samples.append(fast.sample_items())
+            slow_samples.append(slow.sample_items())
+        fast_incl = empirical_inclusion_by_batch(fast_samples, num_batches, batch_size)
+        slow_incl = empirical_inclusion_by_batch(slow_samples, num_batches, batch_size)
+        np.testing.assert_allclose(fast_incl, slow_incl, atol=0.06)
+
+
+class TestDownsampleEquivalence:
+    """Vectorized Algorithm 3 scales inclusion probabilities exactly like the scalar form."""
+
+    @pytest.mark.parametrize("weight,target", [(3.0, 1.5), (3.2, 1.6), (2.4, 0.4), (2.4, 2.1), (7.4, 4.5)])
+    def test_item_probabilities_match(self, weight, target):
+        trials = 20_000
+        full_count = math.floor(weight) if weight - math.floor(weight) > 1e-9 else int(weight)
+        full = [f"f{i}" for i in range(full_count)]
+        partial = ["p"] if weight - math.floor(weight) > 1e-9 else []
+        fast_rng = np.random.default_rng(11)
+        slow_rng = np.random.default_rng(12)
+        fast_counts = {item: 0 for item in full + partial}
+        slow_counts = {item: 0 for item in full + partial}
+        fast_latent = LatentSample(full=full, partial=partial, weight=weight)
+        slow_latent = ScalarLatentSample(full=full, partial=partial, weight=weight)
+        for _ in range(trials):
+            for item in downsample(fast_latent, target, fast_rng).realize(fast_rng):
+                fast_counts[item] += 1
+            for item in scalar_downsample(slow_latent, target, slow_rng).realize(slow_rng):
+                slow_counts[item] += 1
+        for item in fast_counts:
+            assert fast_counts[item] / trials == pytest.approx(
+                slow_counts[item] / trials, abs=0.02
+            )
+
+    def test_metadata_columns_travel_with_payloads(self):
+        # Per-item timestamps must stay aligned with payloads through
+        # arbitrary downsampling: item k carries timestamp float(k).
+        rng = np.random.default_rng(5)
+        latent = LatentSample(
+            full=list(range(20)),
+            partial=[99],
+            weight=20.5,
+            full_timestamps=np.arange(20, dtype=float),
+            partial_timestamps=[99.0],
+        )
+        for target in (14.3, 9.0, 4.5, 0.7):
+            latent = downsample(latent, target, rng)
+            latent.check_invariants()
+            for payload, timestamp in zip(latent.full_array, latent.item_timestamps):
+                assert float(payload) == timestamp
+
+
+class TestTTBSEquivalence:
+    def test_size_trajectory_statistics_match_scalar(self):
+        # Bernoulli-mask thinning is distributionally identical to
+        # Binomial + uniform subsampling; compare the steady-state
+        # mean and spread of the sample-size trajectories.
+        trials, num_batches, batch_size, n, lambda_ = 120, 60, 50, 100, 0.2
+        fast_final, slow_final = [], []
+        for trial in range(trials):
+            fast = TTBS(n=n, lambda_=lambda_, mean_batch_size=batch_size, rng=trial)
+            slow = ScalarTTBS(n=n, lambda_=lambda_, mean_batch_size=batch_size, rng=trial + 7_000)
+            for batch in make_batches(num_batches, batch_size):
+                fast.process_batch(batch)
+                slow.process_batch(batch)
+            fast_final.append(len(fast))
+            slow_final.append(len(slow.sample_items()))
+        assert np.mean(fast_final) == pytest.approx(np.mean(slow_final), rel=0.08)
+        assert np.std(fast_final) == pytest.approx(np.std(slow_final), rel=0.5)
+
+    def test_inclusion_probabilities_match_scalar(self):
+        trials, num_batches, batch_size, n, lambda_ = 400, 10, 50, 100, 0.3
+        fast_samples, slow_samples = [], []
+        for trial in range(trials):
+            fast = TTBS(n=n, lambda_=lambda_, mean_batch_size=batch_size, rng=trial)
+            slow = ScalarTTBS(
+                n=n, lambda_=lambda_, mean_batch_size=batch_size, rng=trial + 9_000
+            )
+            for batch in make_batches(num_batches, batch_size):
+                fast.process_batch(batch)
+                slow.process_batch(batch)
+            fast_samples.append(fast.sample_items())
+            slow_samples.append(slow.sample_items())
+        fast_incl = empirical_inclusion_by_batch(fast_samples, num_batches, batch_size)
+        slow_incl = empirical_inclusion_by_batch(slow_samples, num_batches, batch_size)
+        np.testing.assert_allclose(fast_incl, slow_incl, atol=0.06)
+
+
+class TestAResIdentity:
+    def test_argpartition_reservoir_matches_heap_item_for_item(self):
+        """The batch form consumes the same uniform draws as the per-item heap,
+        so the final reservoir contents must be identical, not just equidistributed."""
+        n, lambda_, num_batches, batch_size = 25, 0.15, 40, 30
+        seed = 1234
+        fast = AResSampler(n=n, lambda_=lambda_, rng=seed)
+
+        # Inline per-item heap reference (the seed implementation).
+        rng = np.random.default_rng(seed)
+        heap: list[tuple[float, int, object]] = []
+        landmark = 0.0
+        counter = 0
+        time = 0.0
+        for batch in make_batches(num_batches, batch_size):
+            time += 1.0
+            fast.process_batch(batch)
+            exponent = lambda_ * (time - landmark)
+            weight = math.exp(exponent)
+            for item in batch:
+                u = rng.random()
+                key = math.log(max(u, 1e-300)) / weight
+                entry = (key, counter, item)
+                counter += 1
+                if len(heap) < n:
+                    heapq.heappush(heap, entry)
+                elif key > heap[0][0]:
+                    heapq.heapreplace(heap, entry)
+        assert set(fast.sample_items()) == {item for _, _, item in heap}
+
+
+class _ScalarPathChao(BatchedChao):
+    """B-Chao with the vectorized fast path disabled (forces the per-item loop)."""
+
+    def _bulk_insert(self, batch: np.ndarray) -> None:
+        for item in batch:
+            self._insert_into_full_reservoir(item)
+
+
+class TestChaoEquivalence:
+    def test_bulk_path_matches_per_item_path(self):
+        trials, num_batches, batch_size, n, lambda_ = 300, 10, 40, 30, 0.1
+        fast_samples, slow_samples = [], []
+        for trial in range(trials):
+            fast = BatchedChao(n=n, lambda_=lambda_, rng=trial)
+            slow = _ScalarPathChao(n=n, lambda_=lambda_, rng=trial + 4_000)
+            for batch in make_batches(num_batches, batch_size):
+                fast.process_batch(batch)
+                slow.process_batch(batch)
+            assert len(fast) == n
+            assert len(slow) == n
+            fast_samples.append(fast.sample_items())
+            slow_samples.append(slow.sample_items())
+        fast_incl = empirical_inclusion_by_batch(fast_samples, num_batches, batch_size)
+        slow_incl = empirical_inclusion_by_batch(slow_samples, num_batches, batch_size)
+        np.testing.assert_allclose(fast_incl, slow_incl, atol=0.06)
+
+
+class TestProcessStreamEquivalence:
+    """The bulk API must be behaviourally identical to batch-at-a-time ingestion."""
+
+    def test_rtbs_stream_matches_sequential_batches(self):
+        n, lambda_, sizes = _workloads()["random_sizes"]
+        batches = []
+        counter = 0
+        for size in sizes:
+            batches.append(list(range(counter, counter + size)))
+            counter += size
+        sequential = RTBS(n=n, lambda_=lambda_, rng=42)
+        for batch in batches:
+            sequential.process_batch(batch)
+        streamed = RTBS(n=n, lambda_=lambda_, rng=42)
+        final = streamed.process_stream(batches)
+        assert final == sequential.sample_items()
+        assert streamed.total_weight == sequential.total_weight
+        assert streamed.sample_weight == sequential.sample_weight
+        assert streamed.time == sequential.time
+
+    def test_ttbs_stream_matches_sequential_batches(self):
+        batches = make_batches(30, 25)
+        sequential = TTBS(n=80, lambda_=0.2, mean_batch_size=25, rng=9)
+        for batch in batches:
+            sequential.process_batch(batch)
+        streamed = TTBS(n=80, lambda_=0.2, mean_batch_size=25, rng=9)
+        final = streamed.process_stream(batches)
+        assert final == sequential.sample_items()
+
+    def test_stream_accepts_numpy_array_batches(self):
+        arrays = [np.arange(offset, offset + 50) for offset in range(0, 1000, 50)]
+        sampler = RTBS(n=40, lambda_=0.1, rng=0)
+        sample = sampler.process_stream(arrays)
+        assert 0 < len(sample) <= 40
+        assert all(0 <= int(item) < 1000 for item in sample)
+
+
+class TestCallerBufferSafety:
+    """Samplers must never alias a caller-owned batch buffer (they may reuse it)."""
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: RTBS(n=100, lambda_=0.1, rng=0),
+            lambda: TTBS(n=100, lambda_=0.1, mean_batch_size=20, rng=0),
+            lambda: AResSampler(n=100, lambda_=0.1, rng=0),
+        ],
+        ids=["rtbs", "ttbs", "ares"],
+    )
+    def test_mutating_batch_after_ingest_does_not_corrupt_sample(self, make):
+        sampler = make()
+        buffer = np.arange(5)
+        sampler.process_batch(buffer)
+        buffer[:] = -1  # caller reuses the buffer for the next batch
+        assert all(int(item) >= 0 for item in sampler.sample_items())
+
+    def test_mutating_initial_items_array_does_not_corrupt_sample(self):
+        initial = np.arange(3)
+        fast_rtbs = RTBS(n=10, lambda_=0.1, initial_items=initial, rng=0)
+        fast_ttbs = TTBS(n=10, lambda_=0.1, mean_batch_size=20, initial_items=initial, rng=0)
+        initial[:] = -7
+        assert sorted(int(i) for i in fast_rtbs.sample_items()) == [0, 1, 2]
+        assert sorted(int(i) for i in fast_ttbs.sample_items()) == [0, 1, 2]
