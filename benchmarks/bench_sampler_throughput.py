@@ -13,10 +13,20 @@ implementations (:mod:`repro.core.reference`) and asserts the R-TBS speedup,
 guarding the vectorization against regressions. Batches are fed as 1-D NumPy
 arrays through :meth:`~repro.core.base.Sampler.process_stream`, the intended
 bulk-ingest fast path.
+
+A third operating point measures the sharded
+:class:`~repro.service.SamplerService` (k shards, hash-routed keys) against a
+single sampler of equal aggregate capacity, bounding the routing overhead of
+the service layer.
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the warm-up/timed batch counts so CI
+can run the whole file as a fast hot-path regression gate; the speedup and
+overhead assertions hold at either size.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -31,14 +41,20 @@ from repro.core.rtbs import RTBS
 from repro.core.sliding_window import SlidingWindow
 from repro.core.ttbs import TTBS
 from repro.core.uniform import UniformReservoir
+from repro.service import SamplerService
 
 _BATCH_SIZE = 1000
 _CAPACITY = 10_000
 _LAMBDA = 0.07
 
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 _LARGE_BATCH = 100_000
-_LARGE_WARMUP = 20
-_LARGE_TIMED = 10
+_LARGE_WARMUP = 5 if _SMOKE else 20
+_LARGE_TIMED = 3 if _SMOKE else 10
+
+_SERVICE_SHARDS = 8
+_SERVICE_WARMUP = 3 if _SMOKE else 10
+_SERVICE_TIMED = 3 if _SMOKE else 10
 
 
 def _sampler_factories():
@@ -161,3 +177,56 @@ def test_ttbs_large_batch_vectorized_speedup(benchmark):
         f"vectorized {vectorized_latency * 1e3:.3f} ms/batch, speedup {speedup:.1f}x"
     )
     assert speedup >= 5.0, f"vectorized T-TBS speedup regressed: {speedup:.1f}x < 5x"
+
+
+# ----------------------------------------------------------------------
+# sharded-service operating point: keyed routing overhead vs one sampler
+# ----------------------------------------------------------------------
+def test_sampler_service_sharded_ingest(benchmark):
+    """SamplerService with k hash shards at batch size 100k.
+
+    Measures the full service path — vectorized SplitMix64 key routing, one
+    stable argsort split, then k per-shard vectorized R-TBS updates — and
+    bounds its overhead relative to a single sampler of the same aggregate
+    capacity. The bound is deliberately loose (routing adds a few whole-array
+    passes to a sub-millisecond baseline and CI machines are noisy); the real
+    guard is that it stays a small constant factor, not O(batch) Python work.
+    """
+    single = RTBS(n=_CAPACITY, lambda_=_LAMBDA, rng=0)
+    single.process_stream(_large_batches(_SERVICE_WARMUP))
+    timed = _large_batches(_SERVICE_TIMED, start=_SERVICE_WARMUP * _LARGE_BATCH)
+    single_latency = _per_batch_seconds(single, timed)
+
+    service = SamplerService(
+        lambda rng: RTBS(n=_CAPACITY // _SERVICE_SHARDS, lambda_=_LAMBDA, rng=rng),
+        num_shards=_SERVICE_SHARDS,
+        rng=0,
+    )
+    service.ingest(_large_batches(_SERVICE_WARMUP))
+    state = {
+        "next": _endless_batches((_SERVICE_WARMUP + _SERVICE_TIMED) * _LARGE_BATCH)
+    }
+
+    def one_sharded_batch():
+        service.ingest([next(state["next"])])
+
+    benchmark(one_sharded_batch)
+    service_latency = benchmark.stats.stats.mean
+    overhead = service_latency / single_latency
+    benchmark.extra_info["batch_size"] = _LARGE_BATCH
+    benchmark.extra_info["num_shards"] = _SERVICE_SHARDS
+    benchmark.extra_info["single_ms_per_batch"] = round(single_latency * 1e3, 3)
+    benchmark.extra_info["service_ms_per_batch"] = round(service_latency * 1e3, 3)
+    benchmark.extra_info["routing_overhead"] = round(overhead, 1)
+    print(
+        f"\nSamplerService ({_SERVICE_SHARDS} shards) @ batch {_LARGE_BATCH:,}: "
+        f"single {single_latency * 1e3:.3f} ms/batch, "
+        f"service {service_latency * 1e3:.3f} ms/batch, overhead {overhead:.1f}x"
+    )
+    # The aggregate expected sample size must match a single sampler's
+    # capacity regime (every shard saturates at _CAPACITY / k).
+    assert service.expected_sample_size == pytest.approx(_CAPACITY, rel=0.01)
+    assert overhead <= 50.0, (
+        f"sharded-service routing overhead regressed: {overhead:.1f}x the "
+        "single-sampler per-batch latency (expected a small constant factor)"
+    )

@@ -1,9 +1,12 @@
 """repro — reproduction of "Temporally-Biased Sampling for Online Model Management".
 
-The package is organized into five subpackages:
+The package is organized into six subpackages:
 
 * :mod:`repro.core` — the sampling algorithms (R-TBS, T-TBS and every
   baseline), plus the fractional-sample machinery and closed-form analysis.
+* :mod:`repro.service` — the production ingestion layer: a sharded
+  :class:`~repro.service.SamplerService` with stable hash routing and
+  pickle-free whole-service checkpoint/restore.
 * :mod:`repro.streams` — synthetic data-stream generators used by the
   paper's evaluation (batch-size processes, temporal mode patterns, the
   Gaussian-mixture, regression and recurring-context text workloads).
@@ -43,11 +46,13 @@ from repro.core import (
     lambda_for_survival,
 )
 from repro.ml.retraining import ModelManager
+from repro.service import SamplerService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AResSampler",
+    "SamplerService",
     "BatchedChao",
     "BatchedReservoir",
     "BTBS",

@@ -51,6 +51,36 @@ from repro.core.ares import AResSampler
 from repro.core.arrays import as_item_array
 from repro.core.reference import ScalarRTBS, ScalarTTBS, scalar_downsample
 
+#: Registry used by :meth:`Sampler.from_state_dict` to turn the
+#: ``sampler_type`` name stored in a snapshot back into a class. Every
+#: sampler that implements the snapshot protocol is listed here.
+SAMPLER_TYPES: dict[str, type[Sampler]] = {
+    cls.__name__: cls
+    for cls in (
+        RTBS,
+        TTBS,
+        BTBS,
+        BatchedReservoir,
+        BatchedChao,
+        SlidingWindow,
+        TimeBasedSlidingWindow,
+        UniformReservoir,
+        AResSampler,
+    )
+}
+
+
+def resolve_sampler_type(name: str) -> type[Sampler]:
+    """Look up a sampler class by the name stored in a snapshot."""
+    try:
+        return SAMPLER_TYPES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler type {name!r}; restorable types are "
+            f"{sorted(SAMPLER_TYPES)}"
+        ) from None
+
+
 __all__ = [
     "ScalarRTBS",
     "ScalarTTBS",
@@ -73,4 +103,6 @@ __all__ = [
     "TimeBasedSlidingWindow",
     "UniformReservoir",
     "AResSampler",
+    "SAMPLER_TYPES",
+    "resolve_sampler_type",
 ]

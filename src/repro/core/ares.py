@@ -79,6 +79,21 @@ class AResSampler(Sampler):
     def _sample_size(self) -> int:
         return len(self._keys)
 
+    def _config_state(self) -> dict[str, Any]:
+        return {"n": self.n, "lambda_": self.lambda_}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {
+            "keys": self._keys.copy(),
+            "items": self._items.copy(),
+            "landmark": float(self._landmark),
+        }
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._keys = np.asarray(payload["keys"], dtype=np.float64).copy()
+        self._items = as_item_array(payload["items"], copy=True)
+        self._landmark = float(payload["landmark"])
+
     def _forward_weight(self, arrival_time: float) -> float:
         """Forward-decay weight ``e^{lambda (t - landmark)}`` with landmark shifting."""
         exponent = self.lambda_ * (arrival_time - self._landmark)

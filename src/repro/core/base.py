@@ -22,14 +22,44 @@ Two ingestion entry points exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.random_utils import ensure_rng
+from repro.core.random_utils import ensure_rng, generator_from_state, generator_state
 
-__all__ = ["Sampler", "SamplerState"]
+__all__ = ["Sampler", "SamplerState", "STATE_FORMAT_VERSION", "validate_batch_time"]
+
+#: Version tag embedded in every :meth:`Sampler.state_dict`; bump on
+#: backwards-incompatible changes to the snapshot layout.
+STATE_FORMAT_VERSION = 1
+
+
+def validate_batch_time(
+    previous_time: float, time: float | None, first_batch: bool
+) -> tuple[float, float]:
+    """Validate one batch-arrival time; return ``(new_time, elapsed)``.
+
+    The single source of truth for the clock contract shared by the serial
+    samplers, the distributed simulators, and the sampler service: the clock
+    starts at 0 (the arrival time of any initial state), ``None`` means
+    "previous time plus one", times are strictly increasing, and the elapsed
+    gap is always the true distance from the previous time — including the
+    first batch, whose gap is its full distance from the origin.
+    """
+    if time is None:
+        time = previous_time + 1.0
+    if time <= previous_time:
+        if first_batch:
+            raise ValueError(
+                f"the first batch time must be positive (the clock starts "
+                f"at {previous_time}), got {time}"
+            )
+        raise ValueError(
+            f"batch times must be strictly increasing: got {time} after {previous_time}"
+        )
+    return float(time), time - previous_time
 
 
 @dataclass
@@ -205,6 +235,103 @@ class Sampler:
         return self._sample_size()
 
     # ------------------------------------------------------------------
+    # snapshot / restore protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """A complete, restorable snapshot of this sampler.
+
+        The snapshot captures everything needed for
+        :meth:`from_state_dict` to resume the *exact* same trajectory:
+        configuration, time bookkeeping, the RNG bit-generator state, the
+        recorded history, and the algorithm-specific payload state
+        (:meth:`_payload_state`). The returned mapping contains only plain
+        Python scalars/containers and NumPy arrays, so
+        :mod:`repro.service.checkpoint` can persist it without pickle.
+        """
+        return {
+            "format_version": STATE_FORMAT_VERSION,
+            "sampler_type": type(self).__name__,
+            "config": self._config_state(),
+            "time": float(self._time),
+            "batches_seen": int(self._batches_seen),
+            "rng_state": generator_state(self._rng),
+            "record_history": bool(self._record_history),
+            "history": [asdict(state) for state in self.history],
+            "payload": self._payload_state(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> "Sampler":
+        """Reconstruct a sampler from a :meth:`state_dict` snapshot.
+
+        Called on a concrete class (``RTBS.from_state_dict(...)``) the
+        snapshot must describe that class; called on :class:`Sampler` itself
+        the target class is resolved from the snapshot's ``sampler_type``
+        via the registry in :mod:`repro.core`. The restored sampler
+        continues the exact ``W_t``/``C_t``/sample trajectory of the
+        original: same time bookkeeping, same RNG stream, same stored items.
+        """
+        version = state.get("format_version")
+        if version != STATE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported sampler state format {version!r}; "
+                f"this build reads version {STATE_FORMAT_VERSION}"
+            )
+        name = state["sampler_type"]
+        if cls is Sampler:
+            from repro.core import resolve_sampler_type
+
+            target = resolve_sampler_type(name)
+        else:
+            target = cls
+            if target.__name__ != name:
+                raise ValueError(
+                    f"snapshot describes a {name!r} sampler, not {target.__name__!r}; "
+                    "restore via Sampler.from_state_dict to dispatch on the stored type"
+                )
+        sampler = target(**target._config_kwargs(state["config"]))
+        sampler._time = float(state["time"])
+        sampler._batches_seen = int(state["batches_seen"])
+        sampler._rng = generator_from_state(state["rng_state"])
+        sampler._record_history = bool(state.get("record_history", False))
+        sampler.history = [SamplerState(**entry) for entry in state.get("history", [])]
+        sampler._restore_payload(state["payload"])
+        return sampler
+
+    def _config_state(self) -> dict[str, Any]:
+        """Constructor configuration as a JSON-able mapping.
+
+        Must contain exactly the keyword arguments (other than ``rng`` and
+        ``record_history``) needed to rebuild an equivalent empty sampler;
+        :meth:`_config_kwargs` is its inverse.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
+    @classmethod
+    def _config_kwargs(cls, config: dict[str, Any]) -> dict[str, Any]:
+        """Translate a stored config mapping back into constructor kwargs."""
+        return dict(config)
+
+    def _payload_state(self) -> dict[str, Any]:
+        """Algorithm-specific dynamic state (sample contents, weights, ...).
+
+        Values must be plain scalars/containers or NumPy arrays; no live
+        object references, so mutating the running sampler never corrupts a
+        taken snapshot.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        """Install a :meth:`_payload_state` mapping into this sampler."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
+    # ------------------------------------------------------------------
     # subclass hooks
     # ------------------------------------------------------------------
     def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
@@ -237,14 +364,16 @@ class Sampler:
         return list(batch)
 
     def _advance_time(self, time: float | None) -> float:
-        """Validate and apply a batch-arrival time; return the elapsed gap."""
-        if time is None:
-            time = self._time + 1.0
-        if time <= self._time and self._batches_seen > 0:
-            raise ValueError(
-                f"batch times must be strictly increasing: got {time} after {self._time}"
-            )
-        elapsed = time - self._time if self._batches_seen > 0 else 1.0
-        self._time = time
+        """Validate and apply a batch-arrival time; return the elapsed gap.
+
+        The sampler clock starts at 0 (the arrival time of any initial
+        sample), so the first batch's elapsed time is its full distance from
+        the origin: a first batch at explicit time ``t`` decays pre-loaded
+        state by ``e^{-lambda t}``, not by one unit. Times must be strictly
+        increasing, which for the first batch means strictly positive.
+        """
+        self._time, elapsed = validate_batch_time(
+            self._time, time, first_batch=self._batches_seen == 0
+        )
         self._batches_seen += 1
         return elapsed

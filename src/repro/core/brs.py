@@ -54,6 +54,16 @@ class BatchedReservoir(Sampler):
     def sample_items(self) -> list[Any]:
         return list(self._sample)
 
+    def _config_state(self) -> dict[str, Any]:
+        return {"n": self.n}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {"sample": list(self._sample), "items_seen": int(self._items_seen)}
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._sample = list(payload["sample"])
+        self._items_seen = int(payload["items_seen"])
+
     def _process_batch(self, items: list[Any], elapsed: float) -> None:
         batch_size = len(items)
         if batch_size == 0:

@@ -51,6 +51,15 @@ class BTBS(Sampler):
             return math.inf
         return mean_batch_size / (1.0 - self.retention_probability)
 
+    def _config_state(self) -> dict[str, Any]:
+        return {"lambda_": self.lambda_}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {"sample": list(self._sample)}
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._sample = list(payload["sample"])
+
     def _process_batch(self, items: list[Any], elapsed: float) -> None:
         retention = math.exp(-self.lambda_ * elapsed)
         keep = binomial(self._rng, len(self._sample), retention)

@@ -105,6 +105,32 @@ class BatchedChao(Sampler):
         return len(self._sample) + len(self._overweight)
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def _config_state(self) -> dict[str, Any]:
+        return {"n": self.n, "lambda_": self.lambda_}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {
+            "sample": list(self._sample),
+            "stream_weight": float(self._stream_weight),
+            "overweight_items": [item for item, _ in self._overweight],
+            "overweight_weights": np.array(
+                [weight for _, weight in self._overweight], dtype=np.float64
+            ),
+        }
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._sample = list(payload["sample"])
+        self._stream_weight = float(payload["stream_weight"])
+        self._overweight = [
+            (item, float(weight))
+            for item, weight in zip(
+                payload["overweight_items"], payload["overweight_weights"]
+            )
+        ]
+
+    # ------------------------------------------------------------------
     # Algorithm 6
     # ------------------------------------------------------------------
     def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:

@@ -263,6 +263,38 @@ class LatentSample:
         return LatentSample(self._full.copy(), self._partial.copy(), self.weight)
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """All columns plus the sample weight as fresh arrays (no aliasing)."""
+        return {
+            "weight": float(self.weight),
+            "full_payloads": self._full.payloads.copy(),
+            "full_weights": self._full.weights.copy(),
+            "full_timestamps": self._full.timestamps.copy(),
+            "partial_payloads": self._partial.payloads.copy(),
+            "partial_weights": self._partial.weights.copy(),
+            "partial_timestamps": self._partial.timestamps.copy(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> "LatentSample":
+        """Rebuild a latent sample from :meth:`state_dict` and check invariants."""
+        full = _Items(
+            as_item_array(state["full_payloads"], copy=True),
+            np.asarray(state["full_weights"], dtype=np.float64).copy(),
+            np.asarray(state["full_timestamps"], dtype=np.float64).copy(),
+        )
+        partial = _Items(
+            as_item_array(state["partial_payloads"], copy=True),
+            np.asarray(state["partial_weights"], dtype=np.float64).copy(),
+            np.asarray(state["partial_timestamps"], dtype=np.float64).copy(),
+        )
+        restored = cls(full, partial, float(state["weight"]))
+        restored.check_invariants()
+        return restored
+
+    # ------------------------------------------------------------------
     # array-native builders (used by the vectorized samplers)
     # ------------------------------------------------------------------
     def with_appended_full(

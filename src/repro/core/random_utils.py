@@ -25,6 +25,8 @@ T = TypeVar("T")
 __all__ = [
     "ensure_rng",
     "spawn_rngs",
+    "generator_state",
+    "generator_from_state",
     "binomial",
     "hypergeometric",
     "stochastic_round",
@@ -55,6 +57,33 @@ def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator
         raise ValueError(f"count must be non-negative, got {count}")
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """The bit-generator state of ``rng`` as a JSON-able mapping.
+
+    Together with :func:`generator_from_state` this gives samplers and the
+    service layer exact RNG checkpointing: a restored generator produces the
+    same stream of draws the original would have, bit for bit.
+    """
+    return rng.bit_generator.state
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a :class:`numpy.random.Generator` from :func:`generator_state`.
+
+    The bit-generator class is resolved by name from :mod:`numpy.random`
+    (``PCG64``, ``Philox``, ...), so snapshots restore on any process with
+    the same NumPy available — no pickle involved.
+    """
+    name = state["bit_generator"]
+    try:
+        bit_generator_cls = getattr(np.random, name)
+    except AttributeError:
+        raise ValueError(f"unknown bit generator {name!r} in RNG state") from None
+    bit_generator = bit_generator_cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
 
 
 def binomial(rng: np.random.Generator, trials: int, probability: float) -> int:

@@ -130,6 +130,24 @@ class RTBS(Sampler):
     def _sample_size(self) -> int:
         return self._latent.full_count + (1 if self._include_partial else 0)
 
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def _config_state(self) -> dict[str, Any]:
+        return {"n": self.n, "lambda_": self.lambda_}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {
+            "latent": self._latent.state_dict(),
+            "total_weight": float(self._total_weight),
+            "include_partial": bool(self._include_partial),
+        }
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._latent = LatentSample.from_state_dict(payload["latent"])
+        self._total_weight = float(payload["total_weight"])
+        self._include_partial = bool(payload["include_partial"])
+
     def theoretical_inclusion_probability(self, item_age: float) -> float:
         """Invariant (4): probability that an item of the given age is in the sample."""
         if item_age < 0:

@@ -43,6 +43,15 @@ class SlidingWindow(Sampler):
     def sample_items(self) -> list[Any]:
         return list(self._window)
 
+    def _config_state(self) -> dict[str, Any]:
+        return {"n": self.n}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {"window": list(self._window)}
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._window = deque(payload["window"], maxlen=self.n)
+
     def _process_batch(self, items: list[Any], elapsed: float) -> None:
         self._window.extend(items)
 
@@ -64,6 +73,21 @@ class TimeBasedSlidingWindow(Sampler):
 
     def sample_items(self) -> list[Any]:
         return [item for _, item in self._entries]
+
+    def _config_state(self) -> dict[str, Any]:
+        return {"window": self.window}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {
+            "entry_times": np.array([t for t, _ in self._entries], dtype=np.float64),
+            "entry_items": [item for _, item in self._entries],
+        }
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._entries = deque(
+            (float(t), item)
+            for t, item in zip(payload["entry_times"], payload["entry_items"])
+        )
 
     def _process_batch(self, items: list[Any], elapsed: float) -> None:
         arrival_time = self._time

@@ -38,7 +38,11 @@ class TTBS(Sampler):
     n:
         Target (expected equilibrium) sample size.
     lambda_:
-        Exponential decay rate per unit time.
+        Exponential decay rate per unit time; must be strictly positive.
+        ``lambda_ = 0`` is rejected because the acceptance probability
+        ``q = n (1 - e^{-lambda}) / b`` would be 0 — the sampler would never
+        accept an item. Use :class:`~repro.core.brs.BatchedReservoir` (or
+        R-TBS with ``lambda_ = 0``) for undecayed bounded sampling.
     mean_batch_size:
         Assumed mean batch size ``b``. The paper requires
         ``b >= n (1 - e^{-lambda})`` so that items arrive at least as fast as
@@ -72,11 +76,20 @@ class TTBS(Sampler):
             raise ValueError(f"target sample size must be positive, got {n}")
         if lambda_ < 0:
             raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        if lambda_ == 0:
+            # q = n (1 - e^{-lambda}) / b collapses to 0: a sampler that
+            # retains everything but never accepts a single arriving item.
+            raise ValueError(
+                "lambda_ = 0 gives T-TBS an acceptance probability of 0 (it would "
+                "never add any item); for undecayed bounded sampling use "
+                "BatchedReservoir/UniformReservoir, or RTBS with lambda_=0"
+            )
         if mean_batch_size <= 0:
             raise ValueError(f"mean batch size must be positive, got {mean_batch_size}")
         self.n = int(n)
         self.lambda_ = float(lambda_)
         self.mean_batch_size = float(mean_batch_size)
+        self.enforce_feasibility = bool(enforce_feasibility)
         self.retention_probability = math.exp(-lambda_)
         required = n * (1.0 - self.retention_probability)
         if enforce_feasibility and mean_batch_size < required - 1e-12:
@@ -110,6 +123,23 @@ class TTBS(Sampler):
             raise ValueError(f"t must be non-negative, got {t}")
         c0 = len(self._sample) if initial_size is None else initial_size
         return self.n + (self.retention_probability**t) * (c0 - self.n)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def _config_state(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "lambda_": self.lambda_,
+            "mean_batch_size": self.mean_batch_size,
+            "enforce_feasibility": self.enforce_feasibility,
+        }
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {"sample": self._sample.copy()}
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._sample = as_item_array(payload["sample"], copy=True)
 
     # ------------------------------------------------------------------
     # Algorithm 1 (vectorized Bernoulli thinning)

@@ -34,6 +34,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.base import validate_batch_time
 from repro.core.random_utils import (
     ensure_rng,
     multivariate_hypergeometric,
@@ -146,6 +147,7 @@ class DistributedRTBS:
         self._virtual_has_partial = False
         self.batch_runtimes: list[float] = []
         self._batches_seen = 0
+        self._time = 0.0
 
     # ------------------------------------------------------------------
     # queries
@@ -163,6 +165,11 @@ class DistributedRTBS:
     @property
     def is_saturated(self) -> bool:
         return self._total_weight >= self.n
+
+    @property
+    def time(self) -> float:
+        """Arrival time of the most recently processed batch."""
+        return self._time
 
     def full_item_count(self) -> int:
         """Number of full items currently in the distributed reservoir."""
@@ -191,25 +198,55 @@ class DistributedRTBS:
     # ------------------------------------------------------------------
     # batch processing
     # ------------------------------------------------------------------
-    def process_stream(self, batches: Iterable[DistributedBatch | Sequence[Any]]) -> list[float]:
+    def process_stream(
+        self,
+        batches: Iterable[DistributedBatch | Sequence[Any]],
+        times: Iterable[float] | None = None,
+    ) -> list[float]:
         """Ingest a sequence of batches; return the per-batch simulated runtimes.
 
         Convenience counterpart of
         :meth:`repro.core.base.Sampler.process_stream` so the experiment
         harness can feed whole simulated streams through one uniform
         bulk-ingest interface; each batch is processed exactly as by
-        :meth:`process_batch`. Virtual and materialized batches are both
-        accepted, but may not be mixed within one run.
+        :meth:`process_batch`, with ``times`` consumed in lockstep when
+        given. Virtual and materialized batches are both accepted, but may
+        not be mixed within one run.
         """
-        return [self.process_batch(batch) for batch in batches]
+        if times is None:
+            return [self.process_batch(batch) for batch in batches]
+        time_iter = iter(times)
+        runtimes = []
+        for batch in batches:
+            try:
+                time = next(time_iter)
+            except StopIteration:
+                raise ValueError(
+                    "times iterable exhausted before batches; provide one "
+                    "arrival time per batch or omit times entirely"
+                ) from None
+            runtimes.append(self.process_batch(batch, time=time))
+        return runtimes
 
-    def process_batch(self, batch: DistributedBatch | Sequence[Any]) -> float:
-        """Process one batch; return the simulated runtime of this batch (seconds)."""
+    def process_batch(
+        self, batch: DistributedBatch | Sequence[Any], time: float | None = None
+    ) -> float:
+        """Process one batch; return the simulated runtime of this batch (seconds).
+
+        ``time`` is the batch's wall-clock arrival time, mirroring
+        :meth:`repro.core.base.Sampler.process_batch`: it defaults to the
+        previous time plus one, must be strictly increasing, and the decay
+        applied to ``W_t`` is ``e^{-lambda * elapsed}`` for the true gap —
+        not a hardcoded one-unit step — so a D-R-TBS trajectory with
+        non-unit gaps matches the single-node :class:`~repro.core.rtbs.RTBS`
+        bookkeeping exactly.
+        """
         batch = self._coerce_batch(batch)
         if self._batches_seen == 0:
             self._virtual_mode = not batch.is_materialized
         elif self._virtual_mode != (not batch.is_materialized):
             raise ValueError("cannot mix virtual and materialized batches in one run")
+        elapsed = self._advance_time(time)
         self._batches_seen += 1
 
         start_elapsed = self.cluster.elapsed
@@ -223,7 +260,7 @@ class DistributedRTBS:
             worker_times=[model.local(size) for size in self._per_worker(batch)],
         )
 
-        decay = math.exp(-self.lambda_)
+        decay = math.exp(-self.lambda_ * elapsed)
         if self._total_weight < self.n:
             self._process_unsaturated(batch, batch_size, decay)
         else:
@@ -480,6 +517,18 @@ class DistributedRTBS:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _advance_time(self, time: float | None) -> float:
+        """Validate and apply a batch-arrival time; return the elapsed gap.
+
+        Same contract as :meth:`repro.core.base.Sampler._advance_time`: the
+        clock starts at 0, times are strictly increasing, and the first
+        batch's elapsed time is its full distance from the origin.
+        """
+        self._time, elapsed = validate_batch_time(
+            self._time, time, first_batch=self._batches_seen == 0
+        )
+        return elapsed
+
     def _reservoir_size_estimate(self) -> int:
         """Current number of full reservoir items (works in both modes)."""
         if self._virtual_mode:

@@ -22,6 +22,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.core.arrays import as_item_array, concat_items, empty_item_array
+from repro.core.base import validate_batch_time
 from repro.core.random_utils import binomial, ensure_rng, spawn_rngs
 from repro.distributed.batches import DistributedBatch
 from repro.distributed.cluster import SimulatedCluster
@@ -44,6 +45,14 @@ class DistributedTTBS:
             raise ValueError(f"target sample size must be positive, got {n}")
         if lambda_ < 0:
             raise ValueError(f"decay rate must be non-negative, got {lambda_}")
+        if lambda_ == 0:
+            # Same degenerate configuration as serial T-TBS: q = 0, nothing
+            # is ever accepted.
+            raise ValueError(
+                "lambda_ = 0 gives D-T-TBS an acceptance probability of 0 (it "
+                "would never add any item); use D-R-TBS with lambda_=0 for "
+                "undecayed bounded sampling"
+            )
         if mean_batch_size <= 0:
             raise ValueError(f"mean batch size must be positive, got {mean_batch_size}")
         self.n = int(n)
@@ -62,6 +71,7 @@ class DistributedTTBS:
         self._virtual_counts: list[int] = [0] * cluster.num_workers
         self._virtual_mode = False
         self._batches_seen = 0
+        self._time = 0.0
         self.batch_runtimes: list[float] = []
 
     # ------------------------------------------------------------------
@@ -79,20 +89,52 @@ class DistributedTTBS:
             return sum(self._virtual_counts)
         return sum(len(p) for p in self._partitions)
 
+    @property
+    def time(self) -> float:
+        """Arrival time of the most recently processed batch."""
+        return self._time
+
     # ------------------------------------------------------------------
     # processing
     # ------------------------------------------------------------------
-    def process_stream(self, batches: Iterable[DistributedBatch | Sequence[Any]]) -> list[float]:
+    def process_stream(
+        self,
+        batches: Iterable[DistributedBatch | Sequence[Any]],
+        times: Iterable[float] | None = None,
+    ) -> list[float]:
         """Ingest a sequence of batches; return the per-batch simulated runtimes.
 
         Convenience counterpart of
         :meth:`repro.core.base.Sampler.process_stream`; each batch is
-        processed exactly as by :meth:`process_batch`.
+        processed exactly as by :meth:`process_batch`, with ``times``
+        consumed in lockstep when given.
         """
-        return [self.process_batch(batch) for batch in batches]
+        if times is None:
+            return [self.process_batch(batch) for batch in batches]
+        time_iter = iter(times)
+        runtimes = []
+        for batch in batches:
+            try:
+                time = next(time_iter)
+            except StopIteration:
+                raise ValueError(
+                    "times iterable exhausted before batches; provide one "
+                    "arrival time per batch or omit times entirely"
+                ) from None
+            runtimes.append(self.process_batch(batch, time=time))
+        return runtimes
 
-    def process_batch(self, batch: DistributedBatch | Sequence[Any]) -> float:
-        """Process one batch; return the simulated runtime of this batch (seconds)."""
+    def process_batch(
+        self, batch: DistributedBatch | Sequence[Any], time: float | None = None
+    ) -> float:
+        """Process one batch; return the simulated runtime of this batch (seconds).
+
+        ``time`` mirrors :meth:`repro.core.base.Sampler.process_batch`:
+        retention over a non-unit gap is ``e^{-lambda * elapsed}`` — the
+        same per-item survival probability the single-node
+        :class:`~repro.core.ttbs.TTBS` applies — while the acceptance
+        probability ``q`` stays the per-arrival constant of Algorithm 1.
+        """
         if not isinstance(batch, DistributedBatch):
             batch = DistributedBatch.from_items(
                 list(batch), self.cluster.num_workers, batch_id=self._batches_seen + 1
@@ -101,7 +143,9 @@ class DistributedTTBS:
             self._virtual_mode = not batch.is_materialized
         elif self._virtual_mode != (not batch.is_materialized):
             raise ValueError("cannot mix virtual and materialized batches in one run")
+        elapsed = self._advance_time(time)
         self._batches_seen += 1
+        retention = math.exp(-self.lambda_ * elapsed)
 
         start_elapsed = self.cluster.elapsed
         model = self.cluster.cost_model
@@ -114,7 +158,7 @@ class DistributedTTBS:
                 else len(self._partitions[worker])
             )
             worker_times.append(model.local(reservoir_size + per_worker_batch[worker]))
-            self._update_worker(worker, batch)
+            self._update_worker(worker, batch, retention)
         self.cluster.run_stage("local downsample and union", worker_times=worker_times)
         runtime = self.cluster.elapsed - start_elapsed
         self.batch_runtimes.append(runtime)
@@ -123,13 +167,23 @@ class DistributedTTBS:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _advance_time(self, time: float | None) -> float:
+        """Validate and apply a batch-arrival time; return the elapsed gap.
+
+        Same contract as :meth:`repro.core.base.Sampler._advance_time`.
+        """
+        self._time, elapsed = validate_batch_time(
+            self._time, time, first_batch=self._batches_seen == 0
+        )
+        return elapsed
+
     def _per_worker_sizes(self, batch: DistributedBatch) -> list[int]:
         per_worker = [0] * self.cluster.num_workers
         for partition, size in enumerate(batch.partition_sizes):
             per_worker[partition % self.cluster.num_workers] += size
         return per_worker
 
-    def _update_worker(self, worker: int, batch: DistributedBatch) -> None:
+    def _update_worker(self, worker: int, batch: DistributedBatch, retention: float) -> None:
         rng = self._worker_rngs[worker]
         batch_partitions = [
             partition
@@ -137,7 +191,7 @@ class DistributedTTBS:
             if partition % self.cluster.num_workers == worker
         ]
         if self._virtual_mode:
-            kept = binomial(rng, self._virtual_counts[worker], self.retention_probability)
+            kept = binomial(rng, self._virtual_counts[worker], retention)
             accepted = sum(
                 binomial(rng, batch.partition_sizes[p], self.acceptance_probability)
                 for p in batch_partitions
@@ -145,8 +199,8 @@ class DistributedTTBS:
             self._virtual_counts[worker] = kept + accepted
             return
         current = self._partitions[worker]
-        if len(current) and self.retention_probability < 1.0:
-            current = current[rng.random(len(current)) < self.retention_probability]
+        if len(current) and retention < 1.0:
+            current = current[rng.random(len(current)) < retention]
         pieces = [current]
         for partition in batch_partitions:
             # Draw the acceptance count first so only the accepted items are

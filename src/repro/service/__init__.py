@@ -1,0 +1,40 @@
+"""Production ingestion layer: sharded, checkpointable sampler service.
+
+This subpackage turns the single-process samplers of :mod:`repro.core` into
+a long-running service:
+
+* :mod:`repro.service.routing` — process-stable key hashing (vectorized
+  SplitMix64 for numeric key arrays, BLAKE2b for arbitrary keys) and
+  one-argsort batch splitting;
+* :mod:`repro.service.service` — :class:`SamplerService`: hash-routed
+  per-shard samplers with lazy creation, deterministic per-shard RNG
+  streams, bulk ingest through the vectorized ``process_stream`` hot path,
+  and merged/per-shard sample queries;
+* :mod:`repro.service.checkpoint` — pickle-free directory checkpoints
+  (JSON manifest + npz arrays) with exact, bit-identical restore of every
+  sampler trajectory.
+"""
+
+from repro.service.checkpoint import (
+    load_checkpoint,
+    load_sampler,
+    load_service,
+    save_checkpoint,
+    save_sampler,
+    save_service,
+)
+from repro.service.routing import shard_ids_for_keys, split_by_shard, stable_hash
+from repro.service.service import SamplerService
+
+__all__ = [
+    "SamplerService",
+    "shard_ids_for_keys",
+    "split_by_shard",
+    "stable_hash",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_sampler",
+    "load_sampler",
+    "save_service",
+    "load_service",
+]

@@ -1,0 +1,207 @@
+"""Pickle-free directory checkpoints for samplers and the sampler service.
+
+A checkpoint is a directory with two files:
+
+* ``manifest.json`` — the snapshot's tree of scalars and containers, with
+  every NumPy array replaced by a tagged reference, plus the name of the
+  array archive it belongs to;
+* ``arrays-<token>.npz`` — the referenced numeric arrays, stored losslessly
+  in NumPy's native format under a unique name per save.
+
+Saving into a directory that already holds a checkpoint is crash-safe: the
+new array archive is written under a fresh name first, then the manifest is
+swapped in with an atomic ``os.replace``, and only then are superseded
+archives deleted. A crash at any point leaves either the complete old
+checkpoint or the complete new one — never a manifest pointing at arrays
+from a different save.
+
+Pickle is deliberately never used (``np.load`` runs with
+``allow_pickle=False``), so loading a checkpoint can execute no code — safe
+to move between machines and trust boundaries. The trade-off is on payload
+types: numeric payload arrays round-trip exactly through the npz; arbitrary
+Python payloads must be JSON-serializable and round-trip through JSON
+semantics (tuples come back as lists). Payloads that are neither raise
+``TypeError`` at save time with the offending path, rather than silently
+writing a checkpoint that cannot be restored.
+
+JSON floats round-trip exactly (``repr``-based shortest representation), so
+``W_t``/``C_t`` bookkeeping and RNG states restore bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_sampler",
+    "load_sampler",
+    "save_service",
+    "load_service",
+]
+
+_MANIFEST_NAME = "manifest.json"
+_ARRAYS_PREFIX = "arrays-"
+_ARRAYS_SUFFIX = ".npz"
+_KIND = "__repro_kind__"
+
+
+def _encode(node: Any, arrays: dict[str, np.ndarray], path: str) -> Any:
+    """Replace arrays with references; verify the rest is JSON-representable."""
+    if isinstance(node, np.ndarray):
+        if node.dtype == object:
+            return {_KIND: "object_array", "items": _encode(node.tolist(), arrays, path)}
+        ref = f"a{len(arrays)}"
+        arrays[ref] = node
+        return {_KIND: "ndarray", "ref": ref}
+    if isinstance(node, (np.integer, np.floating, np.bool_)):
+        return node.item()
+    if isinstance(node, dict):
+        if _KIND in node:
+            # A payload dict carrying the reserved tag would be
+            # misinterpreted as an array reference on load; refuse now.
+            raise TypeError(
+                f"checkpoint mappings must not use the reserved key "
+                f"{_KIND!r} (found at {path})"
+            )
+        encoded = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"checkpoint mapping keys must be strings, got "
+                    f"{type(key).__name__} at {path}"
+                )
+            encoded[key] = _encode(value, arrays, f"{path}.{key}")
+        return encoded
+    if isinstance(node, (list, tuple)):
+        return [
+            _encode(value, arrays, f"{path}[{index}]")
+            for index, value in enumerate(node)
+        ]
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise TypeError(
+        f"cannot checkpoint value of type {type(node).__name__} at {path}; "
+        "payloads must be numeric arrays or JSON-serializable objects "
+        "(pickle is intentionally not supported)"
+    )
+
+
+def _decode(node: Any, arrays: Any) -> Any:
+    if isinstance(node, dict):
+        kind = node.get(_KIND)
+        if kind == "ndarray":
+            return arrays[node["ref"]]
+        if kind == "object_array":
+            items = _decode(node["items"], arrays)
+            out = np.empty(len(items), dtype=object)
+            for index, item in enumerate(items):
+                out[index] = item
+            return out
+        return {key: _decode(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_decode(value, arrays) for value in node]
+    return node
+
+
+def save_checkpoint(state: dict[str, Any], directory: str | os.PathLike) -> None:
+    """Persist a snapshot mapping (``state_dict()`` output) to ``directory``.
+
+    Crash-safe for a single writer overwriting a previous checkpoint in the
+    same directory: the array archive is written under a fresh unique name,
+    the manifest (which names its archive) is swapped in atomically via
+    ``os.replace``, and only then are superseded archives garbage-collected.
+    Interrupting the save at any point leaves a loadable checkpoint — the
+    old one until the manifest swap, the new one after.
+    """
+    os.makedirs(directory, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    encoded = _encode(state, arrays, path="$")
+
+    fd, arrays_tmp = tempfile.mkstemp(
+        dir=directory, prefix=_ARRAYS_PREFIX, suffix=_ARRAYS_SUFFIX + ".tmp"
+    )
+    try:
+        # Write through the open handle: np.savez would append ".npz" to a
+        # path that does not already end with it.
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        arrays_name = os.path.basename(arrays_tmp)[: -len(".tmp")]
+        os.replace(arrays_tmp, os.path.join(directory, arrays_name))
+    except BaseException:
+        if os.path.exists(arrays_tmp):
+            os.unlink(arrays_tmp)
+        raise
+
+    manifest = {"arrays_file": arrays_name, "state": encoded}
+    fd, manifest_tmp = tempfile.mkstemp(dir=directory, prefix="manifest-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=1)
+        os.replace(manifest_tmp, os.path.join(directory, _MANIFEST_NAME))
+    except BaseException:
+        if os.path.exists(manifest_tmp):
+            os.unlink(manifest_tmp)
+        raise
+
+    # The new checkpoint is durable; drop superseded archives and any
+    # leftover temp files from interrupted saves (best effort).
+    for name in os.listdir(directory):
+        superseded = (
+            name.startswith(_ARRAYS_PREFIX)
+            and name != arrays_name
+            and (name.endswith(_ARRAYS_SUFFIX) or name.endswith(".tmp"))
+        ) or (name.startswith("manifest-") and name.endswith(".tmp"))
+        if superseded:
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
+
+
+def load_checkpoint(directory: str | os.PathLike) -> dict[str, Any]:
+    """Load a snapshot mapping previously written by :func:`save_checkpoint`."""
+    manifest_path = os.path.join(directory, _MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise FileNotFoundError(f"no checkpoint manifest at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    arrays_path = os.path.join(directory, manifest["arrays_file"])
+    with np.load(arrays_path, allow_pickle=False) as archive:
+        return _decode(manifest["state"], archive)
+
+
+def save_sampler(sampler: "Sampler", directory: str | os.PathLike) -> None:
+    """Checkpoint a single sampler to a directory."""
+    save_checkpoint(sampler.state_dict(), directory)
+
+
+def load_sampler(directory: str | os.PathLike) -> "Sampler":
+    """Restore a single sampler, dispatching on the stored sampler type."""
+    from repro.core.base import Sampler
+
+    return Sampler.from_state_dict(load_checkpoint(directory))
+
+
+def save_service(service: "SamplerService", directory: str | os.PathLike) -> None:
+    """Checkpoint a whole :class:`~repro.service.service.SamplerService`."""
+    save_checkpoint(service.state_dict(), directory)
+
+
+def load_service(
+    directory: str | os.PathLike,
+    sampler_factory,
+    key_fn=None,
+) -> "SamplerService":
+    """Restore a service checkpoint; the factory is re-supplied by the caller."""
+    from repro.service.service import SamplerService
+
+    return SamplerService.from_state_dict(
+        load_checkpoint(directory), sampler_factory, key_fn=key_fn
+    )

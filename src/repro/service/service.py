@@ -1,0 +1,399 @@
+"""Sharded, checkpointable sampler service — the production ingestion layer.
+
+A :class:`SamplerService` runs one sampler per shard and routes each arriving
+item to a shard by a stable hash of its routing key
+(:mod:`repro.service.routing`). That gives the three properties a
+long-running deployment of R-TBS/T-TBS needs (the whole point of a bounded
+time-biased sample is to stay alive over an unbounded stream):
+
+* **horizontal scale** — sub-streams are independent, so shards can be
+  ingested in parallel or hosted on different processes;
+* **key affinity** — all items of one key land in one shard's sample, and
+  routing is stable across processes and restarts;
+* **durability** — the whole service (every shard's sampler, including its
+  RNG stream, plus the service clock and the RNG streams reserved for shards
+  that have not been created yet) snapshots to a plain dict of scalars and
+  NumPy arrays, persisted by :mod:`repro.service.checkpoint` without pickle.
+
+Shards are created lazily on first arrival. Each shard owns an independent
+RNG stream spawned deterministically up front (``spawn_rngs``), so the
+statistical trajectory of shard ``k`` does not depend on the order in which
+other shards first see data. Per-shard clocks advance only when the shard
+receives items; decay over the skipped interval is exact because the
+samplers decay by the true elapsed gap (see ``Sampler._advance_time``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.arrays import as_item_array
+from repro.core.base import STATE_FORMAT_VERSION, Sampler, validate_batch_time
+from repro.core.random_utils import (
+    ensure_rng,
+    generator_from_state,
+    generator_state,
+    spawn_rngs,
+)
+from repro.service.routing import shard_ids_for_keys, split_by_shard
+
+__all__ = ["SamplerService"]
+
+SamplerFactory = Callable[[np.random.Generator], Sampler]
+
+
+class SamplerService:
+    """Routes keyed sub-streams to per-shard samplers with exact restore.
+
+    Parameters
+    ----------
+    sampler_factory:
+        Callable receiving the shard's private RNG and returning a fresh
+        :class:`~repro.core.base.Sampler`, e.g.
+        ``lambda rng: RTBS(n=10_000, lambda_=0.07, rng=rng)``. Called once
+        per shard, lazily, on the shard's first arrival. The sampler class
+        must implement the snapshot protocol for the service to be
+        checkpointable.
+    num_shards:
+        Number of hash shards (fixed for the lifetime of the service —
+        resharding would re-route keys and break per-key sample affinity).
+    key_fn:
+        Optional per-item routing-key extractor used when ``ingest`` is not
+        given explicit keys; defaults to routing on the item itself.
+    rng:
+        Master seed/generator. Shard RNG streams are spawned from it
+        deterministically at construction, so two services built with the
+        same seed shard identically regardless of data order.
+
+    Examples
+    --------
+    >>> from repro.core import RTBS
+    >>> service = SamplerService(
+    ...     lambda rng: RTBS(n=100, lambda_=0.1, rng=rng), num_shards=4, rng=0
+    ... )
+    >>> service.ingest([range(200), range(200, 400)])
+    >>> len(service.sample_items()) <= 400
+    True
+    """
+
+    def __init__(
+        self,
+        sampler_factory: SamplerFactory,
+        num_shards: int = 4,
+        key_fn: Callable[[Any], Any] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self._factory = sampler_factory
+        self.num_shards = int(num_shards)
+        self.key_fn = key_fn
+        self._rng = ensure_rng(rng)
+        # Reserve every shard's RNG stream up front: shard k's stream is a
+        # deterministic function of the master seed alone, never of which
+        # shards happened to receive data first.
+        self._shard_rngs: list[np.random.Generator] = spawn_rngs(
+            self._rng, self.num_shards
+        )
+        self._shards: dict[int, Sampler] = {}
+        self._time: float = 0.0
+        self._batches_seen: int = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """Arrival time of the most recently ingested batch."""
+        return self._time
+
+    @property
+    def batches_seen(self) -> int:
+        """Number of batches ingested by the service."""
+        return self._batches_seen
+
+    @property
+    def active_shards(self) -> list[int]:
+        """Ids of shards that have received at least one item, ascending."""
+        return sorted(self._shards)
+
+    def shard(self, shard_id: int) -> Sampler:
+        """The sampler behind one *active* shard — a pure read.
+
+        Raises ``KeyError`` for a shard that has not received any items yet:
+        inspecting an idle shard must not create its sampler (that would
+        grow :attr:`active_shards` and every subsequent checkpoint as a side
+        effect of monitoring).
+        """
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(
+                f"shard id {shard_id} out of range for {self.num_shards} shards"
+            )
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise KeyError(
+                f"shard {shard_id} has no sampler yet (no items routed to it); "
+                f"active shards: {self.active_shards}"
+            ) from None
+
+    def _get_or_create_shard(self, shard_id: int) -> Sampler:
+        """The sampler behind one shard, created lazily on first arrival."""
+        sampler = self._shards.get(shard_id)
+        if sampler is None:
+            sampler = self._factory(self._shard_rngs[shard_id])
+            if not isinstance(sampler, Sampler):
+                raise TypeError(
+                    "sampler_factory must return a repro.core.base.Sampler, "
+                    f"got {type(sampler).__name__}"
+                )
+            self._shards[shard_id] = sampler
+        return sampler
+
+    def sample_items(self) -> list[Any]:
+        """The merged realized sample across all shards (ascending shard id)."""
+        merged: list[Any] = []
+        for shard_id in self.active_shards:
+            merged.extend(self._shards[shard_id].sample_items())
+        return merged
+
+    def shard_samples(self) -> dict[int, list[Any]]:
+        """Per-shard realized samples, keyed by shard id."""
+        return {
+            shard_id: self._shards[shard_id].sample_items()
+            for shard_id in self.active_shards
+        }
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the shard samplers' ``W_t`` (``nan`` if any shard has no notion of weight)."""
+        if not self._shards:
+            return 0.0
+        return float(
+            sum(self._shards[shard_id].total_weight for shard_id in self.active_shards)
+        )
+
+    @property
+    def expected_sample_size(self) -> float:
+        """Sum of the shard samplers' expected sample sizes."""
+        return float(
+            sum(
+                self._shards[shard_id].expected_sample_size
+                for shard_id in self.active_shards
+            )
+        )
+
+    def __len__(self) -> int:
+        return sum(len(self._shards[shard_id]) for shard_id in self.active_shards)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest_batch(
+        self,
+        items: Sequence[Any] | Iterable[Any] | np.ndarray,
+        keys: Sequence[Any] | np.ndarray | None = None,
+        time: float | None = None,
+    ) -> dict[int, int]:
+        """Route one arriving batch to its shards; return per-shard item counts.
+
+        Only shards that receive items are touched: each gets a
+        ``process_batch(sub_batch, time=t)`` call at the batch's absolute
+        arrival time, so a shard that sat idle for several batches decays
+        its sample by the full elapsed gap on its next arrival — identical
+        bookkeeping to a shard that saw every batch.
+
+        Routing is validated *before* the service clock advances: a batch
+        rejected for bad keys leaves the clock untouched, so the corrected
+        call can be retried with the same arrival time.
+        """
+        batch = as_item_array(items)
+        routed = self._route(batch, keys)
+        time = self._advance_time(time)
+        counts: dict[int, int] = {}
+        for shard_id, sub_batch in routed:
+            self._get_or_create_shard(shard_id).process_batch(sub_batch, time=time)
+            counts[shard_id] = len(sub_batch)
+        return counts
+
+    def ingest(
+        self,
+        batches: Iterable[Sequence[Any] | Iterable[Any] | np.ndarray],
+        keys: Iterable[Sequence[Any] | np.ndarray] | None = None,
+        times: Iterable[float] | None = None,
+        window: int = 64,
+    ) -> None:
+        """Bulk-ingest many batches through the per-shard ``process_stream`` hot path.
+
+        Batches are routed and buffered into one sub-stream (batches +
+        arrival times) per shard; every ``window`` batches, each shard
+        ingests its buffered sub-stream in a single
+        :meth:`~repro.core.base.Sampler.process_stream` call. That keeps the
+        per-shard amortization of bulk ingest while bounding buffered memory
+        to O(``window`` × batch size) — a generator of a million batches
+        streams through, it is never materialized whole.
+
+        If a batch fails mid-stream (bad keys, non-increasing time), every
+        batch before it is flushed to the shards and the error is raised;
+        the failing batch itself never advances the service clock.
+
+        Parameters
+        ----------
+        batches:
+            Iterable of batches (lists, arrays, or iterables of items).
+        keys:
+            Optional iterable of per-batch key arrays, consumed in lockstep
+            with ``batches``; when omitted, keys come from ``key_fn`` or the
+            items themselves.
+        times:
+            Optional iterable of strictly increasing arrival times; when
+            omitted, batches arrive at ``t+1, t+2, ...``.
+        window:
+            Number of batches buffered between per-shard flushes.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        key_iter = iter(keys) if keys is not None else None
+        time_iter = iter(times) if times is not None else None
+        pending: dict[int, tuple[list[np.ndarray], list[float]]] = {}
+        buffered = 0
+
+        def flush() -> None:
+            nonlocal buffered
+            for shard_id in sorted(pending):
+                sub_batches, sub_times = pending[shard_id]
+                self._get_or_create_shard(shard_id).process_stream(
+                    sub_batches, times=sub_times
+                )
+            pending.clear()
+            buffered = 0
+
+        try:
+            for batch in batches:
+                batch_keys = None
+                if key_iter is not None:
+                    try:
+                        batch_keys = next(key_iter)
+                    except StopIteration:
+                        raise ValueError(
+                            "keys iterable exhausted before batches; provide one "
+                            "key array per batch or omit keys entirely"
+                        ) from None
+                time = None
+                if time_iter is not None:
+                    try:
+                        time = next(time_iter)
+                    except StopIteration:
+                        raise ValueError(
+                            "times iterable exhausted before batches; provide one "
+                            "arrival time per batch or omit times entirely"
+                        ) from None
+                routed = self._route(as_item_array(batch), batch_keys)
+                time = self._advance_time(time)
+                for shard_id, sub_batch in routed:
+                    sub_batches, sub_times = pending.setdefault(shard_id, ([], []))
+                    sub_batches.append(sub_batch)
+                    sub_times.append(time)
+                buffered += 1
+                if buffered >= window:
+                    flush()
+        except BaseException:
+            # Deliver the complete batches routed before the failure, so the
+            # observable state is "everything before the bad batch was
+            # ingested" — the same semantics as a per-batch ingest loop.
+            flush()
+            raise
+        flush()
+
+    def _route(
+        self, batch: np.ndarray, keys: Sequence[Any] | np.ndarray | None
+    ) -> list[tuple[int, np.ndarray]]:
+        if not len(batch):
+            return []
+        if keys is None:
+            if self.key_fn is not None:
+                keys = [self.key_fn(item) for item in batch]
+            else:
+                keys = batch
+        elif len(keys) != len(batch):
+            raise ValueError(
+                f"{len(keys)} keys for {len(batch)} items; provide exactly "
+                "one routing key per item"
+            )
+        shard_ids = shard_ids_for_keys(keys, self.num_shards)
+        return split_by_shard(shard_ids, batch)
+
+    def _advance_time(self, time: float | None) -> float:
+        self._time, _ = validate_batch_time(
+            self._time, time, first_batch=self._batches_seen == 0
+        )
+        self._batches_seen += 1
+        return self._time
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """A complete, restorable snapshot of the service.
+
+        Includes the master RNG, the reserved per-shard RNG streams (so
+        shards that have *not* been created yet still get the exact stream
+        they would have received), and one sampler snapshot per active
+        shard. Contains only plain containers and NumPy arrays.
+        """
+        return {
+            "format_version": STATE_FORMAT_VERSION,
+            "service_type": type(self).__name__,
+            "num_shards": self.num_shards,
+            "time": float(self._time),
+            "batches_seen": int(self._batches_seen),
+            "rng_state": generator_state(self._rng),
+            "shard_rng_states": [generator_state(rng) for rng in self._shard_rngs],
+            "shards": {
+                str(shard_id): sampler.state_dict()
+                for shard_id, sampler in self._shards.items()
+            },
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: dict[str, Any],
+        sampler_factory: SamplerFactory,
+        key_fn: Callable[[Any], Any] | None = None,
+    ) -> "SamplerService":
+        """Reconstruct a service from :meth:`state_dict`.
+
+        ``sampler_factory`` (and ``key_fn``, if one was used) are code, not
+        data — snapshots never contain pickled callables — so the caller
+        supplies them again; the factory is only invoked for shards created
+        *after* the restore. Active shards are rebuilt from their own
+        snapshots via ``Sampler.from_state_dict``.
+        """
+        version = state.get("format_version")
+        if version != STATE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported service state format {version!r}; "
+                f"this build reads version {STATE_FORMAT_VERSION}"
+            )
+        service = cls.__new__(cls)
+        service._factory = sampler_factory
+        service.num_shards = int(state["num_shards"])
+        service.key_fn = key_fn
+        service._rng = generator_from_state(state["rng_state"])
+        shard_rng_states = state["shard_rng_states"]
+        if len(shard_rng_states) != service.num_shards:
+            raise ValueError(
+                f"snapshot holds {len(shard_rng_states)} shard RNG streams "
+                f"for {service.num_shards} shards"
+            )
+        service._shard_rngs = [generator_from_state(s) for s in shard_rng_states]
+        service._time = float(state["time"])
+        service._batches_seen = int(state["batches_seen"])
+        service._shards = {
+            int(shard_id): Sampler.from_state_dict(sampler_state)
+            for shard_id, sampler_state in state["shards"].items()
+        }
+        return service

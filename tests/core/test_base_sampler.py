@@ -33,10 +33,24 @@ class TestTimeBookkeeping:
         assert sampler.time == 2.0
         assert sampler.batches_seen == 2
 
-    def test_first_batch_elapsed_is_one(self):
+    def test_first_batch_elapsed_without_explicit_time_is_one(self):
+        sampler = _KeepEverything()
+        sampler.process_batch([1])
+        assert sampler.elapsed_values == [1.0]
+
+    def test_first_batch_explicit_time_gives_full_elapsed(self):
+        # Regression: the clock starts at 0, so a first batch at time 10
+        # is 10 units after any initial state — not one unit.
         sampler = _KeepEverything()
         sampler.process_batch([1], time=10.0)
-        assert sampler.elapsed_values == [1.0]
+        assert sampler.elapsed_values == [10.0]
+
+    def test_first_batch_time_must_be_positive(self):
+        sampler = _KeepEverything()
+        with pytest.raises(ValueError):
+            sampler.process_batch([1], time=0.0)
+        with pytest.raises(ValueError):
+            sampler.process_batch([1], time=-2.0)
 
     def test_elapsed_reflects_gaps(self):
         sampler = _KeepEverything()
@@ -107,7 +121,7 @@ class TestProcessStream:
         sampler = _KeepEverything()
         sampler.process_stream([[1], [2], [3]], times=[0.5, 2.0, 2.25])
         assert sampler.time == 2.25
-        assert sampler.elapsed_values == pytest.approx([1.0, 1.5, 0.25])
+        assert sampler.elapsed_values == pytest.approx([0.5, 1.5, 0.25])
 
     def test_stream_rejects_non_increasing_times(self):
         sampler = _KeepEverything()

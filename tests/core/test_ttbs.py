@@ -25,6 +25,12 @@ class TestConstruction:
         with pytest.raises(ValueError):
             TTBS(n=10, lambda_=0.1, mean_batch_size=0)
 
+    def test_rejects_zero_decay_rate(self):
+        # Regression: lambda_ = 0 used to build a sampler whose acceptance
+        # probability is 0 — it silently never accepted a single item.
+        with pytest.raises(ValueError, match="acceptance probability of 0"):
+            TTBS(n=10, lambda_=0.0, mean_batch_size=10)
+
     def test_rejects_infeasible_configuration(self):
         # b < n (1 - e^-lambda): items decay faster than they arrive.
         with pytest.raises(ValueError):

@@ -1,0 +1,412 @@
+"""Tests for the sharded, checkpointable SamplerService and its routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RTBS, TTBS, Sampler
+from repro.service import (
+    SamplerService,
+    load_checkpoint,
+    load_sampler,
+    load_service,
+    save_checkpoint,
+    save_sampler,
+    save_service,
+    shard_ids_for_keys,
+    split_by_shard,
+    stable_hash,
+)
+
+
+def rtbs_factory(rng):
+    return RTBS(n=100, lambda_=0.15, rng=rng)
+
+
+def _batches(count: int, size: int = 400, start: int = 0) -> list[np.ndarray]:
+    return [
+        np.arange(start + index * size, start + (index + 1) * size)
+        for index in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+class TestRouting:
+    def test_vectorized_and_scalar_paths_agree_for_integers(self):
+        keys = np.arange(-500, 500, dtype=np.int64)
+        vectorized = shard_ids_for_keys(keys, 8)
+        scalar = shard_ids_for_keys(list(keys.tolist()), 8)
+        assert vectorized.tolist() == scalar.tolist()
+
+    def test_float_keys_route_deterministically(self):
+        keys = np.linspace(-5.0, 5.0, 101)
+        first = shard_ids_for_keys(keys, 4)
+        second = shard_ids_for_keys(keys, 4)
+        assert first.tolist() == second.tolist()
+        assert shard_ids_for_keys([keys[3]], 4)[0] == first[3]
+
+    def test_string_and_tuple_keys_are_supported(self):
+        ids = shard_ids_for_keys(["user-1", ("a", 2), b"raw", 3.5, 7], 5)
+        assert ((0 <= ids) & (ids < 5)).all()
+
+    def test_unhashable_key_types_are_rejected(self):
+        with pytest.raises(TypeError, match="cannot route key"):
+            stable_hash(object())
+
+    def test_routing_spreads_keys_across_shards(self):
+        ids = shard_ids_for_keys(np.arange(10_000), 8)
+        counts = np.bincount(ids, minlength=8)
+        # SplitMix64 should be close to uniform over 10k integer keys.
+        assert counts.min() > 10_000 / 8 * 0.8
+
+    def test_split_by_shard_preserves_arrival_order(self):
+        shard_ids = np.array([1, 0, 1, 0, 1])
+        items = np.array([10, 20, 30, 40, 50])
+        groups = dict(split_by_shard(shard_ids, items))
+        assert groups[0].tolist() == [20, 40]
+        assert groups[1].tolist() == [10, 30, 50]
+
+    def test_split_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="one routing key per item"):
+            split_by_shard(np.array([0, 1]), np.array([1, 2, 3]))
+
+
+# ----------------------------------------------------------------------
+# service behaviour
+# ----------------------------------------------------------------------
+class TestSamplerService:
+    def test_shards_are_created_lazily(self):
+        service = SamplerService(rtbs_factory, num_shards=8, rng=0)
+        assert service.active_shards == []
+        # A single key touches exactly one shard.
+        service.ingest_batch([42])
+        assert len(service.active_shards) == 1
+
+    def test_key_affinity_is_total(self):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=0)
+        service.ingest(_batches(10))
+        expected = {
+            int(shard_ids_for_keys(np.array([item]), 4)[0])
+            for item in service.sample_items()
+        }
+        for shard_id, sample in service.shard_samples().items():
+            routed = shard_ids_for_keys(np.array(sample), 4)
+            assert (routed == shard_id).all()
+        assert expected == set(service.active_shards)
+
+    def test_merged_sample_is_union_of_shard_samples(self):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=1)
+        service.ingest(_batches(8))
+        merged = service.sample_items()
+        per_shard = service.shard_samples()
+        assert sorted(merged) == sorted(
+            item for sample in per_shard.values() for item in sample
+        )
+        assert len(service) == len(merged)
+        assert service.expected_sample_size == pytest.approx(
+            sum(
+                service.shard(shard_id).expected_sample_size
+                for shard_id in service.active_shards
+            )
+        )
+
+    def test_bulk_ingest_equals_per_batch_ingest(self):
+        batches = _batches(12)
+        bulk = SamplerService(rtbs_factory, num_shards=4, rng=5)
+        bulk.ingest(batches)
+        stepwise = SamplerService(rtbs_factory, num_shards=4, rng=5)
+        for batch in batches:
+            stepwise.ingest_batch(batch)
+        assert bulk.sample_items() == stepwise.sample_items()
+        assert bulk.total_weight == stepwise.total_weight
+        assert bulk.time == stepwise.time
+
+    def test_windowed_ingest_matches_unwindowed(self):
+        batches = _batches(11)
+        small_window = SamplerService(rtbs_factory, num_shards=4, rng=5)
+        small_window.ingest(iter(batches), window=2)  # generator: streams through
+        big_window = SamplerService(rtbs_factory, num_shards=4, rng=5)
+        big_window.ingest(batches, window=1000)
+        assert small_window.sample_items() == big_window.sample_items()
+        assert small_window.total_weight == big_window.total_weight
+        with pytest.raises(ValueError, match="window must be positive"):
+            big_window.ingest(_batches(1), window=0)
+
+    def test_failed_batch_does_not_burn_the_clock(self):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=0)
+        with pytest.raises(ValueError, match="one routing key per item"):
+            service.ingest_batch([1, 2, 3], keys=[1], time=5.0)
+        assert service.time == 0.0
+        assert service.batches_seen == 0
+        # The corrected retry with the same arrival time succeeds.
+        service.ingest_batch([1, 2, 3], keys=[1, 2, 3], time=5.0)
+        assert service.time == 5.0
+
+    def test_ingest_flushes_complete_batches_before_raising(self):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=0)
+        batches = _batches(5)
+        with pytest.raises(ValueError, match="exhausted"):
+            service.ingest(batches, times=[1.0, 2.0, 3.0])
+        # The three timed batches were delivered; the failing one was not.
+        assert service.batches_seen == 3
+        reference = SamplerService(rtbs_factory, num_shards=4, rng=0)
+        reference.ingest(batches[:3], times=[1.0, 2.0, 3.0])
+        assert service.sample_items() == reference.sample_items()
+
+    def test_querying_an_idle_shard_does_not_create_it(self):
+        service = SamplerService(rtbs_factory, num_shards=8, rng=0)
+        service.ingest_batch([42])
+        (active,) = service.active_shards
+        idle = next(s for s in range(8) if s != active)
+        with pytest.raises(KeyError, match="no sampler yet"):
+            service.shard(idle)
+        assert service.active_shards == [active]
+        # The checkpoint is unchanged by the failed inspection.
+        assert set(service.state_dict()["shards"]) == {str(active)}
+
+    def test_shard_rng_streams_do_not_depend_on_arrival_order(self):
+        # Feed shard-3-only data first in one service, last in the other:
+        # shard 3's sampler must behave identically in both.
+        keys = np.arange(5_000)
+        ids = shard_ids_for_keys(keys, 4)
+        shard3 = keys[ids == 3]
+        other = keys[ids != 3]
+        early = SamplerService(rtbs_factory, num_shards=4, rng=9)
+        early.ingest_batch(shard3[:500], time=1.0)
+        late = SamplerService(rtbs_factory, num_shards=4, rng=9)
+        late.ingest_batch(other[:500], time=0.5)
+        late.ingest_batch(shard3[:500], time=1.0)
+        assert early.shard(3).sample_items() == late.shard(3).sample_items()
+
+    def test_explicit_keys_and_key_fn(self):
+        pairs = [("alpha", 1), ("beta", 2), ("alpha", 3), ("gamma", 4), ("beta", 5)]
+        by_fn = SamplerService(
+            rtbs_factory, num_shards=4, key_fn=lambda item: item[0], rng=2
+        )
+        by_fn.ingest_batch(pairs)
+        explicit = SamplerService(rtbs_factory, num_shards=4, rng=2)
+        explicit.ingest_batch(pairs, keys=[key for key, _ in pairs])
+        assert by_fn.sample_items() == explicit.sample_items()
+        # Same key -> same shard, always.
+        for shard_id, sample in by_fn.shard_samples().items():
+            for key, _ in sample:
+                assert shard_ids_for_keys([key], 4)[0] == shard_id
+
+    def test_idle_shards_decay_by_the_full_gap(self):
+        lam = 0.15
+        service = SamplerService(
+            lambda rng: RTBS(n=100, lambda_=lam, rng=rng), num_shards=4, rng=3
+        )
+        service.ingest_batch([11], time=1.0)
+        (shard_id,) = service.active_shards
+        weight_before = service.shard(shard_id).total_weight
+        # Three batches that miss the shard entirely, then one that hits it.
+        service.ingest_batch([], time=2.0)
+        service.ingest_batch([], time=3.0)
+        service.ingest_batch([], time=4.0)
+        service.ingest_batch([11], time=5.0)
+        weight_after = service.shard(shard_id).total_weight
+        assert weight_after == pytest.approx(weight_before * np.exp(-lam * 4.0) + 1.0)
+
+    def test_time_validation(self):
+        service = SamplerService(rtbs_factory, num_shards=2, rng=0)
+        service.ingest_batch([1], time=2.0)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            service.ingest_batch([2], time=2.0)
+        with pytest.raises(ValueError, match="one routing key per item"):
+            service.ingest_batch([1, 2, 3], keys=[1])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            SamplerService(rtbs_factory, num_shards=0)
+        service = SamplerService(lambda rng: "not a sampler", num_shards=2, rng=0)
+        with pytest.raises(TypeError, match="must return"):
+            service.ingest_batch([1])
+        with pytest.raises(ValueError, match="out of range"):
+            SamplerService(rtbs_factory, num_shards=2, rng=0).shard(5)
+
+
+# ----------------------------------------------------------------------
+# checkpoint / restore (the acceptance-criteria scenario)
+# ----------------------------------------------------------------------
+class TestServiceCheckpoint:
+    def test_mid_stream_checkpoint_restore_is_bit_identical(self, tmp_path):
+        """A >= 4-shard service checkpointed mid-stream and restored must
+        produce bit-identical samples and W_t/C_t bookkeeping versus the
+        uninterrupted run."""
+        prefix = _batches(10)
+        suffix = _batches(10, start=10 * 400)
+
+        uninterrupted = SamplerService(rtbs_factory, num_shards=4, rng=21)
+        uninterrupted.ingest(prefix)
+
+        interrupted = SamplerService(rtbs_factory, num_shards=4, rng=21)
+        interrupted.ingest(prefix)
+        save_service(interrupted, tmp_path / "ckpt")
+        restored = load_service(tmp_path / "ckpt", rtbs_factory)
+        assert len(restored.active_shards) >= 4
+
+        uninterrupted.ingest(suffix)
+        restored.ingest(suffix)
+
+        assert restored.sample_items() == uninterrupted.sample_items()
+        assert restored.total_weight == uninterrupted.total_weight
+        assert restored.expected_sample_size == uninterrupted.expected_sample_size
+        assert restored.time == uninterrupted.time
+        assert restored.batches_seen == uninterrupted.batches_seen
+        for shard_id in uninterrupted.active_shards:
+            original = uninterrupted.shard(shard_id)
+            clone = restored.shard(shard_id)
+            assert clone.total_weight == original.total_weight
+            assert clone.expected_sample_size == original.expected_sample_size
+            assert clone.sample_items() == original.sample_items()
+
+    def test_restore_covers_not_yet_created_shards(self, tmp_path):
+        keys = np.arange(20_000)
+        ids = shard_ids_for_keys(keys, 4)
+        lone = int(ids[0])
+        only_lone = keys[ids == lone]
+        rest = keys[ids != lone]
+
+        reference = SamplerService(rtbs_factory, num_shards=4, rng=33)
+        reference.ingest_batch(only_lone[:300], time=1.0)
+        reference.ingest_batch(rest[:900], time=2.0)
+
+        partial = SamplerService(rtbs_factory, num_shards=4, rng=33)
+        partial.ingest_batch(only_lone[:300], time=1.0)
+        save_service(partial, tmp_path / "ckpt")
+        restored = load_service(tmp_path / "ckpt", rtbs_factory)
+        assert restored.active_shards == [lone]
+        # Shards first created after the restore still get their reserved
+        # deterministic RNG streams.
+        restored.ingest_batch(rest[:900], time=2.0)
+        assert restored.sample_items() == reference.sample_items()
+        assert restored.total_weight == reference.total_weight
+
+    def test_service_state_roundtrip_in_memory(self):
+        service = SamplerService(rtbs_factory, num_shards=5, rng=4)
+        service.ingest(_batches(6))
+        clone = SamplerService.from_state_dict(service.state_dict(), rtbs_factory)
+        follow_up = _batches(3, start=6 * 400)
+        service.ingest(follow_up)
+        clone.ingest(follow_up)
+        assert clone.sample_items() == service.sample_items()
+
+    def test_mixed_sampler_service(self, tmp_path):
+        def factory(rng):
+            return TTBS(n=50, lambda_=0.2, mean_batch_size=100, rng=rng)
+
+        service = SamplerService(factory, num_shards=4, rng=6)
+        service.ingest(_batches(8))
+        save_service(service, tmp_path / "ckpt")
+        restored = load_service(tmp_path / "ckpt", factory)
+        follow_up = _batches(4, start=8 * 400)
+        service.ingest(follow_up)
+        restored.ingest(follow_up)
+        assert restored.sample_items() == service.sample_items()
+
+    def test_factory_mismatched_shard_count_is_rejected(self, tmp_path):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=0)
+        state = service.state_dict()
+        state["shard_rng_states"] = state["shard_rng_states"][:2]
+        with pytest.raises(ValueError, match="shard RNG streams"):
+            SamplerService.from_state_dict(state, rtbs_factory)
+
+
+# ----------------------------------------------------------------------
+# checkpoint file format
+# ----------------------------------------------------------------------
+class TestCheckpointFormat:
+    def test_numeric_payloads_round_trip_exactly(self, tmp_path):
+        sampler = RTBS(n=50, lambda_=0.3, rng=0)
+        sampler.process_stream(_batches(10, size=100))
+        save_sampler(sampler, tmp_path / "s")
+        restored = load_sampler(tmp_path / "s")
+        follow_up = _batches(5, size=100, start=1000)
+        assert restored.process_stream(follow_up) == sampler.process_stream(follow_up)
+        assert restored.total_weight == sampler.total_weight
+
+    def test_checkpoint_contains_no_pickle(self, tmp_path):
+        sampler = RTBS(n=20, lambda_=0.2, rng=0)
+        sampler.process_batch(np.arange(100))
+        save_sampler(sampler, tmp_path / "s")
+        manifest = (tmp_path / "s" / "manifest.json").read_text()
+        assert "sampler_type" in manifest
+        # Loading must succeed with pickle disabled (load_checkpoint always
+        # disables it) even when inspected directly.
+        (archive_path,) = (tmp_path / "s").glob("arrays-*.npz")
+        with np.load(archive_path, allow_pickle=False) as archive:
+            assert all(archive[name].dtype != object for name in archive.files)
+
+    def test_overwriting_a_checkpoint_in_place_is_safe(self, tmp_path):
+        """Periodic checkpointing to one directory: each save supersedes the
+        previous atomically and garbage-collects its array archive."""
+        sampler = RTBS(n=30, lambda_=0.2, rng=0)
+        directory = tmp_path / "ckpt"
+        for round_index in range(3):
+            sampler.process_batch(np.arange(round_index * 100, (round_index + 1) * 100))
+            save_sampler(sampler, directory)
+        restored = load_sampler(directory)
+        assert restored.sample_items() == sampler.sample_items()
+        assert restored.batches_seen == 3
+        # Exactly one live archive; superseded ones were removed.
+        assert len(list(directory.glob("arrays-*.npz"))) == 1
+        assert not list(directory.glob("*.tmp"))
+
+    def test_stale_manifest_never_reads_new_arrays(self, tmp_path):
+        """Crash between archive write and manifest swap must leave the old
+        checkpoint fully intact (manifest still names the old archive)."""
+        sampler = RTBS(n=30, lambda_=0.2, rng=0)
+        sampler.process_batch(np.arange(100))
+        directory = tmp_path / "ckpt"
+        save_sampler(sampler, directory)
+        expected = load_sampler(directory).sample_items()
+        # Simulate the crash window: a newer archive appears but the
+        # manifest was never replaced.
+        sampler.process_batch(np.arange(100, 200))
+        arrays: dict[str, np.ndarray] = {}
+        from repro.service.checkpoint import _encode
+
+        _encode(sampler.state_dict(), arrays, path="$")
+        with open(directory / "arrays-crashed.npz", "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        assert load_sampler(directory).sample_items() == expected
+
+    def test_reserved_manifest_key_in_payload_is_rejected(self, tmp_path):
+        sampler = RTBS(n=10, lambda_=0.1, rng=0)
+        sampler.process_batch([{"__repro_kind__": "ndarray", "ref": "a0"}])
+        with pytest.raises(TypeError, match="reserved key"):
+            save_sampler(sampler, tmp_path / "s")
+
+    def test_json_payloads_round_trip_via_manifest(self, tmp_path):
+        sampler = RTBS(n=30, lambda_=0.2, rng=0)
+        sampler.process_batch([f"event-{index}" for index in range(100)])
+        save_sampler(sampler, tmp_path / "s")
+        restored = load_sampler(tmp_path / "s")
+        assert restored.sample_items() == sampler.sample_items()
+
+    def test_unserializable_payloads_fail_loudly_at_save_time(self, tmp_path):
+        sampler = RTBS(n=10, lambda_=0.2, rng=0)
+        sampler.process_batch([object() for _ in range(20)])
+        with pytest.raises(TypeError, match="pickle is intentionally not supported"):
+            save_sampler(sampler, tmp_path / "s")
+
+    def test_missing_checkpoint_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_generic_state_round_trip(self, tmp_path):
+        state = {
+            "scalars": {"a": 1, "b": 2.5, "c": "text", "d": None, "e": True},
+            "array": np.arange(5, dtype=np.int32),
+            "nested": [{"x": np.linspace(0.0, 1.0, 3)}],
+        }
+        save_checkpoint(state, tmp_path / "ckpt")
+        loaded = load_checkpoint(tmp_path / "ckpt")
+        assert loaded["scalars"] == state["scalars"]
+        assert np.array_equal(loaded["array"], state["array"])
+        assert loaded["array"].dtype == np.int32
+        assert np.array_equal(loaded["nested"][0]["x"], state["nested"][0]["x"])
