@@ -19,6 +19,16 @@ A third operating point measures the sharded
 single sampler of equal aggregate capacity, bounding the routing overhead of
 the service layer.
 
+A fourth family of operating points compares the :mod:`repro.engine`
+execution backends — serial vs thread vs process — for sharded service
+ingest and for distributed (D-T-TBS) batch processing, asserting that every
+backend produces the identical sample (the engine's determinism contract)
+while recording what each costs on this machine.
+
+Every operating point's items/sec is recorded through the ``throughput``
+fixture and flushed to ``benchmarks/BENCH_throughput.json`` at session end,
+so the performance trajectory is machine-readable across PRs.
+
 Setting ``REPRO_BENCH_SMOKE=1`` shrinks the warm-up/timed batch counts so CI
 can run the whole file as a fast hot-path regression gate; the speedup and
 overhead assertions hold at either size.
@@ -41,6 +51,8 @@ from repro.core.rtbs import RTBS
 from repro.core.sliding_window import SlidingWindow
 from repro.core.ttbs import TTBS
 from repro.core.uniform import UniformReservoir
+from repro.distributed import DistributedTTBS, SimulatedCluster
+from repro.engine import get_executor
 from repro.service import SamplerService
 
 _BATCH_SIZE = 1000
@@ -114,7 +126,7 @@ def _endless_batches(start: int):
         offset += _LARGE_BATCH
 
 
-def test_rtbs_large_batch_vectorized_speedup(benchmark):
+def test_rtbs_large_batch_vectorized_speedup(benchmark, throughput):
     """R-TBS at batch size 100k: the array-backed engine must be >= 5x the seed.
 
     Both samplers are warmed past saturation so the timed region exercises
@@ -142,6 +154,8 @@ def test_rtbs_large_batch_vectorized_speedup(benchmark):
     benchmark.extra_info["scalar_ms_per_batch"] = round(scalar_latency * 1e3, 3)
     benchmark.extra_info["vectorized_ms_per_batch"] = round(vectorized_latency * 1e3, 3)
     benchmark.extra_info["speedup"] = round(speedup, 1)
+    throughput("rtbs-scalar-batch100k", _LARGE_BATCH / scalar_latency)
+    throughput("rtbs-vectorized-batch100k", _LARGE_BATCH / vectorized_latency)
     print(
         f"\nR-TBS @ batch {_LARGE_BATCH:,}: scalar {scalar_latency * 1e3:.2f} ms/batch, "
         f"vectorized {vectorized_latency * 1e3:.3f} ms/batch, speedup {speedup:.1f}x"
@@ -149,7 +163,7 @@ def test_rtbs_large_batch_vectorized_speedup(benchmark):
     assert speedup >= 5.0, f"vectorized R-TBS speedup regressed: {speedup:.1f}x < 5x"
 
 
-def test_ttbs_large_batch_vectorized_speedup(benchmark):
+def test_ttbs_large_batch_vectorized_speedup(benchmark, throughput):
     """T-TBS at batch size 100k: Bernoulli-mask thinning vs the scalar reference."""
     warm = _large_batches(_LARGE_WARMUP)
     timed = _large_batches(_LARGE_TIMED, start=_LARGE_WARMUP * _LARGE_BATCH)
@@ -172,6 +186,8 @@ def test_ttbs_large_batch_vectorized_speedup(benchmark):
     benchmark.extra_info["scalar_ms_per_batch"] = round(scalar_latency * 1e3, 3)
     benchmark.extra_info["vectorized_ms_per_batch"] = round(vectorized_latency * 1e3, 3)
     benchmark.extra_info["speedup"] = round(speedup, 1)
+    throughput("ttbs-scalar-batch100k", _LARGE_BATCH / scalar_latency)
+    throughput("ttbs-vectorized-batch100k", _LARGE_BATCH / vectorized_latency)
     print(
         f"\nT-TBS @ batch {_LARGE_BATCH:,}: scalar {scalar_latency * 1e3:.2f} ms/batch, "
         f"vectorized {vectorized_latency * 1e3:.3f} ms/batch, speedup {speedup:.1f}x"
@@ -182,7 +198,7 @@ def test_ttbs_large_batch_vectorized_speedup(benchmark):
 # ----------------------------------------------------------------------
 # sharded-service operating point: keyed routing overhead vs one sampler
 # ----------------------------------------------------------------------
-def test_sampler_service_sharded_ingest(benchmark):
+def test_sampler_service_sharded_ingest(benchmark, throughput):
     """SamplerService with k hash shards at batch size 100k.
 
     Measures the full service path — vectorized SplitMix64 key routing, one
@@ -218,6 +234,11 @@ def test_sampler_service_sharded_ingest(benchmark):
     benchmark.extra_info["single_ms_per_batch"] = round(single_latency * 1e3, 3)
     benchmark.extra_info["service_ms_per_batch"] = round(service_latency * 1e3, 3)
     benchmark.extra_info["routing_overhead"] = round(overhead, 1)
+    throughput("rtbs-single-batch100k", _LARGE_BATCH / single_latency)
+    throughput(
+        f"service-{_SERVICE_SHARDS}shards-serial-batch100k",
+        _LARGE_BATCH / service_latency,
+    )
     print(
         f"\nSamplerService ({_SERVICE_SHARDS} shards) @ batch {_LARGE_BATCH:,}: "
         f"single {single_latency * 1e3:.3f} ms/batch, "
@@ -230,3 +251,98 @@ def test_sampler_service_sharded_ingest(benchmark):
         f"sharded-service routing overhead regressed: {overhead:.1f}x the "
         "single-sampler per-batch latency (expected a small constant factor)"
     )
+
+
+# ----------------------------------------------------------------------
+# engine-backend operating points: serial vs thread vs process
+# ----------------------------------------------------------------------
+_BACKEND_WARMUP = 2 if _SMOKE else 6
+_BACKEND_TIMED = 2 if _SMOKE else 6
+
+
+def test_service_executor_backend_operating_points(throughput):
+    """SamplerService ingest through every engine backend at batch size 100k.
+
+    Records one items/sec operating point per backend and asserts the
+    engine's determinism contract at benchmark scale: all backends end in
+    the identical merged sample. No backend-ordering assertion is made —
+    on a single-core CI box the pools cannot win, and the process backend
+    pays a state round trip per flush by design; the point is the recorded
+    trajectory, not a race.
+    """
+    reference_sample = None
+    for spec in ("serial", "thread", "process:2"):
+        with get_executor(spec) as executor:
+            service = SamplerService(
+                lambda rng: RTBS(
+                    n=_CAPACITY // _SERVICE_SHARDS, lambda_=_LAMBDA, rng=rng
+                ),
+                num_shards=_SERVICE_SHARDS,
+                rng=0,
+                executor=executor,
+            )
+            service.ingest(_large_batches(_BACKEND_WARMUP))
+            timed = _large_batches(
+                _BACKEND_TIMED, start=_BACKEND_WARMUP * _LARGE_BATCH
+            )
+            begin = time.perf_counter()
+            service.ingest(timed)
+            seconds_per_batch = (time.perf_counter() - begin) / len(timed)
+            items_per_second = _LARGE_BATCH / seconds_per_batch
+            throughput(
+                f"service-{_SERVICE_SHARDS}shards-{executor.name}-batch100k",
+                items_per_second,
+            )
+            print(
+                f"\nSamplerService ingest [{spec}]: "
+                f"{seconds_per_batch * 1e3:.3f} ms/batch "
+                f"({items_per_second:,.0f} items/s)"
+            )
+            sample = service.sample_items()
+            if reference_sample is None:
+                reference_sample = sample
+            else:
+                assert sample == reference_sample, (
+                    f"backend {spec} diverged from the serial sample"
+                )
+
+
+def test_distributed_ttbs_backend_operating_points(throughput):
+    """D-T-TBS materialized batch processing: serial vs thread engine backend.
+
+    Wall-clock items/sec of the whole process_batch path (partition tasks +
+    pricing) on the simulated cluster, with the final sample asserted
+    identical across backends. Simulated runtimes are backend independent
+    by construction and are asserted equal too.
+    """
+    batch_size = _LARGE_BATCH // 10
+    num_batches = 3 if _SMOKE else 10
+    batches = [
+        np.arange(offset * batch_size, (offset + 1) * batch_size)
+        for offset in range(num_batches)
+    ]
+    reference = None
+    for spec in ("serial", "thread"):
+        with get_executor(spec) as backend:
+            cluster = SimulatedCluster(num_workers=4, backend=backend)
+            algorithm = DistributedTTBS(
+                n=_CAPACITY,
+                lambda_=_LAMBDA,
+                mean_batch_size=batch_size,
+                cluster=cluster,
+                rng=0,
+            )
+            begin = time.perf_counter()
+            simulated = algorithm.process_stream(list(batches))
+            elapsed = time.perf_counter() - begin
+            items_per_second = batch_size * num_batches / elapsed
+            throughput(f"dttbs-4workers-{spec}-batch10k", items_per_second)
+            print(
+                f"\nD-T-TBS [{spec}]: {items_per_second:,.0f} items/s wall-clock"
+            )
+            outcome = (sorted(algorithm.sample_items()), simulated)
+            if reference is None:
+                reference = outcome
+            else:
+                assert outcome[0] == reference[0], "thread backend changed the sample"
+                assert outcome[1] == reference[1], "pricing must be backend independent"

@@ -12,14 +12,72 @@ wall-clock, although the wall-clock is captured too.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from typing import Callable
 
 import pytest
+
+#: Operating point -> items/sec, filled by the ``throughput`` fixture and
+#: flushed to ``BENCH_throughput.json`` at session end so the performance
+#: trajectory is recorded machine-readably across PRs.
+_THROUGHPUT_RESULTS: dict[str, float] = {}
+
+_BENCH_JSON = os.environ.get(
+    "REPRO_BENCH_JSON",
+    os.path.join(os.path.dirname(__file__), "BENCH_throughput.json"),
+)
 
 
 def run_once(benchmark, function: Callable, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def throughput():
+    """Fixture: ``throughput(name, items_per_second)`` records one operating point.
+
+    All points recorded during a session are written to
+    ``benchmarks/BENCH_throughput.json`` (override with ``REPRO_BENCH_JSON``)
+    when the session finishes.
+    """
+
+    def _record(name: str, items_per_second: float) -> None:
+        _THROUGHPUT_RESULTS[name] = round(float(items_per_second), 1)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _THROUGHPUT_RESULTS:
+        return
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+    # Read-merge-write, with full-scale and smoke-scale numbers kept in
+    # separate maps: a filtered run (``-k rtbs``) must not delete the other
+    # recorded operating points, and smoke-mode numbers (shrunken batch
+    # counts) must never mix with — or mask — the full-scale trajectory the
+    # file exists to record across PRs.
+    existing: dict = {}
+    try:
+        with open(_BENCH_JSON, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+    except (OSError, ValueError):
+        existing = {}
+    key = "operating_points_smoke" if smoke else "operating_points"
+    payload = {
+        "schema": "repro-bench-throughput/2",
+        "unit": "items/sec",
+        "python": platform.python_version(),
+        "operating_points": dict(existing.get("operating_points", {})),
+        "operating_points_smoke": dict(existing.get("operating_points_smoke", {})),
+    }
+    payload[key].update(_THROUGHPUT_RESULTS)
+    payload[key] = dict(sorted(payload[key].items()))
+    with open(_BENCH_JSON, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
 
 
 @pytest.fixture

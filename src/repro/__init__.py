@@ -1,12 +1,18 @@
 """repro — reproduction of "Temporally-Biased Sampling for Online Model Management".
 
-The package is organized into six subpackages:
+The package is organized into seven subpackages:
 
 * :mod:`repro.core` — the sampling algorithms (R-TBS, T-TBS and every
   baseline), plus the fractional-sample machinery and closed-form analysis.
+* :mod:`repro.engine` — the partitioned-execution engine: a pluggable
+  :class:`~repro.engine.Executor` protocol (serial, thread-pool and
+  process-pool backends) with ``map_partitions``/``reduce_merge``
+  primitives; the service fans shard work out through it and the
+  distributed algorithms run their partition stages on it.
 * :mod:`repro.service` — the production ingestion layer: a sharded
-  :class:`~repro.service.SamplerService` with stable hash routing and
-  pickle-free whole-service checkpoint/restore.
+  :class:`~repro.service.SamplerService` with stable hash routing,
+  executor-parallel shard ingest, and pickle-free whole-service
+  checkpoint/restore.
 * :mod:`repro.streams` — synthetic data-stream generators used by the
   paper's evaluation (batch-size processes, temporal mode patterns, the
   Gaussian-mixture, regression and recurring-context text workloads).
@@ -45,14 +51,26 @@ from repro.core import (
     lambda_for_retention,
     lambda_for_survival,
 )
+from repro.engine import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    get_executor,
+)
 from repro.ml.retraining import ModelManager
 from repro.service import SamplerService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AResSampler",
     "SamplerService",
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "get_executor",
     "BatchedChao",
     "BatchedReservoir",
     "BTBS",

@@ -8,21 +8,37 @@ per-worker work (parallel); the simulated stage duration is::
 
 The cluster accumulates stage records so experiments can report per-batch
 runtimes and break them down by component.
+
+Since the engine refactor the cluster is also an
+:class:`~repro.engine.executors.Executor`: partition-local work reaches it
+through the same ``map_partitions``/``reduce_merge`` protocol the real
+serial/thread/process backends implement. What distinguishes the cluster is
+that it *prices* stages with the calibrated
+:class:`~repro.distributed.costmodel.CostModel` instead of measuring
+wall-clock — the simulator stays the executable cost-model spec of the
+paper's Figures 7-9 — while the tasks themselves execute on an optional
+inner ``backend`` executor (serial by default, a thread pool if you want the
+data movement to really overlap). Pricing is independent of the backend, so
+simulated runtimes are reproducible on any machine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
 
 from repro.distributed.costmodel import CostModel
+from repro.engine.executors import Executor, SerialExecutor
 
 __all__ = ["StageCost", "SimulatedCluster"]
+
+T = TypeVar("T")
+R = TypeVar("R")
 
 
 @dataclass(frozen=True)
 class StageCost:
-    """Record of one executed stage."""
+    """Record of one executed (priced) stage."""
 
     description: str
     driver_time: float
@@ -30,8 +46,7 @@ class StageCost:
     duration: float
 
 
-@dataclass
-class SimulatedCluster:
+class SimulatedCluster(Executor):
     """A cluster of ``num_workers`` identical workers driven by one master.
 
     Parameters
@@ -41,19 +56,44 @@ class SimulatedCluster:
     cost_model:
         The :class:`~repro.distributed.costmodel.CostModel` used to price
         operations; algorithms read it via :attr:`cost_model`.
+    backend:
+        Inner :class:`~repro.engine.executors.Executor` that actually runs
+        partition tasks submitted through :meth:`map_partitions`. Defaults
+        to a :class:`~repro.engine.executors.SerialExecutor`. A thread
+        backend runs the per-partition data movement concurrently without
+        changing any simulated cost or any sampling trajectory (tasks are
+        RNG-free or own private streams; see the engine's determinism
+        contract). Process backends are rejected: distributed-algorithm
+        tasks mutate driver-held reservoir partitions in place.
     """
 
-    num_workers: int
-    cost_model: CostModel = field(default_factory=CostModel)
-    stages: list[StageCost] = field(default_factory=list)
-    elapsed: float = 0.0
+    name = "simulated"
+    # Priced StageCost records ARE the experiment output; runs are bounded
+    # and callers reset_clock between them, so no retention cap applies.
+    max_stage_records = None
 
-    def __post_init__(self) -> None:
-        if self.num_workers <= 0:
-            raise ValueError(f"num_workers must be positive, got {self.num_workers}")
+    def __init__(
+        self,
+        num_workers: int,
+        cost_model: CostModel | None = None,
+        backend: Executor | None = None,
+    ) -> None:
+        super().__init__()
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if backend is not None and backend.ships_state:
+            raise ValueError(
+                "the simulated cluster needs an in-process backend (serial or "
+                "thread); a process backend cannot mutate the driver-held "
+                "reservoir partitions"
+            )
+        self.num_workers = int(num_workers)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.backend = backend if backend is not None else SerialExecutor()
+        self.stages: list[StageCost] = []
 
     # ------------------------------------------------------------------
-    # execution
+    # pricing (the cost-model spec)
     # ------------------------------------------------------------------
     def run_stage(
         self,
@@ -62,7 +102,7 @@ class SimulatedCluster:
         driver_time: float = 0.0,
         tasks_per_worker: int = 1,
     ) -> StageCost:
-        """Execute one stage and return its cost record.
+        """Price one stage and return its cost record.
 
         ``worker_times`` may be a single number (same work on every worker)
         or one number per worker; the stage lasts as long as its slowest
@@ -96,13 +136,53 @@ class SimulatedCluster:
         return record
 
     # ------------------------------------------------------------------
-    # bookkeeping helpers
+    # Executor protocol: execution is delegated, accounting is priced
     # ------------------------------------------------------------------
-    def reset_clock(self) -> None:
-        """Clear accumulated stages and elapsed time (e.g. between batches)."""
-        self.stages.clear()
-        self.elapsed = 0.0
+    def _run_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return self.backend._run_tasks(fn, tasks)
 
+    def map_partitions(
+        self,
+        fn: Callable[[T], R],
+        partitions: Sequence[T],
+        description: str = "map-partitions",
+        costs: Sequence[float] | float | None = None,
+        driver_time: float = 0.0,
+    ) -> list[R]:
+        """Run partition tasks on the inner backend; price the stage if asked.
+
+        When ``costs`` is given (one simulated per-worker time, or a
+        sequence of them) the stage is charged through :meth:`run_stage`
+        under the same description. When ``costs`` is ``None`` the tasks run
+        unpriced — the caller accounts for the stage separately, which lets
+        an algorithm keep its pricing structure exactly while routing the
+        data movement through the engine.
+        """
+        tasks = list(partitions)
+        results = self._run_tasks(fn, tasks)
+        if costs is not None:
+            self.run_stage(description, worker_times=costs, driver_time=driver_time)
+        return results
+
+    def reduce_merge(
+        self,
+        fn: Callable[[list[R]], object],
+        results: Sequence[R],
+        description: str = "reduce-merge",
+        driver_time: float = 0.0,
+    ) -> object:
+        """Driver-side merge; priced as driver work when ``driver_time`` is set."""
+        merged = fn(list(results))
+        if driver_time:
+            self.run_stage(description, driver_time=driver_time)
+        return merged
+
+    def shutdown(self) -> None:
+        self.backend.shutdown()
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers (reset_clock is inherited from Executor)
+    # ------------------------------------------------------------------
     def split_evenly(self, items: int) -> list[int]:
         """Split ``items`` into per-worker partition sizes as evenly as possible."""
         if items < 0:

@@ -24,6 +24,18 @@ Batches may be materialized (real items; used by correctness tests) or
 virtual (counts only; used by the Figure 7-9 performance experiments at
 cluster scale). Cost accounting is identical in both modes because it is
 driven by operation counts.
+
+Execution is structured as the engine's plan/apply composition
+(:mod:`repro.engine`): the master *plans* every stochastic decision —
+insert/delete counts, victim indices, key-value destinations — drawing from
+its RNG in a fixed order, then ships the RNG-free *apply* work (the actual
+item movement on the partitioned reservoir) through the cluster's
+``map_partitions`` and collects removed items with ``reduce_merge``. The
+cluster prices each stage with the cost model exactly as before (pricing is
+independent of the backend), and because applies for different partitions
+touch disjoint buckets, running them on a thread backend
+(``SimulatedCluster(..., backend=ThreadPoolExecutor())``) reproduces the
+serial trajectories bit for bit.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ from repro.core.random_utils import (
 )
 from repro.distributed.batches import DistributedBatch
 from repro.distributed.cluster import SimulatedCluster
+from repro.engine.shards import group_by_destination, merge_samples
 from repro.distributed.reservoirs import (
     CoPartitionedReservoir,
     DistributedReservoir,
@@ -359,17 +372,65 @@ class DistributedRTBS:
 
     # ------------------------------------------------------------------
     # data-movement primitives (materialized + virtual)
+    #
+    # Each primitive is a plan/apply composition: the master draws every
+    # random decision here (in the exact order the pre-engine implementation
+    # drew them), then the RNG-free applies run on the cluster's engine
+    # backend, one task per reservoir partition.
     # ------------------------------------------------------------------
+    def _plan_piece_inserts(
+        self,
+        planned: dict[int, list[list[Any]]],
+        source_partition: int,
+        items: Sequence[Any],
+    ) -> None:
+        """Plan destinations for one source partition's insert items (draws here)."""
+        destinations = self._reservoir.plan_insert(
+            len(items), self._target_partition(source_partition)
+        )
+        for destination, piece in group_by_destination(items, destinations).items():
+            planned.setdefault(destination, []).append(piece)
+
+    def _apply_insert_task(self, task: tuple[int, list[list[Any]]]) -> None:
+        destination, pieces = task
+        self._reservoir.apply_inserts(destination, pieces)
+
+    def _apply_delete_task(self, task: tuple[int, list[int]]) -> list[Any]:
+        partition, indices = task
+        return self._reservoir.apply_deletes(partition, indices)
+
+    def _engine_apply_inserts(self, planned: dict[int, list[list[Any]]]) -> None:
+        tasks = sorted(planned.items())
+        if tasks:
+            self.cluster.map_partitions(
+                self._apply_insert_task, tasks, description="apply planned inserts"
+            )
+
+    def _engine_apply_deletes(self, plans: list[list[int]]) -> list[Any]:
+        tasks = [
+            (partition, indices) for partition, indices in enumerate(plans) if indices
+        ]
+        if not tasks:
+            return []
+        removed_lists = self.cluster.map_partitions(
+            self._apply_delete_task, tasks, description="apply planned deletes"
+        )
+        return self.cluster.reduce_merge(
+            merge_samples, removed_lists, description="collect removed items"
+        )
+
     def _insert_all(self, batch: DistributedBatch) -> None:
         """Insert every batch item as a full item (unsaturated arrival)."""
         batch_size = len(batch)
         if self._virtual_mode:
             self._virtual_full_count += batch_size
         else:
+            planned: dict[int, list[list[Any]]] = {}
             for partition in range(batch.num_partitions):
-                self._reservoir.insert(
-                    batch.partition_items(partition), self._target_partition(partition)
+                self._plan_piece_inserts(
+                    planned, partition, batch.partition_items(partition)
                 )
+            self._engine_apply_inserts(planned)
         self._charge_insert_stage(batch_size, full_batch=True)
 
     def _replace(self, batch: DistributedBatch, accepted: int) -> None:
@@ -382,15 +443,23 @@ class DistributedRTBS:
                 counts = multivariate_hypergeometric(
                     self._rng, self._reservoir.partition_sizes(), min(accepted, len(self._reservoir))
                 )
-                self._reservoir.delete_per_partition(counts, self._rng)
+                self._engine_apply_deletes(
+                    self._reservoir.plan_deletes(counts, self._rng)
+                )
                 insert_counts = multivariate_hypergeometric(
                     self._rng, batch.partition_sizes, accepted
                 )
+                planned: dict[int, list[list[Any]]] = {}
                 for partition, count in enumerate(insert_counts):
+                    # Interleave position draws and destination planning per
+                    # partition — the exact draw order of the pre-engine
+                    # implementation (the KV placement stream is the master
+                    # RNG, so the interleaving is observable).
                     positions = batch.sample_positions(partition, count, self._rng)
-                    self._reservoir.insert(
-                        batch.take(partition, positions), self._target_partition(partition)
+                    self._plan_piece_inserts(
+                        planned, partition, batch.take(partition, positions)
                     )
+                self._engine_apply_inserts(planned)
         self._charge_plan_stage(accepted, accepted)
         self._charge_retrieve_stage(batch_size, accepted)
         self._charge_delete_stage(accepted)
@@ -406,7 +475,7 @@ class DistributedRTBS:
         sizes = self._reservoir.partition_sizes()
         count = min(count, sum(sizes))
         counts = multivariate_hypergeometric(self._rng, sizes, count)
-        self._reservoir.delete_per_partition(counts, self._rng)
+        self._engine_apply_deletes(self._reservoir.plan_deletes(counts, self._rng))
 
     def _promote_full_to_partial(self, drop_old_partial: bool) -> None:
         """Remove one uniformly random full item and make it the master's partial item."""

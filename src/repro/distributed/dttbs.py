@@ -11,7 +11,12 @@ and the requirement that the mean batch size be known in advance.
 Worker reservoirs are array-backed: each partition is a 1-D NumPy array and
 the retention/acceptance steps are single Bernoulli mask draws over the whole
 partition — the same vectorized thinning as the serial
-:class:`repro.core.ttbs.TTBS`.
+:class:`repro.core.ttbs.TTBS`. Since the engine refactor each worker update
+is one partition task submitted through the cluster's ``map_partitions``
+(:mod:`repro.engine`): workers own private RNG streams and disjoint
+partitions, so the tasks run unchanged on the serial or thread backend and
+the sampled trajectories are identical either way. The single priced stage
+is charged by the same call.
 """
 
 from __future__ import annotations
@@ -149,8 +154,8 @@ class DistributedTTBS:
 
         start_elapsed = self.cluster.elapsed
         model = self.cluster.cost_model
-        worker_times = []
         per_worker_batch = self._per_worker_sizes(batch)
+        worker_times = []
         for worker in range(self.cluster.num_workers):
             reservoir_size = (
                 self._virtual_counts[worker]
@@ -158,8 +163,15 @@ class DistributedTTBS:
                 else len(self._partitions[worker])
             )
             worker_times.append(model.local(reservoir_size + per_worker_batch[worker]))
-            self._update_worker(worker, batch, retention)
-        self.cluster.run_stage("local downsample and union", worker_times=worker_times)
+        # One engine task per worker: each task thins its own partition with
+        # its own RNG stream, so every backend yields the same trajectory.
+        # The same call prices the single D-T-TBS stage with the cost model.
+        self.cluster.map_partitions(
+            lambda worker: self._update_worker(worker, batch, retention),
+            range(self.cluster.num_workers),
+            description="local downsample and union",
+            costs=worker_times,
+        )
         runtime = self.cluster.elapsed - start_elapsed
         self.batch_runtimes.append(runtime)
         return runtime

@@ -1,0 +1,86 @@
+"""Partitioned-execution engine: pluggable backends for partition/merge work.
+
+Everything above :mod:`repro.core` that fans work out over partitions — the
+sharded :class:`~repro.service.SamplerService`, the distributed
+D-R-TBS/D-T-TBS algorithms, the benchmarks — runs through this package's
+:class:`Executor` protocol:
+
+* :mod:`repro.engine.executors` — :class:`SerialExecutor`,
+  :class:`ThreadPoolExecutor` and :class:`ProcessPoolExecutor` backends, the
+  :class:`StageRecord` bookkeeping they share, and the :func:`get_executor`
+  spec resolver (``"serial"`` / ``"thread[:N]"`` / ``"process[:N]"``);
+* :mod:`repro.engine.shards` — process-safe shard work units built on the
+  ``state_dict()`` snapshot protocol (the process backend ships shard
+  state, never pickled closures);
+* :class:`~repro.distributed.cluster.SimulatedCluster` — the fourth
+  implementation of the protocol, living with the distributed layer: it
+  *prices* stages with the paper's calibrated cost model instead of
+  measuring them.
+
+The free functions :func:`map_partitions` and :func:`reduce_merge` are thin
+conveniences over the corresponding executor methods for callers that take
+the executor as data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, TypeVar
+
+from repro.engine.executors import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    StageRecord,
+    ThreadPoolExecutor,
+    get_executor,
+)
+from repro.engine.shards import (
+    ShardTask,
+    group_by_destination,
+    ingest_shard_inplace,
+    ingest_shard_state,
+    merge_samples,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "StageRecord",
+    "get_executor",
+    "map_partitions",
+    "reduce_merge",
+    "ShardTask",
+    "ingest_shard_state",
+    "ingest_shard_inplace",
+    "merge_samples",
+    "group_by_destination",
+]
+
+
+def map_partitions(
+    executor: Executor,
+    fn: Callable[[T], R],
+    partitions: Iterable[T],
+    description: str = "map-partitions",
+) -> list[R]:
+    """Apply ``fn`` to every partition on ``executor``; results in partition order.
+
+    Backend-generic form: for the simulated cluster's priced extensions
+    (``costs=``/``driver_time=``) call its method directly.
+    """
+    return executor.map_partitions(fn, partitions, description=description)
+
+
+def reduce_merge(
+    executor: Executor,
+    fn: Callable[[list[R]], Any],
+    results: Iterable[R],
+    description: str = "reduce-merge",
+) -> Any:
+    """Merge partition results driver-side on ``executor``."""
+    return executor.reduce_merge(fn, results, description=description)

@@ -1,0 +1,86 @@
+"""Process-safe shard work units for the sampler stack.
+
+These module-level functions are the task payloads the
+:class:`~repro.engine.executors.ProcessPoolExecutor` backend runs: they must
+be importable by a worker process (no closures) and their arguments must be
+picklable. The discipline mirrors a real cluster: what crosses the boundary
+is shard *state* — the pickle-free ``state_dict()`` snapshot of scalars and
+NumPy arrays every sampler implements — plus the sub-batches to ingest,
+never live objects or code.
+
+The in-process variant (:func:`ingest_shard_inplace`) runs the same ingest
+against a live sampler and is used by the serial/thread backends, where
+shipping state would be pure overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.base import Sampler
+
+__all__ = [
+    "ShardTask",
+    "ingest_shard_state",
+    "ingest_shard_inplace",
+    "merge_samples",
+    "group_by_destination",
+]
+
+#: One shard's work unit: ``(sampler_or_state, batches, times)``. ``times``
+#: may be ``None`` for the default ``t+1, t+2, ...`` arrival clock.
+ShardTask = tuple[Any, Sequence[Any], Sequence[float] | None]
+
+
+def ingest_shard_state(task: ShardTask) -> dict[str, Any]:
+    """Restore a shard from its snapshot, ingest its sub-stream, re-snapshot.
+
+    The process-pool work unit: ``task`` carries a ``state_dict()`` snapshot
+    (not a live sampler), the shard's buffered sub-batches, and their
+    arrival times. Returns the post-ingest snapshot for the driver to
+    restore. Restore → ingest → snapshot is bit-exact (config, RNG stream,
+    payload all round-trip), so a shard that travelled through a worker
+    process continues the identical trajectory it would have followed
+    in-process.
+    """
+    state, batches, times = task
+    sampler = Sampler.from_state_dict(state)
+    sampler.process_stream(batches, times=times)
+    return sampler.state_dict()
+
+
+def ingest_shard_inplace(task: ShardTask) -> None:
+    """Ingest a sub-stream into a live shard sampler (serial/thread backends).
+
+    The sampler is mutated in place; per-shard samplers own disjoint state
+    and private RNG streams, so concurrent execution across shards is safe
+    and deterministic.
+    """
+    sampler, batches, times = task
+    sampler.process_stream(batches, times=times)
+    return None
+
+
+def merge_samples(samples: Iterable[Sequence[Any]]) -> list[Any]:
+    """Driver-side merge: concatenate per-partition samples in partition order."""
+    merged: list[Any] = []
+    for sample in samples:
+        merged.extend(sample)
+    return merged
+
+
+def group_by_destination(
+    items: Sequence[Any], destinations: Sequence[int]
+) -> dict[int, list[Any]]:
+    """Group planned insert items by their destination partition.
+
+    The single implementation of the plan-phase grouping whose ordering is
+    load-bearing for the distributed layer's bit-for-bit trajectory
+    guarantee: destinations appear in first-seen order and each
+    destination's items keep their original relative order, matching the
+    append order of the pre-engine per-item insert loop exactly.
+    """
+    grouped: dict[int, list[Any]] = {}
+    for item, destination in zip(items, destinations):
+        grouped.setdefault(destination, []).append(item)
+    return grouped

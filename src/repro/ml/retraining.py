@@ -19,7 +19,7 @@ the classification task begins".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Union
 
 import numpy as np
 
@@ -28,7 +28,16 @@ from repro.ml.base import SupervisedModel
 from repro.ml.metrics import expected_shortfall
 from repro.streams.items import Batch, LabeledItem
 
-__all__ = ["ModelManager", "RetrainingResult"]
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.service.service import SamplerService
+
+__all__ = ["ModelManager", "RetrainingResult", "SampleProvider"]
+
+#: Anything the manager can train from: a single sampler or a sharded
+#: :class:`~repro.service.SamplerService`. The contract is structural —
+#: ``process_batch(items) `` to ingest and ``sample_items()`` to read the
+#: current training sample — so any conforming provider works.
+SampleProvider = Union[Sampler, "SamplerService"]
 
 
 @dataclass
@@ -71,7 +80,13 @@ class ModelManager:
     Parameters
     ----------
     sampler:
-        Any :class:`~repro.core.base.Sampler`; its sample is the training set.
+        The training-sample provider: any :class:`~repro.core.base.Sampler`,
+        or a sharded :class:`~repro.service.SamplerService` — the service's
+        Sampler-compatible facade ingests each batch through its configured
+        executor (hash-routed sub-batches, per-shard parallel updates) and
+        :meth:`~repro.service.SamplerService.sample_items` returns the union
+        of the shard samples, so the Sections 1/6 model-management loop runs
+        sharded and parallel end to end with no change to the loop itself.
     model_factory:
         Zero-argument callable returning a fresh, untrained model. A new
         model is trained at every retraining point, mirroring the paper's use
@@ -89,7 +104,7 @@ class ModelManager:
 
     def __init__(
         self,
-        sampler: Sampler,
+        sampler: SampleProvider,
         model_factory: Callable[[], SupervisedModel],
         loss: Callable[[np.ndarray, np.ndarray], float],
         retrain_every: int = 1,

@@ -8,14 +8,19 @@ a long-running service:
   one-argsort batch splitting;
 * :mod:`repro.service.service` — :class:`SamplerService`: hash-routed
   per-shard samplers with lazy creation, deterministic per-shard RNG
-  streams, bulk ingest through the vectorized ``process_stream`` hot path,
-  and merged/per-shard sample queries;
+  streams, bulk ingest through the vectorized ``process_stream`` hot path
+  fanned out over a pluggable :mod:`repro.engine` executor
+  (serial/thread/process), a ``stats()`` observability endpoint, and
+  merged/per-shard sample queries;
 * :mod:`repro.service.checkpoint` — pickle-free directory checkpoints
   (JSON manifest + npz arrays) with exact, bit-identical restore of every
-  sampler trajectory.
+  sampler trajectory; damaged checkpoints raise :class:`CheckpointError`
+  naming the bad file.
 """
 
 from repro.service.checkpoint import (
+    CheckpointError,
+    MissingCheckpointError,
     load_checkpoint,
     load_sampler,
     load_service,
@@ -28,6 +33,8 @@ from repro.service.service import SamplerService
 
 __all__ = [
     "SamplerService",
+    "CheckpointError",
+    "MissingCheckpointError",
     "shard_ids_for_keys",
     "split_by_shard",
     "stable_hash",

@@ -33,11 +33,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 from typing import Any
 
 import numpy as np
 
 __all__ = [
+    "CheckpointError",
+    "MissingCheckpointError",
     "save_checkpoint",
     "load_checkpoint",
     "save_sampler",
@@ -45,6 +49,24 @@ __all__ = [
     "save_service",
     "load_service",
 ]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is truncated, corrupt, or unreadable.
+
+    Raised by :func:`load_checkpoint` with a message that names the
+    offending file (missing array archive, corrupt manifest JSON, dangling
+    array reference, ...) so an operator can tell a partially-copied
+    checkpoint from a software bug without reading a stack trace.
+    """
+
+
+class MissingCheckpointError(CheckpointError, FileNotFoundError):
+    """No checkpoint exists at the given directory (no manifest file).
+
+    Subclasses :class:`FileNotFoundError` so callers probing for an optional
+    checkpoint can keep the idiomatic ``except FileNotFoundError``.
+    """
 
 _MANIFEST_NAME = "manifest.json"
 _ARRAYS_PREFIX = "arrays-"
@@ -166,15 +188,63 @@ def save_checkpoint(state: dict[str, Any], directory: str | os.PathLike) -> None
 
 
 def load_checkpoint(directory: str | os.PathLike) -> dict[str, Any]:
-    """Load a snapshot mapping previously written by :func:`save_checkpoint`."""
+    """Load a snapshot mapping previously written by :func:`save_checkpoint`.
+
+    A directory with no manifest raises :class:`MissingCheckpointError` (a
+    ``FileNotFoundError``). Any *damaged* checkpoint — corrupt manifest
+    JSON, a manifest missing its required keys, a missing or unreadable
+    array archive, a dangling array reference — raises
+    :class:`CheckpointError` naming the bad file, never a raw decoding
+    stack trace.
+    """
     manifest_path = os.path.join(directory, _MANIFEST_NAME)
     if not os.path.exists(manifest_path):
-        raise FileNotFoundError(f"no checkpoint manifest at {manifest_path}")
+        raise MissingCheckpointError(f"no checkpoint manifest at {manifest_path}")
     with open(manifest_path, "r", encoding="utf-8") as fh:
-        manifest = json.load(fh)
+        try:
+            manifest = json.load(fh)
+        except ValueError as error:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {manifest_path}: not valid JSON "
+                f"({error}); the checkpoint was truncated or partially copied"
+            ) from error
+    if not isinstance(manifest, dict) or "arrays_file" not in manifest or "state" not in manifest:
+        raise CheckpointError(
+            f"corrupt checkpoint manifest {manifest_path}: expected a mapping "
+            "with 'arrays_file' and 'state' keys"
+        )
     arrays_path = os.path.join(directory, manifest["arrays_file"])
-    with np.load(arrays_path, allow_pickle=False) as archive:
-        return _decode(manifest["state"], archive)
+    if not os.path.exists(arrays_path):
+        raise CheckpointError(
+            f"checkpoint array archive missing: {arrays_path} (named by "
+            f"{manifest_path}); the checkpoint directory is incomplete — "
+            "copy it atomically or re-save"
+        )
+    try:
+        archive_cm = np.load(arrays_path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile) as error:
+        # BadZipFile subclasses neither OSError nor ValueError; a *truncated*
+        # npz (as opposed to non-zip garbage) raises it.
+        raise CheckpointError(
+            f"unreadable checkpoint array archive {arrays_path}: {error}"
+        ) from error
+    with archive_cm as archive:
+        try:
+            return _decode(manifest["state"], archive)
+        except KeyError as error:
+            raise CheckpointError(
+                f"checkpoint array archive {arrays_path} lacks array {error} "
+                f"referenced by {manifest_path}; manifest and archive are "
+                "from different saves"
+            ) from error
+        except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as error:
+            # NpzFile decompresses members lazily, so damage *inside* the
+            # archive (bad CRC, truncated member) surfaces here, not at
+            # np.load time.
+            raise CheckpointError(
+                f"corrupt data inside checkpoint array archive {arrays_path}: "
+                f"{error}"
+            ) from error
 
 
 def save_sampler(sampler: "Sampler", directory: str | os.PathLike) -> None:
@@ -198,10 +268,16 @@ def load_service(
     directory: str | os.PathLike,
     sampler_factory,
     key_fn=None,
+    executor=None,
 ) -> "SamplerService":
-    """Restore a service checkpoint; the factory is re-supplied by the caller."""
+    """Restore a service checkpoint; the factory is re-supplied by the caller.
+
+    ``executor`` is deployment configuration, not state: a service saved
+    under one backend may be restored under any other (e.g. serial in a
+    notebook, process pool in production) without changing its trajectory.
+    """
     from repro.service.service import SamplerService
 
     return SamplerService.from_state_dict(
-        load_checkpoint(directory), sampler_factory, key_fn=key_fn
+        load_checkpoint(directory), sampler_factory, key_fn=key_fn, executor=executor
     )

@@ -21,6 +21,15 @@ statistical trajectory of shard ``k`` does not depend on the order in which
 other shards first see data. Per-shard clocks advance only when the shard
 receives items; decay over the skipped interval is exact because the
 samplers decay by the true elapsed gap (see ``Sampler._advance_time``).
+
+Shard ingestion fans out through a pluggable :mod:`repro.engine` executor:
+``"serial"`` (default), ``"thread"`` (per-shard ``process_stream`` calls
+overlap — NumPy releases the GIL on the vectorized hot path), or
+``"process"`` (each shard's work crosses a process boundary as a
+``state_dict()`` snapshot plus its sub-batches; the returned snapshot is
+restored driver-side). Shards are statistically independent with private
+RNG streams, so every backend produces bit-identical samples for a fixed
+seed.
 """
 
 from __future__ import annotations
@@ -36,6 +45,12 @@ from repro.core.random_utils import (
     generator_from_state,
     generator_state,
     spawn_rngs,
+)
+from repro.engine import (
+    Executor,
+    get_executor,
+    ingest_shard_inplace,
+    ingest_shard_state,
 )
 from repro.service.routing import shard_ids_for_keys, split_by_shard
 
@@ -66,6 +81,13 @@ class SamplerService:
         Master seed/generator. Shard RNG streams are spawned from it
         deterministically at construction, so two services built with the
         same seed shard identically regardless of data order.
+    executor:
+        Where per-shard ingest work runs: an
+        :class:`~repro.engine.Executor`, a backend spec string
+        (``"serial"``, ``"thread[:N]"``, ``"process[:N]"``), or ``None``
+        for serial. The backend changes *where* shard updates execute,
+        never *what* they compute — samples are bit-identical across
+        backends for a fixed seed.
 
     Examples
     --------
@@ -84,12 +106,14 @@ class SamplerService:
         num_shards: int = 4,
         key_fn: Callable[[Any], Any] | None = None,
         rng: np.random.Generator | int | None = None,
+        executor: Executor | str | None = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
         self._factory = sampler_factory
         self.num_shards = int(num_shards)
         self.key_fn = key_fn
+        self._executor = get_executor(executor)
         self._rng = ensure_rng(rng)
         # Reserve every shard's RNG stream up front: shard k's stream is a
         # deterministic function of the master seed alone, never of which
@@ -166,6 +190,46 @@ class SamplerService:
             for shard_id in self.active_shards
         }
 
+    def stats(self) -> dict[str, Any]:
+        """Observability snapshot: per-shard fill state plus service aggregates.
+
+        A cheap, read-only endpoint for dashboards and load-balancing
+        decisions — it never creates shards and draws no randomness. Each
+        active shard reports its item count, fill fraction (``nan`` for
+        samplers without a capacity attribute ``n``), total decayed weight
+        ``W_t`` (``nan`` where weightless), expected sample size, batches
+        seen, and clock.
+        """
+        shards: dict[int, dict[str, Any]] = {}
+        total_items = 0
+        for shard_id in self.active_shards:
+            sampler = self._shards[shard_id]
+            size = len(sampler)
+            capacity = getattr(sampler, "n", None)
+            shards[shard_id] = {
+                "items": size,
+                "capacity": int(capacity) if capacity is not None else None,
+                "fill_fraction": (
+                    size / capacity if capacity else float("nan")
+                ),
+                "total_weight": float(sampler.total_weight),
+                "expected_sample_size": float(sampler.expected_sample_size),
+                "batches_seen": sampler.batches_seen,
+                "time": sampler.time,
+            }
+            total_items += size
+        return {
+            "num_shards": self.num_shards,
+            "active_shards": len(shards),
+            "executor": self._executor.name,
+            "batches_seen": self._batches_seen,
+            "time": self._time,
+            "total_items": total_items,
+            "total_weight": self.total_weight,
+            "expected_sample_size": self.expected_sample_size,
+            "shards": shards,
+        }
+
     @property
     def total_weight(self) -> float:
         """Sum of the shard samplers' ``W_t`` (``nan`` if any shard has no notion of weight)."""
@@ -191,6 +255,47 @@ class SamplerService:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
+    @property
+    def executor(self) -> Executor:
+        """The engine backend running per-shard ingest work."""
+        return self._executor
+
+    def _dispatch(self, pending: dict[int, tuple[list[Any], list[float]]]) -> None:
+        """Fan buffered per-shard sub-streams out through the executor.
+
+        One engine task per shard, submitted in ascending shard order so
+        every backend sees the same task list. In-process backends mutate
+        the live shard samplers; a state-shipping backend (process pool)
+        receives each shard's ``state_dict()`` snapshot plus its
+        sub-batches and returns the post-ingest snapshot, which replaces
+        the driver's shard. Either way the shard's trajectory is exactly
+        the one a serial loop would have produced.
+        """
+        shard_ids = sorted(pending)
+        if not shard_ids:
+            return
+        # Shards are always created driver-side: the factory is code (often
+        # a closure) and never crosses a process boundary.
+        shards = [self._get_or_create_shard(shard_id) for shard_id in shard_ids]
+        if self._executor.ships_state:
+            tasks = [
+                (shard.state_dict(), *pending[shard_id])
+                for shard_id, shard in zip(shard_ids, shards)
+            ]
+            new_states = self._executor.map_partitions(
+                ingest_shard_state, tasks, description="ingest shard sub-streams"
+            )
+            for shard_id, state in zip(shard_ids, new_states):
+                self._shards[shard_id] = Sampler.from_state_dict(state)
+        else:
+            tasks = [
+                (shard, *pending[shard_id])
+                for shard_id, shard in zip(shard_ids, shards)
+            ]
+            self._executor.map_partitions(
+                ingest_shard_inplace, tasks, description="ingest shard sub-streams"
+            )
+
     def ingest_batch(
         self,
         items: Sequence[Any] | Iterable[Any] | np.ndarray,
@@ -199,11 +304,11 @@ class SamplerService:
     ) -> dict[int, int]:
         """Route one arriving batch to its shards; return per-shard item counts.
 
-        Only shards that receive items are touched: each gets a
-        ``process_batch(sub_batch, time=t)`` call at the batch's absolute
-        arrival time, so a shard that sat idle for several batches decays
-        its sample by the full elapsed gap on its next arrival — identical
-        bookkeeping to a shard that saw every batch.
+        Only shards that receive items are touched: each ingests its
+        sub-batch at the batch's absolute arrival time, so a shard that sat
+        idle for several batches decays its sample by the full elapsed gap
+        on its next arrival — identical bookkeeping to a shard that saw
+        every batch. The per-shard updates run on the configured executor.
 
         Routing is validated *before* the service clock advances: a batch
         rejected for bad keys leaves the clock untouched, so the corrected
@@ -212,11 +317,38 @@ class SamplerService:
         batch = as_item_array(items)
         routed = self._route(batch, keys)
         time = self._advance_time(time)
+        pending: dict[int, tuple[list[Any], list[float]]] = {}
         counts: dict[int, int] = {}
         for shard_id, sub_batch in routed:
-            self._get_or_create_shard(shard_id).process_batch(sub_batch, time=time)
+            pending[shard_id] = ([sub_batch], [time])
             counts[shard_id] = len(sub_batch)
+        self._dispatch(pending)
         return counts
+
+    def process_batch(
+        self,
+        batch: Sequence[Any] | Iterable[Any] | np.ndarray,
+        time: float | None = None,
+    ) -> list[Any]:
+        """Sampler-compatible facade: ingest one batch, return the merged sample.
+
+        Lets the service stand in wherever a bare
+        :class:`~repro.core.base.Sampler` is expected — most importantly the
+        :class:`~repro.ml.retraining.ModelManager` loop, which then trains
+        on the union of the shard samples while ingestion fans out over the
+        executor.
+        """
+        self.ingest_batch(batch, time=time)
+        return self.sample_items()
+
+    def process_stream(
+        self,
+        batches: Iterable[Sequence[Any] | Iterable[Any] | np.ndarray],
+        times: Iterable[float] | None = None,
+    ) -> list[Any]:
+        """Sampler-compatible bulk facade over :meth:`ingest`."""
+        self.ingest(batches, times=times)
+        return self.sample_items()
 
     def ingest(
         self,
@@ -230,10 +362,13 @@ class SamplerService:
         Batches are routed and buffered into one sub-stream (batches +
         arrival times) per shard; every ``window`` batches, each shard
         ingests its buffered sub-stream in a single
-        :meth:`~repro.core.base.Sampler.process_stream` call. That keeps the
+        :meth:`~repro.core.base.Sampler.process_stream` call, fanned out as
+        one engine task per shard on the configured executor. That keeps the
         per-shard amortization of bulk ingest while bounding buffered memory
         to O(``window`` × batch size) — a generator of a million batches
-        streams through, it is never materialized whole.
+        streams through, it is never materialized whole. Larger windows also
+        amortize the executor's per-flush overhead (for the process backend,
+        one shard-state round trip covers ``window`` batches).
 
         If a batch fails mid-stream (bad keys, non-increasing time), every
         batch before it is flushed to the shards and the error is raised;
@@ -262,11 +397,7 @@ class SamplerService:
 
         def flush() -> None:
             nonlocal buffered
-            for shard_id in sorted(pending):
-                sub_batches, sub_times = pending[shard_id]
-                self._get_or_create_shard(shard_id).process_stream(
-                    sub_batches, times=sub_times
-                )
+            self._dispatch(pending)
             pending.clear()
             buffered = 0
 
@@ -357,20 +488,38 @@ class SamplerService:
             },
         }
 
+    def shutdown(self) -> None:
+        """Release the executor's worker pools (no-op for the serial backend).
+
+        The service and its samplers stay fully queryable afterwards; only
+        further ingest through a pooled backend would recreate workers.
+        """
+        self._executor.shutdown()
+
+    def __enter__(self) -> "SamplerService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
     @classmethod
     def from_state_dict(
         cls,
         state: dict[str, Any],
         sampler_factory: SamplerFactory,
         key_fn: Callable[[Any], Any] | None = None,
+        executor: Executor | str | None = None,
     ) -> "SamplerService":
         """Reconstruct a service from :meth:`state_dict`.
 
         ``sampler_factory`` (and ``key_fn``, if one was used) are code, not
         data — snapshots never contain pickled callables — so the caller
         supplies them again; the factory is only invoked for shards created
-        *after* the restore. Active shards are rebuilt from their own
-        snapshots via ``Sampler.from_state_dict``.
+        *after* the restore. The same goes for ``executor``: the backend is
+        deployment configuration, not state, so a service checkpointed under
+        one backend may restore under any other without changing its
+        trajectory. Active shards are rebuilt from their own snapshots via
+        ``Sampler.from_state_dict``.
         """
         version = state.get("format_version")
         if version != STATE_FORMAT_VERSION:
@@ -382,6 +531,7 @@ class SamplerService:
         service._factory = sampler_factory
         service.num_shards = int(state["num_shards"])
         service.key_fn = key_fn
+        service._executor = get_executor(executor)
         service._rng = generator_from_state(state["rng_state"])
         shard_rng_states = state["shard_rng_states"]
         if len(shard_rng_states) != service.num_shards:

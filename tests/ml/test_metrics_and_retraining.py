@@ -11,6 +11,7 @@ from repro.ml.knn import KNNClassifier
 from repro.ml.linreg import LinearRegressionModel
 from repro.ml.metrics import expected_shortfall, mean_squared_error, misclassification_rate
 from repro.ml.retraining import ModelManager, RetrainingResult
+from repro.service import SamplerService
 from repro.streams.gaussian_mixture import GaussianMixtureStream
 from repro.streams.items import Batch, LabeledItem
 from repro.streams.patterns import Mode
@@ -191,3 +192,58 @@ class TestModelManager:
         result = manager.run(batches)
         assert result.losses[-1] < result.losses[0]
         assert result.losses[-1] < 2.5
+
+
+class TestModelManagerWithSamplerService:
+    """The Sections 1/6 loop running sharded and parallel end to end."""
+
+    @staticmethod
+    def _service(executor, num_shards: int = 4) -> SamplerService:
+        # LabeledItem is not directly routable (it is a dataclass), so the
+        # service routes on the feature tuple — a stable, hashable key.
+        return SamplerService(
+            lambda rng: RTBS(n=80, lambda_=0.1, rng=rng),
+            num_shards=num_shards,
+            key_fn=lambda item: item.features,
+            rng=13,
+            executor=executor,
+        )
+
+    @staticmethod
+    def _batches(num_batches: int, batch_size: int, seed: int = 0):
+        generator = GaussianMixtureStream(num_classes=4, rng=seed)
+        return [
+            Batch(
+                time=float(index),
+                items=generator.generate_batch(batch_size, Mode.NORMAL, index),
+            )
+            for index in range(1, num_batches + 1)
+        ]
+
+    def test_sharded_loop_runs_and_learns(self):
+        batches = self._batches(10, 60, seed=3)
+        manager = ModelManager(
+            self._service("serial"), lambda: KNNClassifier(k=3), misclassification_rate
+        )
+        result = manager.run(batches)
+        assert len(result.losses) == 10
+        assert manager.model.is_fitted
+        assert np.mean(result.losses[4:]) < result.losses[0]
+        service = manager.sampler
+        assert len(service.active_shards) == 4
+        # The training set really is the union of the shard samples.
+        assert len(service.sample_items()) == service.stats()["total_items"]
+
+    def test_thread_executor_loss_series_matches_serial(self):
+        batches = self._batches(8, 40, seed=7)
+        serial = ModelManager(
+            self._service("serial"), lambda: KNNClassifier(k=3), misclassification_rate
+        )
+        serial_result = serial.run(batches)
+        with self._service("thread:3") as service:
+            threaded = ModelManager(
+                service, lambda: KNNClassifier(k=3), misclassification_rate
+            )
+            threaded_result = threaded.run(batches)
+        assert threaded_result.losses == serial_result.losses
+        assert threaded_result.sample_sizes == serial_result.sample_sizes

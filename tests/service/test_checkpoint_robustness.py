@@ -1,0 +1,131 @@
+"""Robustness tests: damaged checkpoint directories fail loudly and clearly.
+
+A truncated or partially-copied checkpoint (missing array archive, corrupt
+manifest JSON, mismatched manifest/archive pair) must raise
+:class:`~repro.service.CheckpointError` naming the bad file — never a raw
+``KeyError``/``JSONDecodeError`` stack trace — and the crash-safe overwrite
+protocol must never produce such a directory on its own.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RTBS
+from repro.service import (
+    CheckpointError,
+    MissingCheckpointError,
+    load_checkpoint,
+    load_sampler,
+    save_sampler,
+)
+
+
+@pytest.fixture
+def checkpoint_dir(tmp_path):
+    sampler = RTBS(n=30, lambda_=0.2, rng=0)
+    sampler.process_batch(np.arange(200))
+    directory = tmp_path / "ckpt"
+    save_sampler(sampler, directory)
+    return directory
+
+
+class TestDamagedCheckpoints:
+    def test_missing_directory_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+        # ... and also a CheckpointError, for callers catching broadly.
+        with pytest.raises(MissingCheckpointError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_missing_array_archive_names_the_file(self, checkpoint_dir):
+        (archive,) = checkpoint_dir.glob("arrays-*.npz")
+        archive.unlink()
+        with pytest.raises(CheckpointError, match=str(archive)):
+            load_sampler(checkpoint_dir)
+
+    def test_truncated_manifest_names_the_file(self, checkpoint_dir):
+        manifest = checkpoint_dir / "manifest.json"
+        text = manifest.read_text()
+        manifest.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="manifest.json"):
+            load_sampler(checkpoint_dir)
+        with pytest.raises(CheckpointError, match="truncated or partially copied"):
+            load_sampler(checkpoint_dir)
+
+    def test_manifest_missing_keys_is_rejected(self, checkpoint_dir):
+        manifest = checkpoint_dir / "manifest.json"
+        manifest.write_text(json.dumps({"state": {}}))
+        with pytest.raises(CheckpointError, match="'arrays_file' and 'state'"):
+            load_checkpoint(checkpoint_dir)
+        manifest.write_text(json.dumps(["not", "a", "mapping"]))
+        with pytest.raises(CheckpointError, match="expected a mapping"):
+            load_checkpoint(checkpoint_dir)
+
+    def test_corrupt_archive_names_the_file(self, checkpoint_dir):
+        (archive,) = checkpoint_dir.glob("arrays-*.npz")
+        archive.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CheckpointError, match=archive.name):
+            load_sampler(checkpoint_dir)
+
+    def test_bit_rotted_archive_member_names_the_file(self, checkpoint_dir):
+        # Damage *inside* the zip (intact central directory, bad member
+        # CRC): NpzFile only notices while lazily decompressing during
+        # decode, a different failure point than opening the archive.
+        (archive,) = checkpoint_dir.glob("arrays-*.npz")
+        data = bytearray(archive.read_bytes())
+        middle = len(data) // 2
+        data[middle : middle + 64] = b"\xff" * 64
+        archive.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match=archive.name):
+            load_sampler(checkpoint_dir)
+
+    def test_truncated_archive_names_the_file(self, checkpoint_dir):
+        # A zip cut off mid-way raises zipfile.BadZipFile inside np.load —
+        # a different exception family than non-zip garbage, and the
+        # realistic partial-copy failure mode.
+        (archive,) = checkpoint_dir.glob("arrays-*.npz")
+        data = archive.read_bytes()
+        archive.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match=archive.name):
+            load_sampler(checkpoint_dir)
+
+    def test_mismatched_archive_reports_dangling_reference(self, checkpoint_dir):
+        # A manifest paired with an archive from a *different* save: the
+        # array names do not line up.
+        (archive,) = checkpoint_dir.glob("arrays-*.npz")
+        with open(archive, "wb") as fh:
+            np.savez_compressed(fh, unrelated=np.arange(3))
+        with pytest.raises(CheckpointError, match="different saves"):
+            load_sampler(checkpoint_dir)
+
+    def test_checkpoint_error_is_not_raised_for_healthy_directories(self, checkpoint_dir):
+        restored = load_sampler(checkpoint_dir)
+        assert restored.batches_seen == 1
+
+
+class TestCrashSafeOverwriteNeverDamages:
+    def test_interrupted_rewrites_leave_a_loadable_checkpoint(self, tmp_path):
+        """Repeated overwrites plus leftover crash debris still load cleanly.
+
+        The save protocol writes the new archive first, swaps the manifest
+        atomically, then garbage-collects; stray ``.tmp`` files and
+        superseded archives from simulated crashes must never break a load.
+        """
+        sampler = RTBS(n=30, lambda_=0.2, rng=0)
+        directory = tmp_path / "ckpt"
+        for round_index in range(3):
+            sampler.process_batch(np.arange(round_index * 100, (round_index + 1) * 100))
+            save_sampler(sampler, directory)
+            # Simulate a crashed writer: orphan temp + orphan archive.
+            (directory / "arrays-orphan.npz.tmp").write_bytes(b"partial")
+            (directory / "manifest-orphan.tmp").write_text("{")
+            restored = load_sampler(directory)
+            assert restored.sample_items() == sampler.sample_items()
+        # The next successful save garbage-collects the debris.
+        save_sampler(sampler, directory)
+        assert not list(directory.glob("*.tmp"))
+        assert len(list(directory.glob("arrays-*.npz"))) == 1

@@ -1,0 +1,152 @@
+"""Executor-backend tests for SamplerService: equivalence + checkpointing.
+
+The engine's determinism contract says the backend changes *where* shard
+work runs, never *what* it computes. These tests pin that: identical sample
+trajectories across serial/thread backends for a fixed seed, a
+process-backend smoke test (state ships across the process boundary and
+returns bit-exact), and the acceptance scenario — the 4-shard mid-stream
+checkpoint/restore — driven through the thread and process backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RTBS
+from repro.engine import ProcessPoolExecutor, SerialExecutor, ThreadPoolExecutor
+from repro.service import SamplerService, load_service, save_service
+
+
+def rtbs_factory(rng):
+    return RTBS(n=100, lambda_=0.15, rng=rng)
+
+
+def _batches(count: int, size: int = 400, start: int = 0) -> list[np.ndarray]:
+    return [
+        np.arange(start + index * size, start + (index + 1) * size)
+        for index in range(count)
+    ]
+
+
+class TestBackendEquivalence:
+    def test_serial_and_thread_trajectories_are_identical(self):
+        batches = _batches(12)
+        serial = SamplerService(rtbs_factory, num_shards=4, rng=17, executor="serial")
+        with SamplerService(
+            rtbs_factory, num_shards=4, rng=17, executor=ThreadPoolExecutor(3)
+        ) as threaded:
+            # Interleave per-batch and windowed bulk ingest on both.
+            for batch in batches[:4]:
+                serial.ingest_batch(batch)
+                threaded.ingest_batch(batch)
+            serial.ingest(batches[4:], window=3)
+            threaded.ingest(batches[4:], window=3)
+            assert threaded.sample_items() == serial.sample_items()
+            assert threaded.total_weight == serial.total_weight
+            assert threaded.shard_samples() == serial.shard_samples()
+            assert threaded.time == serial.time
+
+    def test_process_backend_smoke(self):
+        """Process backend: shard state ships out, returns, and stays exact."""
+        batches = _batches(6)
+        serial = SamplerService(rtbs_factory, num_shards=4, rng=23)
+        serial.ingest(batches)
+        with SamplerService(
+            rtbs_factory, num_shards=4, rng=23, executor=ProcessPoolExecutor(2)
+        ) as shipped:
+            shipped.ingest(batches)
+            assert shipped.sample_items() == serial.sample_items()
+            assert shipped.total_weight == serial.total_weight
+            stats = shipped.stats()
+            assert stats["executor"] == "process"
+            assert stats["active_shards"] == 4
+
+    def test_executor_spec_strings_are_accepted(self):
+        service = SamplerService(rtbs_factory, num_shards=2, rng=0, executor="thread:2")
+        service.ingest_batch(np.arange(100))
+        assert len(service.sample_items()) > 0
+        service.shutdown()
+
+    def test_invalid_executor_spec_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            SamplerService(rtbs_factory, num_shards=2, rng=0, executor="gpu")
+
+
+class TestStats:
+    def test_stats_reports_per_shard_fill(self):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=3)
+        assert service.stats()["active_shards"] == 0
+        service.ingest(_batches(10))
+        stats = service.stats()
+        assert stats["num_shards"] == 4
+        assert stats["executor"] == "serial"
+        assert stats["batches_seen"] == 10
+        assert stats["total_items"] == len(service.sample_items())
+        assert stats["total_weight"] == pytest.approx(service.total_weight)
+        for shard_id, shard in stats["shards"].items():
+            sampler = service.shard(shard_id)
+            assert shard["items"] == len(sampler)
+            assert shard["capacity"] == 100
+            assert shard["fill_fraction"] == pytest.approx(len(sampler) / 100)
+            assert shard["batches_seen"] == sampler.batches_seen
+            assert shard["time"] == sampler.time
+
+    def test_stats_is_read_only(self):
+        service = SamplerService(rtbs_factory, num_shards=8, rng=0)
+        service.ingest_batch([42])
+        before = service.state_dict()
+        service.stats()
+        after = service.state_dict()
+        assert set(before["shards"]) == set(after["shards"])
+        assert before["rng_state"] == after["rng_state"]
+
+
+class TestSamplerFacade:
+    def test_process_batch_ingests_and_returns_merged_sample(self):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=5)
+        sample = service.process_batch(np.arange(500), time=2.0)
+        assert sample == service.sample_items()
+        assert service.time == 2.0
+
+    def test_process_stream_matches_ingest(self):
+        batches = _batches(5)
+        via_facade = SamplerService(rtbs_factory, num_shards=4, rng=5)
+        final = via_facade.process_stream(batches)
+        via_ingest = SamplerService(rtbs_factory, num_shards=4, rng=5)
+        via_ingest.ingest(batches)
+        assert final == via_ingest.sample_items()
+
+
+@pytest.mark.parametrize("backend", ["thread", "process:2"])
+class TestCheckpointThroughParallelBackends:
+    """The 4-shard mid-stream restore scenario, driven through each backend."""
+
+    def test_mid_stream_checkpoint_restore_is_bit_identical(self, tmp_path, backend):
+        prefix = _batches(10)
+        suffix = _batches(10, start=10 * 400)
+
+        uninterrupted = SamplerService(rtbs_factory, num_shards=4, rng=21)
+        uninterrupted.ingest(prefix)
+
+        with SamplerService(
+            rtbs_factory, num_shards=4, rng=21, executor=backend
+        ) as interrupted:
+            interrupted.ingest(prefix)
+            save_service(interrupted, tmp_path / "ckpt")
+
+        with load_service(tmp_path / "ckpt", rtbs_factory, executor=backend) as restored:
+            assert len(restored.active_shards) >= 4
+            uninterrupted.ingest(suffix)
+            restored.ingest(suffix)
+
+            assert restored.sample_items() == uninterrupted.sample_items()
+            assert restored.total_weight == uninterrupted.total_weight
+            assert restored.expected_sample_size == uninterrupted.expected_sample_size
+            assert restored.time == uninterrupted.time
+            assert restored.batches_seen == uninterrupted.batches_seen
+            for shard_id in uninterrupted.active_shards:
+                original = uninterrupted.shard(shard_id)
+                clone = restored.shard(shard_id)
+                assert clone.total_weight == original.total_weight
+                assert clone.sample_items() == original.sample_items()

@@ -31,7 +31,7 @@ from repro.streams import (
 
 class TestPublicAPI:
     def test_version_and_exports(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
         for name in repro.__all__:
             assert hasattr(repro, name)
 
