@@ -1,0 +1,114 @@
+"""Diff two ``BENCH_throughput.json`` files and fail on throughput regressions.
+
+The throughput JSON is the machine-readable performance trajectory of the
+project across PRs; this tool is the gate that keeps it monotone-ish. It
+compares every operating point present in *both* files and exits non-zero
+when any candidate point falls more than ``--threshold`` (default 25%)
+below the baseline. Points that exist on only one side are reported but
+never fail the gate — new operating points appear, obsolete ones retire.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CANDIDATE.json \
+        [--key operating_points|operating_points_smoke] \
+        [--baseline-key ...] [--candidate-key ...] \
+        [--threshold 0.25]
+
+CI runs the smoke-scale suite into a scratch JSON and compares its
+``operating_points_smoke`` map against the committed file's, so a PR that
+slows a hot path >25% at any recorded operating point fails the bench job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_points(path: str, key: str) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    points = payload.get(key, {})
+    if not isinstance(points, dict):
+        raise SystemExit(f"{path}: {key!r} is not an operating-point map")
+    return {name: float(value) for name, value in points.items()}
+
+
+def compare(
+    baseline: dict[str, float], candidate: dict[str, float], threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    width = max((len(name) for name in baseline | candidate), default=10)
+    header = f"{'operating point':<{width}}  {'baseline':>14}  {'candidate':>14}  {'change':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(baseline | candidate):
+        old = baseline.get(name)
+        new = candidate.get(name)
+        if old is None:
+            lines.append(f"{name:<{width}}  {'—':>14}  {new:>14,.0f}  {'new':>8}")
+            continue
+        if new is None:
+            lines.append(f"{name:<{width}}  {old:>14,.0f}  {'—':>14}  {'gone':>8}")
+            continue
+        change = (new - old) / old if old else 0.0
+        marker = ""
+        if new < old * (1.0 - threshold):
+            marker = "  << REGRESSION"
+            regressions.append(
+                f"{name}: {old:,.0f} -> {new:,.0f} items/s "
+                f"({change:+.1%}, allowed -{threshold:.0%})"
+            )
+        lines.append(
+            f"{name:<{width}}  {old:>14,.0f}  {new:>14,.0f}  {change:>+8.1%}{marker}"
+        )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_throughput.json")
+    parser.add_argument("candidate", help="candidate BENCH_throughput.json")
+    parser.add_argument(
+        "--key",
+        default="operating_points",
+        help="operating-point map to compare on both sides (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline-key", default=None, help="override the map key for the baseline"
+    )
+    parser.add_argument(
+        "--candidate-key", default=None, help="override the map key for the candidate"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional slowdown per point (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    baseline = load_points(args.baseline, args.baseline_key or args.key)
+    candidate = load_points(args.candidate, args.candidate_key or args.key)
+    if not baseline:
+        print(f"no baseline operating points under {args.baseline_key or args.key!r}; nothing to gate")
+        return 0
+
+    lines, regressions = compare(baseline, candidate, args.threshold)
+    print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} operating point(s) regressed more than {args.threshold:.0%}:")
+        for regression in regressions:
+            print(f"  - {regression}")
+        return 1
+    print(f"\nOK: no operating point regressed more than {args.threshold:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,8 +63,14 @@ class SimulatedCluster(Executor):
         backend runs the per-partition data movement concurrently without
         changing any simulated cost or any sampling trajectory (tasks are
         RNG-free or own private streams; see the engine's determinism
-        contract). Process backends are rejected: distributed-algorithm
-        tasks mutate driver-held reservoir partitions in place.
+        contract). A transport-capable process backend
+        (:class:`~repro.engine.executors.ProcessPoolExecutor`) is accepted
+        too: the distributed algorithms then keep their reservoir/sample
+        partitions *resident* in the persistent workers
+        (:mod:`repro.distributed.resident`) instead of submitting closures.
+        State-shipping backends without a transport are rejected —
+        closure tasks cannot mutate driver-held partitions across a
+        process boundary.
     """
 
     name = "simulated"
@@ -81,10 +87,15 @@ class SimulatedCluster(Executor):
         super().__init__()
         if num_workers <= 0:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
-        if backend is not None and backend.ships_state:
+        if (
+            backend is not None
+            and backend.ships_state
+            and not getattr(backend, "provides_transport", False)
+        ):
             raise ValueError(
                 "the simulated cluster needs an in-process backend (serial or "
-                "thread); a process backend cannot mutate the driver-held "
+                "thread) or a transport-capable process backend; a plain "
+                "state-shipping backend cannot mutate the driver-held "
                 "reservoir partitions"
             )
         self.num_workers = int(num_workers)

@@ -9,9 +9,15 @@ D-R-TBS/D-T-TBS algorithms, the benchmarks — runs through this package's
   :class:`ThreadPoolExecutor` and :class:`ProcessPoolExecutor` backends, the
   :class:`StageRecord` bookkeeping they share, and the :func:`get_executor`
   spec resolver (``"serial"`` / ``"thread[:N]"`` / ``"process[:N]"``);
+* :mod:`repro.engine.transport` — the persistent-worker shared-memory
+  transport behind the process backend: resident shard state (shipped once
+  on attach), per-worker ring buffers for zero-copy array frames, pipelined
+  dispatch with acknowledgement-driven backpressure, and
+  :class:`~repro.engine.errors.EngineError` failure semantics;
 * :mod:`repro.engine.shards` — process-safe shard work units built on the
   ``state_dict()`` snapshot protocol (the process backend ships shard
-  state, never pickled closures);
+  state, never pickled closures), including the worker-side
+  :func:`service_ingest_frame` routing hot path;
 * :class:`~repro.distributed.cluster.SimulatedCluster` — the fourth
   implementation of the protocol, living with the distributed layer: it
   *prices* stages with the paper's calibrated cost model instead of
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, TypeVar
 
+from repro.engine.errors import EngineError, RemoteTaskError, WorkerCrashError
 from repro.engine.executors import (
     Executor,
     ProcessPoolExecutor,
@@ -40,7 +47,11 @@ from repro.engine.shards import (
     ingest_shard_inplace,
     ingest_shard_state,
     merge_samples,
+    restore_sampler,
+    service_ingest_frame,
+    snapshot_sampler,
 )
+from repro.engine.transport import ShardWorkerPool
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -59,6 +70,13 @@ __all__ = [
     "ingest_shard_inplace",
     "merge_samples",
     "group_by_destination",
+    "restore_sampler",
+    "snapshot_sampler",
+    "service_ingest_frame",
+    "ShardWorkerPool",
+    "EngineError",
+    "WorkerCrashError",
+    "RemoteTaskError",
 ]
 
 

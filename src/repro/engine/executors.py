@@ -12,11 +12,13 @@ merge* (union the partial samples, combine the bookkeeping). An
   interpreter, so they may close over live objects. NumPy releases the GIL
   for large array operations, so the vectorized ``process_stream`` hot path
   genuinely overlaps.
-* :class:`ProcessPoolExecutor` — a process pool. Tasks cross a process
-  boundary, so the function must be module-level and arguments picklable;
-  the sampler stack ships shard *state* (``state_dict()`` snapshots — plain
-  scalars and NumPy arrays) rather than pickled closures, see
-  :mod:`repro.engine.shards`.
+* :class:`ProcessPoolExecutor` — a pool of *persistent* worker processes
+  (:class:`~repro.engine.transport.ShardWorkerPool`). Generic tasks cross a
+  process boundary, so the function must be module-level and arguments
+  picklable. Stateful callers go further: shard state is *resident* in the
+  workers — shipped once on attach, returned only on checkpoint or detach —
+  and per-batch arrays cross through shared-memory ring buffers instead of
+  pickle (see :mod:`repro.engine.transport`).
 * :class:`~repro.distributed.cluster.SimulatedCluster` — the fourth
   implementation of this protocol: it executes partition tasks through an
   optional inner backend and *prices* stages with the calibrated cost model
@@ -36,6 +38,8 @@ from abc import ABC, abstractmethod
 from concurrent import futures
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.engine.transport import ShardWorkerPool
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -76,6 +80,11 @@ class Executor(ABC):
     #: own live, unpicklable objects (samplers holding RNGs and object
     #: arrays) must ship ``state_dict()`` snapshots instead.
     ships_state: bool = False
+    #: True when the backend exposes a :attr:`transport`
+    #: (:class:`~repro.engine.transport.ShardWorkerPool`) for resident shard
+    #: state and shared-memory array frames. Checked as a flag so callers do
+    #: not spawn worker processes just by probing for the capability.
+    provides_transport: bool = False
     #: Cap on retained :class:`StageRecord` entries — long-running callers
     #: (the sampler service ingests unbounded streams) dispatch through one
     #: executor forever, so the record list keeps only the most recent
@@ -209,35 +218,46 @@ class ThreadPoolExecutor(Executor):
 
 
 class ProcessPoolExecutor(Executor):
-    """Runs partition tasks on a process pool (true multi-core parallelism).
+    """Runs partition tasks on *persistent* worker processes.
 
     The task function must be defined at module level and every argument and
-    result must be picklable. Live samplers are not: callers ship
-    ``state_dict()`` snapshots through the helpers in
-    :mod:`repro.engine.shards` and restore the returned states — the same
-    move-the-state-not-the-code discipline a real cluster enforces.
+    result must be picklable — the move-the-state-not-the-code discipline a
+    real cluster enforces. Beyond the classic ``map_partitions`` path, the
+    backend exposes its :attr:`transport`
+    (:class:`~repro.engine.transport.ShardWorkerPool`): stateful callers
+    attach shard state *once* and stream per-batch arrays through
+    shared-memory ring buffers, which is what makes the process backend
+    faster than re-shipping ``state_dict()`` snapshots every flush. Worker
+    failures surface as :class:`~repro.engine.errors.EngineError` subclasses
+    naming the dead shard worker, never a raw ``BrokenProcessPool``.
     """
 
     name = "process"
     ships_state = True
+    provides_transport = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         super().__init__()
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         self._max_workers = max_workers
-        self._pool: futures.ProcessPoolExecutor | None = None
+        self._pool: ShardWorkerPool | None = None
+
+    @property
+    def transport(self) -> ShardWorkerPool:
+        """The persistent worker pool (created on first use)."""
+        if self._pool is None:
+            self._pool = ShardWorkerPool(max_workers=self._max_workers)
+        return self._pool
 
     def _run_tasks(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         if not tasks:
             return []
-        if self._pool is None:
-            self._pool = futures.ProcessPoolExecutor(max_workers=self._max_workers)
-        return list(self._pool.map(fn, tasks))
+        return self.transport.run_tasks(fn, tasks)
 
     def shutdown(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.close()
             self._pool = None
 
 

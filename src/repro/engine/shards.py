@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from repro.core.base import Sampler
 
 __all__ = [
@@ -25,6 +27,9 @@ __all__ = [
     "ingest_shard_inplace",
     "merge_samples",
     "group_by_destination",
+    "restore_sampler",
+    "snapshot_sampler",
+    "service_ingest_frame",
 ]
 
 #: One shard's work unit: ``(sampler_or_state, batches, times)``. ``times``
@@ -59,6 +64,64 @@ def ingest_shard_inplace(task: ShardTask) -> None:
     sampler, batches, times = task
     sampler.process_stream(batches, times=times)
     return None
+
+
+def restore_sampler(state: dict[str, Any]) -> Sampler:
+    """Transport attach hook: rebuild a resident shard sampler from its snapshot."""
+    return Sampler.from_state_dict(state)
+
+
+def snapshot_sampler(sampler: Sampler) -> dict[str, Any]:
+    """Transport snapshot/detach hook: a resident shard sampler's snapshot."""
+    return sampler.state_dict()
+
+
+def service_ingest_frame(
+    residents: dict[Any, Any],
+    payload: np.ndarray,
+    time: float,
+    num_shards: int,
+    service_id: int,
+    keys: np.ndarray | None = None,
+    shard_ids: np.ndarray | None = None,
+) -> dict[int, int]:
+    """Worker-side ingest of one broadcast batch frame (the transport hot path).
+
+    The driver ships the whole batch (and optionally its routing keys) once
+    per worker through the shared-memory ring; each worker routes the batch
+    itself — the identical SplitMix64/BLAKE2b hash the driver would use — and
+    feeds each of *its* resident shards the sub-batch selected for it, in
+    ascending shard order. The per-shard sub-batches and their ingestion
+    order are exactly those of the serial path, so trajectories stay
+    bit-identical; the redundant hash per worker is the price of keeping the
+    driver's per-batch work down to one memcpy, and it parallelizes.
+
+    ``shard_ids`` short-circuits worker-side routing for batches the driver
+    had to route itself (``key_fn`` callables, non-numeric keys).
+
+    Returns ``{shard_id: item_count}`` for this worker's shards that
+    received items — the driver uses the counts to track shard activation
+    without ever blocking the pipeline.
+    """
+    if shard_ids is None:
+        from repro.service.routing import shard_ids_for_keys
+
+        source = keys if keys is not None else payload
+        shard_ids = shard_ids_for_keys(source, num_shards)
+    counts: dict[int, int] = {}
+    owned = sorted(
+        key[2]
+        for key in residents
+        if isinstance(key, tuple) and key[:2] == ("svc", service_id)
+    )
+    for shard_id in owned:
+        selection = np.flatnonzero(shard_ids == shard_id)
+        if not len(selection):
+            continue
+        sub_batch = payload[selection]
+        residents[("svc", service_id, shard_id)].process_stream([sub_batch], times=[time])
+        counts[int(shard_id)] = int(len(selection))
+    return counts
 
 
 def merge_samples(samples: Iterable[Sequence[Any]]) -> list[Any]:

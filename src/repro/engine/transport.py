@@ -1,0 +1,586 @@
+"""Persistent shard workers with a zero-copy shared-memory transport.
+
+The original process backend paid two taxes on every dispatch: each shard's
+full ``state_dict()`` snapshot round-tripped through pickle per flush, and
+each per-shard sub-batch was re-materialized and pickled as well. This module
+removes both. A :class:`ShardWorkerPool` owns a set of *long-lived* worker
+processes where shard state is **resident**: a shard's snapshot crosses the
+process boundary exactly once, when the shard is attached (and again only on
+snapshot/detach — i.e. on checkpoint or teardown). Per-batch numeric arrays
+(payloads, routing keys, timestamps) cross through a per-worker
+``multiprocessing.shared_memory`` ring buffer: the driver pays one ``memcpy``
+into the ring, the worker maps NumPy views directly onto the shared pages —
+no pickle, no second copy.
+
+Dispatch is **pipelined**: ``apply`` calls return as soon as the frame is in
+the ring and the command is in the pipe; the worker acknowledges each frame
+after processing it, and acknowledgements both release ring space
+(backpressure: a full ring blocks the driver until the worker catches up)
+and deliver small results (per-shard ingest counts, new partition sizes)
+to driver-side callbacks. ``drain()`` is the barrier; reads (samples,
+checkpoints, stats) drain first, so observable state is always exact.
+
+Protocol summary (all control messages are pickled over a duplex pipe; bulk
+arrays ride the ring):
+
+=============  =================================================================
+``segment``    announce a (new) shared-memory ring segment by name
+``attach``     install a resident object: ``restore_fn(state) -> object``
+``apply``      run a module-level ``fn(residents, **kwargs)``; ring-backed
+               arrays are inserted into ``kwargs`` as NumPy views
+``detach``     remove a resident object, optionally returning
+               ``snapshot_fn(object)``
+``run``        generic map task ``fn(task)`` (the classic executor path)
+``close``      shut the worker down
+=============  =================================================================
+
+Ordering: the pipe is FIFO per worker, so operations touching one resident
+object execute in exactly the order the driver issued them — which is what
+makes resident trajectories bit-identical to the serial ones.
+
+Functions shipped by reference (``restore_fn``/``snapshot_fn``/``fn``) must
+be module-level (pickle-by-reference), mirroring a real cluster's
+code-is-deployed, state-is-shipped discipline. Task functions must not
+retain references to ring-backed array views beyond their own call — the
+ring space is reused once the frame is acknowledged. (Every sampler in
+:mod:`repro.core` honours this already: batch containers are never retained,
+and selections copy via fancy/boolean indexing.)
+
+Failures surface as :class:`~repro.engine.errors.EngineError` subclasses: a
+dead worker raises :class:`~repro.engine.errors.WorkerCrashError` naming the
+worker and the resident shard state lost with it; an exception inside a task
+raises :class:`~repro.engine.errors.RemoteTaskError` carrying the original
+traceback text.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import traceback
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+from multiprocessing import shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine.errors import EngineError, RemoteTaskError, WorkerCrashError
+
+__all__ = ["ShardWorkerPool", "DEFAULT_RING_BYTES"]
+
+#: Per-worker ring capacity. Sized so a sustained run of 100k-item float64
+#: frames pipelines without backpressure; override with
+#: ``REPRO_TRANSPORT_RING_MB`` for constrained machines.
+DEFAULT_RING_BYTES = int(os.environ.get("REPRO_TRANSPORT_RING_MB", "16")) * 1024 * 1024
+
+_ALIGN = 64
+#: Cap on unacknowledged commands per worker, bounding pickled (non-ring)
+#: payload buffered in the pipe.
+_MAX_PENDING = 256
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _open_shm_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without registering it with the resource tracker.
+
+    Python < 3.13 registers *every* ``SharedMemory`` handle with the resource
+    tracker, so a worker merely *opening* the driver's segment would have it
+    unlinked when the worker exits. 3.13+ exposes ``track=False``; older
+    interpreters get the registration suppressed around the open.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn: Connection, worker_index: int) -> None:
+    """Entry point of one persistent worker process."""
+    residents: dict[Any, Any] = {}
+    segments: dict[int, shared_memory.SharedMemory] = {}
+
+    def materialize_frames(kwargs: dict[str, Any], frames: Sequence[tuple]) -> None:
+        for name, segment_id, offset, dtype_str, shape in frames:
+            segment = segments[segment_id]
+            kwargs[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=segment.buf, offset=offset
+            )
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "close":
+            break
+        seq = message[1]
+        try:
+            if kind == "segment":
+                _, _, segment_id, shm_name, drop_segment_id = message
+                segments[segment_id] = _open_shm_untracked(shm_name)
+                dropped = segments.pop(drop_segment_id, None)
+                if dropped is not None:
+                    dropped.close()
+                result = None
+            elif kind == "attach":
+                _, _, key, restore_fn, state = message
+                residents[key] = restore_fn(state)
+                result = None
+            elif kind == "apply":
+                _, _, fn, kwargs, frames = message
+                kwargs = dict(kwargs)
+                materialize_frames(kwargs, frames)
+                result = fn(residents, **kwargs)
+            elif kind == "detach":
+                _, _, key, snapshot_fn = message
+                obj = residents.pop(key)
+                result = snapshot_fn(obj) if snapshot_fn is not None else None
+            elif kind == "run":
+                _, _, fn, task = message
+                result = fn(task)
+            else:  # pragma: no cover - protocol error
+                raise EngineError(f"unknown transport message kind {kind!r}")
+        except BaseException as error:  # noqa: BLE001 - forwarded to the driver
+            payload = (type(error).__name__, str(error), traceback.format_exc())
+            try:
+                conn.send(("ack", seq, False, payload))
+            except (OSError, BrokenPipeError):
+                break
+            continue
+        try:
+            conn.send(("ack", seq, True, result))
+        except (OSError, BrokenPipeError):
+            break
+    for segment in segments.values():
+        segment.close()
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+class _PendingEntry:
+    __slots__ = ("ring_bytes", "on_result", "sink")
+
+    def __init__(
+        self,
+        ring_bytes: int = 0,
+        on_result: Callable[[Any], None] | None = None,
+        sink: tuple[list, int] | None = None,
+    ) -> None:
+        self.ring_bytes = ring_bytes
+        self.on_result = on_result
+        self.sink = sink
+
+
+class _WorkerHandle:
+    """Driver-side state for one persistent worker process."""
+
+    def __init__(self, pool: "ShardWorkerPool", index: int) -> None:
+        self.pool = pool
+        self.index = index
+        parent_conn, child_conn = pool._ctx.Pipe(duplex=True)
+        self.conn: Connection = parent_conn
+        self.process = pool._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, index),
+            name=f"repro-shard-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._seq = itertools.count()
+        self.pending: dict[int, _PendingEntry] = {}
+        self.resident_keys: set[Any] = set()
+        # Ring state (created lazily on the first array frame).
+        self.segment: shared_memory.SharedMemory | None = None
+        self.segment_id = 0
+        self.capacity = 0
+        self.head = 0
+        self.used = 0
+
+    # -- low-level messaging ------------------------------------------
+    def crash(self, detail: str = "") -> WorkerCrashError:
+        pid = self.process.pid
+        return WorkerCrashError(self.index, pid, sorted(self.resident_keys, key=repr), detail)
+
+    def send(self, message: tuple) -> None:
+        try:
+            self.conn.send(message)
+        except (OSError, BrokenPipeError, ValueError) as error:
+            raise self.crash(f"pipe write failed ({error})") from error
+
+    def _receive_ack(self, blocking: bool) -> bool:
+        """Process one acknowledgement; return whether one was processed."""
+        try:
+            if not blocking and not self.conn.poll(0):
+                return False
+            message = self.conn.recv()
+        except (EOFError, OSError) as error:
+            raise self.crash("worker pipe closed") from error
+        _, seq, ok, payload = message
+        entry = self.pending.pop(seq)
+        self.used -= entry.ring_bytes
+        if not ok:
+            exc_type, exc_message, tb = payload
+            raise RemoteTaskError(self.index, exc_type, exc_message, tb)
+        if entry.on_result is not None:
+            entry.on_result(payload)
+        if entry.sink is not None:
+            results, position = entry.sink
+            results[position] = payload
+        return True
+
+    def poll_acks(self) -> None:
+        while self.pending and self._receive_ack(blocking=False):
+            pass
+
+    def drain(self) -> None:
+        while self.pending:
+            self._receive_ack(blocking=True)
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def submit(
+        self,
+        message_tail: tuple,
+        kind: str,
+        ring_bytes: int = 0,
+        on_result: Callable[[Any], None] | None = None,
+        sink: tuple[list, int] | None = None,
+    ) -> int:
+        """Send one command, registering its pending acknowledgement."""
+        while len(self.pending) >= _MAX_PENDING:
+            self._receive_ack(blocking=True)
+        seq = self.next_seq()
+        self.pending[seq] = _PendingEntry(ring_bytes, on_result, sink)
+        self.send((kind, seq, *message_tail))
+        return seq
+
+    def wait_for(self, seq: int) -> Any:
+        """Block until ``seq`` is acknowledged; return its payload."""
+        holder: list[Any] = [None]
+        entry = self.pending.get(seq)
+        if entry is None:
+            raise EngineError(f"no pending command {seq} on worker {self.index}")
+        entry.sink = (holder, 0)
+        while seq in self.pending:
+            self._receive_ack(blocking=True)
+        return holder[0]
+
+    # -- ring allocation ----------------------------------------------
+    def _install_segment(self, capacity: int) -> None:
+        """Create (or grow to) a ring segment of ``capacity`` bytes, synchronously."""
+        old = self.segment
+        old_id = self.segment_id
+        segment = shared_memory.SharedMemory(create=True, size=capacity)
+        self.segment_id += 1
+        seq = self.submit(
+            (self.segment_id, segment.name, old_id), kind="segment"
+        )
+        self.wait_for(seq)  # worker has opened the new segment / closed the old
+        if old is not None:
+            old.close()
+            old.unlink()
+        self.segment = segment
+        self.capacity = capacity
+        self.head = 0
+        self.used = 0
+
+    def allocate(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` of contiguous ring space; return its offset.
+
+        Blocks (processing acknowledgements) while the ring is full. A frame
+        larger than the whole ring grows the segment — waiting for in-flight
+        frames first, since frames never span segments.
+        """
+        if self.segment is None or nbytes > self.capacity:
+            self.drain()
+            capacity = max(self.pool.ring_bytes, 1 << max(16, (2 * nbytes - 1).bit_length()))
+            self._install_segment(capacity)
+        if self.head + nbytes > self.capacity:
+            # Full-barrier wraparound: wait out the in-flight frames, then
+            # start writing from the beginning again. Simple, and with a
+            # ring many frames deep the barrier is rare.
+            self.drain()
+            self.head = 0
+        offset = self.head
+        self.head += nbytes
+        self.used += nbytes
+        return offset
+
+    def write_arrays(self, arrays: dict[str, np.ndarray]) -> tuple[list[tuple], int]:
+        """Copy arrays into the ring; return (frame descriptors, bytes used)."""
+        total = sum(_aligned(array.nbytes) for array in arrays.values())
+        offset = self.allocate(total)
+        frames: list[tuple] = []
+        assert self.segment is not None
+        for name, array in arrays.items():
+            contiguous = np.ascontiguousarray(array)
+            destination = np.ndarray(
+                contiguous.shape,
+                dtype=contiguous.dtype,
+                buffer=self.segment.buf,
+                offset=offset,
+            )
+            destination[...] = contiguous
+            frames.append(
+                (name, self.segment_id, offset, contiguous.dtype.str, contiguous.shape)
+            )
+            offset += _aligned(contiguous.nbytes)
+        return frames, total
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        try:
+            self.conn.send(("close",))
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+            if self.process.is_alive():  # pragma: no cover - last resort
+                self.process.kill()
+                self.process.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.segment is not None:
+            self.segment.close()
+            try:
+                self.segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self.segment = None
+
+
+def _ring_eligible(value: Any) -> bool:
+    """Whether a value can ride the shared-memory ring (fixed-width ndarray)."""
+    return (
+        isinstance(value, np.ndarray)
+        and not value.dtype.hasobject
+        and value.nbytes > 0
+    )
+
+
+class ShardWorkerPool:
+    """A pool of persistent worker processes hosting resident shard state.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes; defaults to ``os.cpu_count()`` capped
+        at 8 (shard work units are coarse).
+    ring_bytes:
+        Per-worker shared-memory ring capacity (default
+        :data:`DEFAULT_RING_BYTES`).
+    start_method:
+        ``multiprocessing`` start method; defaults to
+        ``REPRO_TRANSPORT_START_METHOD`` or ``"fork"`` where available
+        (worker startup is then milliseconds, not an interpreter boot).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        start_method: str | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, 8)
+        self.ring_bytes = int(ring_bytes)
+        method = start_method or os.environ.get("REPRO_TRANSPORT_START_METHOD")
+        if method is None:
+            import multiprocessing
+
+            method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        self._ctx = get_context(method)
+        self.num_workers = int(max_workers)
+        self.workers: list[_WorkerHandle] = [
+            _WorkerHandle(self, index) for index in range(self.num_workers)
+        ]
+        self._key_worker: dict[Any, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # resident objects
+    # ------------------------------------------------------------------
+    def worker_for(self, key: Any) -> int:
+        """The worker index hosting ``key`` (raises if not attached)."""
+        try:
+            return self._key_worker[key]
+        except KeyError:
+            raise EngineError(f"no resident object attached under key {key!r}") from None
+
+    def attach(
+        self,
+        key: Any,
+        restore_fn: Callable[[Any], Any],
+        state: Any,
+        worker: int,
+    ) -> None:
+        """Install a resident object on a worker (state ships exactly once).
+
+        ``restore_fn`` must be a module-level callable; it receives ``state``
+        in the worker and returns the live object. Attach is pipelined —
+        errors surface at the next drain.
+        """
+        self._check_open()
+        if key in self._key_worker:
+            raise EngineError(f"key {key!r} is already attached")
+        index = worker % self.num_workers
+        handle = self.workers[index]
+        handle.submit((key, restore_fn, state), kind="attach")
+        handle.resident_keys.add(key)
+        self._key_worker[key] = index
+
+    def apply(
+        self,
+        worker: int,
+        fn: Callable[..., Any],
+        kwargs: dict[str, Any] | None = None,
+        arrays: dict[str, np.ndarray] | None = None,
+        sync: bool = False,
+        on_result: Callable[[Any], None] | None = None,
+    ) -> Any:
+        """Run ``fn(residents, **kwargs)`` on one worker.
+
+        ``arrays`` entries with fixed-width dtypes travel through the
+        shared-memory ring (one memcpy in, zero-copy views out); object-dtype
+        arrays and everything in ``kwargs`` are pickled over the pipe. With
+        ``sync=False`` (the pipelined default) the call returns immediately
+        and ``on_result`` (if given) receives the task's return value when
+        its acknowledgement is drained; with ``sync=True`` the result is
+        returned directly.
+        """
+        self._check_open()
+        handle = self.workers[worker % self.num_workers]
+        handle.poll_acks()
+        kwargs = dict(kwargs or {})
+        frames: list[tuple] = []
+        ring_bytes = 0
+        if arrays:
+            ring_arrays: dict[str, np.ndarray] = {}
+            for name, value in arrays.items():
+                if _ring_eligible(value):
+                    ring_arrays[name] = value
+                else:
+                    kwargs[name] = value
+            if ring_arrays:
+                frames, ring_bytes = handle.write_arrays(ring_arrays)
+        seq = handle.submit(
+            (fn, kwargs, frames),
+            kind="apply",
+            ring_bytes=ring_bytes,
+            on_result=on_result,
+        )
+        if sync:
+            return handle.wait_for(seq)
+        return None
+
+    def snapshot(self, key: Any, snapshot_fn: Callable[[Any], Any]) -> Any:
+        """Synchronously snapshot one resident object (it stays resident)."""
+        self._check_open()
+        handle = self.workers[self.worker_for(key)]
+        seq = handle.submit((_snapshot_resident, {"key": key, "snapshot_fn": snapshot_fn}, []), kind="apply")
+        return handle.wait_for(seq)
+
+    def detach(self, key: Any, snapshot_fn: Callable[[Any], Any] | None = None) -> Any:
+        """Remove a resident object; return its final snapshot when asked.
+
+        With ``snapshot_fn=None`` the detach is pipelined and the state is
+        discarded worker-side; otherwise the call blocks and returns
+        ``snapshot_fn(object)``.
+        """
+        self._check_open()
+        index = self.worker_for(key)
+        handle = self.workers[index]
+        seq = handle.submit((key, snapshot_fn), kind="detach")
+        handle.resident_keys.discard(key)
+        del self._key_worker[key]
+        if snapshot_fn is not None:
+            return handle.wait_for(seq)
+        return None
+
+    # ------------------------------------------------------------------
+    # generic map (the classic executor path)
+    # ------------------------------------------------------------------
+    def run_tasks(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list[Any]:
+        """Run ``fn`` over ``tasks`` round-robin across workers; ordered results."""
+        self._check_open()
+        if not tasks:
+            return []
+        results: list[Any] = [None] * len(tasks)
+        for position, task in enumerate(tasks):
+            handle = self.workers[position % self.num_workers]
+            handle.submit((fn, task), kind="run", sink=(results, position))
+        self.drain()
+        return results
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Barrier: wait until every submitted command is acknowledged."""
+        for handle in self.workers:
+            handle.drain()
+
+    @property
+    def resident_keys(self) -> set[Any]:
+        """Keys of every currently attached resident object."""
+        return set(self._key_worker)
+
+    def close(self) -> None:
+        """Shut every worker down; resident state not detached first is lost."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.workers:
+            handle.close()
+        self._key_worker.clear()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("the shard worker pool has been closed")
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _snapshot_resident(residents: dict, key: Any, snapshot_fn: Callable[[Any], Any]) -> Any:
+    """Worker-side helper behind :meth:`ShardWorkerPool.snapshot`."""
+    return snapshot_fn(residents[key])

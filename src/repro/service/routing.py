@@ -2,7 +2,8 @@
 
 Routing must be *stable across processes* — a service restored from a
 checkpoint in a fresh interpreter must send every key to the same shard the
-original did — so Python's salted ``hash()`` is off the table
+original did, and a transport worker routing a broadcast batch must agree
+with the driver — so Python's salted ``hash()`` is off the table
 (``PYTHONHASHSEED`` changes it per process). Two deterministic hashes are
 used instead:
 
@@ -10,15 +11,26 @@ used instead:
   SplitMix64, a cheap invertible avalanche function, computed as a handful of
   whole-array ``uint64`` operations — routing a 100k-key batch costs a few
   array passes, not 100k Python-level hash calls;
-* arbitrary hashable keys (strings, bytes, tuples of such) fall back to a
-  per-key BLAKE2b digest of a canonical byte encoding.
+* arbitrary hashable keys (strings, bytes, tuples of such) hash through a
+  per-key BLAKE2b digest of a canonical byte encoding. String/bytes *arrays*
+  are routed in one vectorized pass: the distinct keys are found with
+  ``np.unique``, only those are digested (through an LRU cache, so a keyed
+  stream that keeps routing the same users pays the digest once per key,
+  not once per occurrence), and the shard ids scatter back through the
+  inverse index.
 
-Both paths agree for integer keys, so mixed callers may switch freely
-between scalar and vectorized routing.
+Both paths agree with :func:`stable_hash` key for key, so mixed callers may
+switch freely between scalar and vectorized routing.
+
+:func:`split_by_shard` is the fused group-by behind the service's ingest hot
+path: one radix sort of the (small-int) shard ids, one gather of the items,
+and the per-shard sub-batches come back as **contiguous views** of the
+gathered array — no per-shard fancy indexing, no Python-level list building.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from hashlib import blake2b
 from typing import Any, Iterable, Sequence
 
@@ -30,9 +42,12 @@ _MASK64 = (1 << 64) - 1
 
 
 def _splitmix64_array(values: np.ndarray) -> np.ndarray:
-    """Vectorized SplitMix64 finalizer over a ``uint64`` array."""
-    x = values.astype(np.uint64, copy=True)
-    x += np.uint64(0x9E3779B97F4A7C15)
+    """Vectorized SplitMix64 finalizer over a ``uint64`` array.
+
+    ``values`` is not modified: the first (out-of-place) add allocates the
+    one scratch array, and every later mixing step runs in place on it.
+    """
+    x = values + np.uint64(0x9E3779B97F4A7C15)
     x ^= x >> np.uint64(30)
     x *= np.uint64(0xBF58476D1CE4E5B9)
     x ^= x >> np.uint64(27)
@@ -41,11 +56,34 @@ def _splitmix64_array(values: np.ndarray) -> np.ndarray:
     return x
 
 
+def _shards_from_hashes(hashes: np.ndarray, num_shards: int) -> np.ndarray:
+    """Fold 64-bit hashes onto ``[0, num_shards)`` as an ``int64`` array.
+
+    A power-of-two shard count folds with a bitmask instead of the (much
+    slower) vector modulo; SplitMix64/BLAKE2b avalanche their low bits, so
+    both folds give the same ids (``h & (k-1) == h % k``) and the same
+    key→shard map.
+    """
+    if num_shards & (num_shards - 1) == 0:
+        return (hashes & np.uint64(num_shards - 1)).view(np.int64)
+    return (hashes % np.uint64(num_shards)).astype(np.int64)
+
+
 def _splitmix64_scalar(value: int) -> int:
     x = (value + 0x9E3779B97F4A7C15) & _MASK64
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return x ^ (x >> 31)
+
+
+@lru_cache(maxsize=65536)
+def _blake2b_bytes_hash(data: bytes) -> int:
+    """Cached BLAKE2b digest of one canonical key encoding.
+
+    Keyed streams route the same identities over and over (user ids, device
+    ids); the cache turns the digest into a dict probe for every repeat.
+    """
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
 
 
 def stable_hash(key: Any) -> int:
@@ -79,7 +117,34 @@ def stable_hash(key: Any) -> int:
             f"cannot route key of type {type(key).__name__}; use int, float, "
             "str, bytes, or tuples thereof (or pass explicit integer keys)"
         )
-    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
+    return _blake2b_bytes_hash(data)
+
+
+def _string_array_shard_ids(keys: np.ndarray, num_shards: int) -> np.ndarray:
+    """Vectorized routing of a string/bytes key array.
+
+    One ``np.unique`` pass finds the distinct keys and the inverse index;
+    only the distinct keys are digested (cache-backed), and the shard ids
+    scatter back through the inverse — ``O(distinct)`` digests instead of
+    ``O(len)``.
+    """
+    unique, inverse = np.unique(keys, return_inverse=True)
+    if keys.dtype.kind == "U":
+        unique_ids = np.fromiter(
+            (
+                _blake2b_bytes_hash(key.encode("utf-8")) % num_shards
+                for key in unique.tolist()
+            ),
+            dtype=np.int64,
+            count=len(unique),
+        )
+    else:  # bytes
+        unique_ids = np.fromiter(
+            (_blake2b_bytes_hash(bytes(key)) % num_shards for key in unique.tolist()),
+            dtype=np.int64,
+            count=len(unique),
+        )
+    return unique_ids[inverse.reshape(-1)]
 
 
 def shard_ids_for_keys(
@@ -87,19 +152,40 @@ def shard_ids_for_keys(
 ) -> np.ndarray:
     """Map each key to a shard id in ``[0, num_shards)`` (``int64`` array).
 
-    1-D integer/float arrays take the vectorized SplitMix64 path; any other
-    input is hashed per key via :func:`stable_hash`.
+    1-D integer/float arrays take the vectorized SplitMix64 path; 1-D
+    string/bytes arrays take the vectorized unique-then-digest BLAKE2b path;
+    lists of strings are promoted to an array first. Any other input is
+    hashed per key via :func:`stable_hash`.
     """
     if num_shards <= 0:
         raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if (
+        isinstance(keys, list)
+        and keys
+        and isinstance(keys[0], str)
+        and all(isinstance(key, str) for key in keys)
+    ):
+        keys = np.asarray(keys, dtype=np.str_)
     if isinstance(keys, np.ndarray) and keys.ndim == 1:
+        if keys.dtype == np.int64 or keys.dtype == np.uint64:
+            # Zero-copy bit reinterpretation: the add inside the mixer makes
+            # the one scratch array.
+            return _shards_from_hashes(
+                _splitmix64_array(keys.view(np.uint64)), num_shards
+            )
         if np.issubdtype(keys.dtype, np.integer) or np.issubdtype(keys.dtype, np.bool_):
             hashes = _splitmix64_array(keys.astype(np.int64).view(np.uint64))
-            return (hashes % np.uint64(num_shards)).astype(np.int64)
+            return _shards_from_hashes(hashes, num_shards)
         if np.issubdtype(keys.dtype, np.floating):
             bits = keys.astype(np.float64).view(np.uint64)
             hashes = _splitmix64_array(bits)
-            return (hashes % np.uint64(num_shards)).astype(np.int64)
+            return _shards_from_hashes(hashes, num_shards)
+        if keys.dtype.kind in "US":
+            return _string_array_shard_ids(keys, num_shards)
+        if keys.dtype == object and len(keys) and all(
+            isinstance(key, str) for key in keys
+        ):
+            return _string_array_shard_ids(keys.astype(np.str_), num_shards)
     return np.fromiter(
         (stable_hash(key) % num_shards for key in keys),
         dtype=np.int64,
@@ -110,11 +196,16 @@ def shard_ids_for_keys(
 def split_by_shard(
     shard_ids: np.ndarray, items: np.ndarray
 ) -> list[tuple[int, np.ndarray]]:
-    """Group a batch by shard id with one stable argsort.
+    """Group a batch by shard id; sub-batches are contiguous views.
 
     Returns ``(shard_id, sub_batch)`` pairs in ascending shard order; items
-    within a sub-batch keep their arrival order (the sort is stable), so
-    sharded ingestion is deterministic.
+    within a sub-batch keep their arrival order, so sharded ingestion is
+    deterministic. The implementation is a counting/radix group-by: shard
+    ids are narrowed to the smallest unsigned dtype (NumPy's stable argsort
+    is then an O(n) radix sort, ~5x faster than comparison-sorting
+    ``int64``), the items are gathered once through the resulting
+    permutation, and each sub-batch is a zero-copy slice of that one
+    gathered array.
     """
     if len(shard_ids) != len(items):
         raise ValueError(
@@ -123,8 +214,15 @@ def split_by_shard(
         )
     if not len(items):
         return []
-    order = np.argsort(shard_ids, kind="stable")
-    sorted_ids = shard_ids[order]
-    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
-    groups = np.split(order, boundaries)
-    return [(int(shard_ids[group[0]]), items[group]) for group in groups]
+    num_shards = int(shard_ids.max()) + 1
+    narrow_dtype = np.uint8 if num_shards <= 256 else np.uint16 if num_shards <= 65536 else np.int64
+    narrow = shard_ids.astype(narrow_dtype)
+    order = np.argsort(narrow, kind="stable")
+    gathered = items[order]
+    counts = np.bincount(narrow, minlength=num_shards)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    return [
+        (shard_id, gathered[offsets[shard_id] : offsets[shard_id + 1]])
+        for shard_id in range(num_shards)
+        if counts[shard_id]
+    ]

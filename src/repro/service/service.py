@@ -23,17 +23,28 @@ receives items; decay over the skipped interval is exact because the
 samplers decay by the true elapsed gap (see ``Sampler._advance_time``).
 
 Shard ingestion fans out through a pluggable :mod:`repro.engine` executor:
-``"serial"`` (default), ``"thread"`` (per-shard ``process_stream`` calls
-overlap — NumPy releases the GIL on the vectorized hot path), or
-``"process"`` (each shard's work crosses a process boundary as a
-``state_dict()`` snapshot plus its sub-batches; the returned snapshot is
-restored driver-side). Shards are statistically independent with private
-RNG streams, so every backend produces bit-identical samples for a fixed
-seed.
+
+* ``"serial"`` (default) and ``"thread"`` ingest in-process; the routing
+  layer hands each per-shard task preassembled contiguous NumPy slices (one
+  radix group-by per batch), so thread tasks spend their time inside
+  GIL-releasing NumPy kernels;
+* ``"process"`` runs the persistent-worker transport
+  (:mod:`repro.engine.transport`): shard samplers live *resident* in the
+  worker processes — their state crosses the boundary once on attach and
+  again only on checkpoint/read/close — while each arriving batch is
+  broadcast through per-worker shared-memory rings and routed worker-side.
+  Ingestion is pipelined: ``ingest`` returns once the frames are enqueued,
+  and any read (samples, stats, checkpoints) drains the pipeline first, so
+  observable state is always exact. A dead worker raises
+  :class:`~repro.engine.errors.WorkerCrashError` naming the worker.
+
+Shards are statistically independent with private RNG streams, so every
+backend produces bit-identical samples and checkpoints for a fixed seed.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -47,16 +58,24 @@ from repro.core.random_utils import (
     spawn_rngs,
 )
 from repro.engine import (
+    EngineError,
     Executor,
     get_executor,
     ingest_shard_inplace,
     ingest_shard_state,
+    restore_sampler,
+    service_ingest_frame,
+    snapshot_sampler,
 )
 from repro.service.routing import shard_ids_for_keys, split_by_shard
 
 __all__ = ["SamplerService"]
 
 SamplerFactory = Callable[[np.random.Generator], Sampler]
+
+#: Distinguishes the resident-shard keys of different services sharing one
+#: executor's worker pool.
+_SERVICE_IDS = itertools.count(1)
 
 
 class SamplerService:
@@ -87,7 +106,9 @@ class SamplerService:
         (``"serial"``, ``"thread[:N]"``, ``"process[:N]"``), or ``None``
         for serial. The backend changes *where* shard updates execute,
         never *what* they compute — samples are bit-identical across
-        backends for a fixed seed.
+        backends for a fixed seed. The service owns the executor's worker
+        lifecycle: one pool is reused across every ingest call, and
+        :meth:`close` (or the context manager) releases it.
 
     Examples
     --------
@@ -124,6 +145,31 @@ class SamplerService:
         self._shards: dict[int, Sampler] = {}
         self._time: float = 0.0
         self._batches_seen: int = 0
+        self._init_transport_state()
+
+    def _init_transport_state(self) -> None:
+        self._service_id = next(_SERVICE_IDS)
+        #: Shards that have received at least one item (mirrors the keys of
+        #: ``_shards`` on in-process backends; fed by worker acknowledgements
+        #: on the transport backend).
+        self._activated: set[int] = set(self._shards)
+        #: Resident shards ingested since their last driver-side snapshot.
+        self._dirty: set[int] = set()
+        #: Whether shard k's sampler shares its RNG object with
+        #: ``_shard_rngs[k]`` (the usual factory pattern); governs whether a
+        #: sync refreshes the reserved stream, matching serial bookkeeping.
+        self._retained_rng: dict[int, bool] = {}
+        #: Pristine snapshots of factory-built samplers for shards that have
+        #: not seen data yet, so a close/reopen cycle never re-invokes the
+        #: factory (serial calls it exactly once per shard).
+        self._standby_states: dict[int, dict[str, Any]] = {}
+        #: The generator handed to the factory for each not-yet-activated
+        #: shard. Promoted into ``_shard_rngs`` only when the shard first
+        #: receives items — the moment the lazily-creating serial path would
+        #: have invoked the factory — so the reserved streams of shards that
+        #: never see data stay pristine in checkpoints, exactly as serial.
+        self._standby_rngs: dict[int, np.random.Generator] = {}
+        self._transport_attached = False
 
     # ------------------------------------------------------------------
     # queries
@@ -141,7 +187,8 @@ class SamplerService:
     @property
     def active_shards(self) -> list[int]:
         """Ids of shards that have received at least one item, ascending."""
-        return sorted(self._shards)
+        self._sync()
+        return sorted(self._activated)
 
     def shard(self, shard_id: int) -> Sampler:
         """The sampler behind one *active* shard — a pure read.
@@ -155,12 +202,13 @@ class SamplerService:
             raise ValueError(
                 f"shard id {shard_id} out of range for {self.num_shards} shards"
             )
+        self._sync()
         try:
             return self._shards[shard_id]
         except KeyError:
             raise KeyError(
                 f"shard {shard_id} has no sampler yet (no items routed to it); "
-                f"active shards: {self.active_shards}"
+                f"active shards: {sorted(self._activated)}"
             ) from None
 
     def _get_or_create_shard(self, shard_id: int) -> Sampler:
@@ -174,6 +222,7 @@ class SamplerService:
                     f"got {type(sampler).__name__}"
                 )
             self._shards[shard_id] = sampler
+            self._activated.add(shard_id)
         return sampler
 
     def sample_items(self) -> list[Any]:
@@ -198,7 +247,8 @@ class SamplerService:
         active shard reports its item count, fill fraction (``nan`` for
         samplers without a capacity attribute ``n``), total decayed weight
         ``W_t`` (``nan`` where weightless), expected sample size, batches
-        seen, and clock.
+        seen, and clock. On the transport backend the call drains the
+        ingest pipeline first, so the numbers are exact, not approximate.
         """
         shards: dict[int, dict[str, Any]] = {}
         total_items = 0
@@ -233,24 +283,27 @@ class SamplerService:
     @property
     def total_weight(self) -> float:
         """Sum of the shard samplers' ``W_t`` (``nan`` if any shard has no notion of weight)."""
+        self._sync()
         if not self._shards:
             return 0.0
         return float(
-            sum(self._shards[shard_id].total_weight for shard_id in self.active_shards)
+            sum(self._shards[shard_id].total_weight for shard_id in sorted(self._activated))
         )
 
     @property
     def expected_sample_size(self) -> float:
         """Sum of the shard samplers' expected sample sizes."""
+        self._sync()
         return float(
             sum(
                 self._shards[shard_id].expected_sample_size
-                for shard_id in self.active_shards
+                for shard_id in sorted(self._activated)
             )
         )
 
     def __len__(self) -> int:
-        return sum(len(self._shards[shard_id]) for shard_id in self.active_shards)
+        self._sync()
+        return sum(len(self._shards[shard_id]) for shard_id in sorted(self._activated))
 
     # ------------------------------------------------------------------
     # ingestion
@@ -264,18 +317,20 @@ class SamplerService:
         """Fan buffered per-shard sub-streams out through the executor.
 
         One engine task per shard, submitted in ascending shard order so
-        every backend sees the same task list. In-process backends mutate
-        the live shard samplers; a state-shipping backend (process pool)
-        receives each shard's ``state_dict()`` snapshot plus its
-        sub-batches and returns the post-ingest snapshot, which replaces
-        the driver's shard. Either way the shard's trajectory is exactly
-        the one a serial loop would have produced.
+        every backend sees the same task list. In-process backends get a
+        live shard sampler plus its preassembled sub-batch arrays —
+        contiguous slices out of
+        :func:`~repro.service.routing.split_by_shard`'s single gather — so
+        thread-pool tasks go straight into GIL-releasing NumPy kernels. A
+        plain state-shipping backend (``ships_state`` without a transport)
+        gets ``state_dict()`` snapshots and has the returned post-ingest
+        snapshots restored, the classic :func:`ingest_shard_state` work
+        unit. (The transport backend never reaches here — it takes the
+        resident broadcast-frame path instead.)
         """
         shard_ids = sorted(pending)
         if not shard_ids:
             return
-        # Shards are always created driver-side: the factory is code (often
-        # a closure) and never crosses a process boundary.
         shards = [self._get_or_create_shard(shard_id) for shard_id in shard_ids]
         if self._executor.ships_state:
             tasks = [
@@ -287,14 +342,14 @@ class SamplerService:
             )
             for shard_id, state in zip(shard_ids, new_states):
                 self._shards[shard_id] = Sampler.from_state_dict(state)
-        else:
-            tasks = [
-                (shard, *pending[shard_id])
-                for shard_id, shard in zip(shard_ids, shards)
-            ]
-            self._executor.map_partitions(
-                ingest_shard_inplace, tasks, description="ingest shard sub-streams"
-            )
+            return
+        tasks = [
+            (shard, *pending[shard_id])
+            for shard_id, shard in zip(shard_ids, shards)
+        ]
+        self._executor.map_partitions(
+            ingest_shard_inplace, tasks, description="ingest shard sub-streams"
+        )
 
     def ingest_batch(
         self,
@@ -315,10 +370,19 @@ class SamplerService:
         call can be retried with the same arrival time.
         """
         batch = as_item_array(items)
+        if self._executor.provides_transport:
+            frame = self._frame_parts(batch, keys)
+            time = self._advance_time(time)
+            if not len(batch):
+                return {}
+            counts: dict[int, int] = {}
+            self._dispatch_frame(frame, time, counts_sink=counts)
+            self._executor.transport.drain()
+            return dict(sorted(counts.items()))
         routed = self._route(batch, keys)
         time = self._advance_time(time)
         pending: dict[int, tuple[list[Any], list[float]]] = {}
-        counts: dict[int, int] = {}
+        counts = {}
         for shard_id, sub_batch in routed:
             pending[shard_id] = ([sub_batch], [time])
             counts[shard_id] = len(sub_batch)
@@ -359,16 +423,21 @@ class SamplerService:
     ) -> None:
         """Bulk-ingest many batches through the per-shard ``process_stream`` hot path.
 
-        Batches are routed and buffered into one sub-stream (batches +
-        arrival times) per shard; every ``window`` batches, each shard
-        ingests its buffered sub-stream in a single
+        On in-process backends, batches are routed and buffered into one
+        sub-stream (batches + arrival times) per shard; every ``window``
+        batches, each shard ingests its buffered sub-stream in a single
         :meth:`~repro.core.base.Sampler.process_stream` call, fanned out as
         one engine task per shard on the configured executor. That keeps the
         per-shard amortization of bulk ingest while bounding buffered memory
         to O(``window`` × batch size) — a generator of a million batches
-        streams through, it is never materialized whole. Larger windows also
-        amortize the executor's per-flush overhead (for the process backend,
-        one shard-state round trip covers ``window`` batches).
+        streams through, it is never materialized whole.
+
+        On the transport (process) backend each batch becomes one pipelined
+        shared-memory frame per worker, routed worker-side; ``window`` is
+        not needed (buffered memory is bounded by the ring capacity, which
+        doubles as backpressure) and the call returns as soon as the frames
+        are enqueued. Call :meth:`flush` — or any read — to wait for the
+        workers to catch up.
 
         If a batch fails mid-stream (bad keys, non-increasing time), every
         batch before it is flushed to the shards and the error is raised;
@@ -386,12 +455,14 @@ class SamplerService:
             Optional iterable of strictly increasing arrival times; when
             omitted, batches arrive at ``t+1, t+2, ...``.
         window:
-            Number of batches buffered between per-shard flushes.
+            Number of batches buffered between per-shard flushes
+            (in-process backends only).
         """
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
         key_iter = iter(keys) if keys is not None else None
         time_iter = iter(times) if times is not None else None
+        use_transport = self._executor.provides_transport
         pending: dict[int, tuple[list[np.ndarray], list[float]]] = {}
         buffered = 0
 
@@ -421,7 +492,14 @@ class SamplerService:
                             "times iterable exhausted before batches; provide one "
                             "arrival time per batch or omit times entirely"
                         ) from None
-                routed = self._route(as_item_array(batch), batch_keys)
+                items = as_item_array(batch)
+                if use_transport:
+                    frame = self._frame_parts(items, batch_keys)
+                    time = self._advance_time(time)
+                    if len(items):
+                        self._dispatch_frame(frame, time)
+                    continue
+                routed = self._route(items, batch_keys)
                 time = self._advance_time(time)
                 for shard_id, sub_batch in routed:
                     sub_batches, sub_times = pending.setdefault(shard_id, ([], []))
@@ -434,9 +512,167 @@ class SamplerService:
             # Deliver the complete batches routed before the failure, so the
             # observable state is "everything before the bad batch was
             # ingested" — the same semantics as a per-batch ingest loop.
+            # (Transport frames are already enqueued and will land.)
             flush()
             raise
         flush()
+
+    def flush(self) -> None:
+        """Barrier: wait until every enqueued batch has been ingested.
+
+        A no-op on in-process backends, whose ingest calls are synchronous.
+        """
+        if self._executor.provides_transport and self._transport_attached:
+            self._executor.transport.drain()
+
+    # ------------------------------------------------------------------
+    # transport (process backend) dispatch
+    # ------------------------------------------------------------------
+    def _frame_parts(self, batch: np.ndarray, keys: Sequence[Any] | np.ndarray | None) -> dict[str, np.ndarray]:
+        """Split one batch into the arrays of a broadcast frame.
+
+        Returns the ``arrays`` mapping for
+        :func:`~repro.engine.shards.service_ingest_frame`: always the
+        payload, plus either nothing (workers route on the payload itself),
+        a ``keys`` array (workers hash it), or precomputed ``shard_ids``
+        when routing needs driver-side code (``key_fn`` callables,
+        per-item fallback hashing). Raises on malformed keys *before* the
+        caller advances the service clock.
+        """
+        frame: dict[str, np.ndarray] = {"payload": batch}
+        if keys is None:
+            if self.key_fn is not None:
+                keys = [self.key_fn(item) for item in batch]
+            else:
+                # Route on the payload itself: numeric/string arrays hash
+                # worker-side, anything else is hashed here once.
+                if not (isinstance(batch, np.ndarray) and not batch.dtype.hasobject):
+                    frame["shard_ids"] = shard_ids_for_keys(batch, self.num_shards)
+                return frame
+        elif len(keys) != len(batch):
+            raise ValueError(
+                f"{len(keys)} keys for {len(batch)} items; provide exactly "
+                "one routing key per item"
+            )
+        if isinstance(keys, np.ndarray) and keys.ndim == 1 and not keys.dtype.hasobject:
+            frame["keys"] = keys
+        else:
+            frame["shard_ids"] = shard_ids_for_keys(keys, self.num_shards)
+        return frame
+
+    def _shard_key(self, shard_id: int) -> tuple:
+        return ("svc", self._service_id, shard_id)
+
+    def _attach_all_shards(self) -> None:
+        """Make every shard's sampler resident in the worker pool.
+
+        Existing shards ship their current snapshots; shards with no data
+        yet are built by the factory now (routing happens worker-side, so
+        any shard may receive items at any moment) — but they only count as
+        *active*, and only appear in checkpoints, once a worker reports
+        items for them. The factory receives a generator carrying shard
+        ``k``'s reserved stream state, exactly as the lazily-creating serial
+        path would hand it.
+        """
+        pool = self._executor.transport
+        for shard_id in range(self.num_shards):
+            sampler = self._shards.get(shard_id)
+            if sampler is not None:
+                self._retained_rng[shard_id] = (
+                    getattr(sampler, "_rng", None) is self._shard_rngs[shard_id]
+                )
+                state = sampler.state_dict()
+            elif shard_id in self._standby_states:
+                state = self._standby_states[shard_id]
+            else:
+                clone = generator_from_state(
+                    generator_state(self._shard_rngs[shard_id])
+                )
+                sampler = self._factory(clone)
+                if not isinstance(sampler, Sampler):
+                    raise TypeError(
+                        "sampler_factory must return a repro.core.base.Sampler, "
+                        f"got {type(sampler).__name__}"
+                    )
+                # The clone (including any construction-time draws) becomes
+                # the shard's reserved stream only on activation — see
+                # ``_standby_rngs``.
+                self._standby_rngs[shard_id] = clone
+                self._retained_rng[shard_id] = getattr(sampler, "_rng", None) is clone
+                state = sampler.state_dict()
+                self._standby_states[shard_id] = state
+            pool.attach(
+                self._shard_key(shard_id),
+                restore_sampler,
+                state,
+                worker=shard_id % pool.num_workers,
+            )
+        self._transport_attached = True
+
+    def _note_counts(self, counts: dict[int, int]) -> None:
+        """Acknowledgement callback: record which shards received items."""
+        for shard_id in counts:
+            shard_id = int(shard_id)
+            self._activated.add(shard_id)
+            self._dirty.add(shard_id)
+            self._standby_states.pop(shard_id, None)
+            standby_rng = self._standby_rngs.pop(shard_id, None)
+            if standby_rng is not None:
+                # First arrival: adopt the factory's construction-time draws
+                # into the reserved stream, as serial's lazy creation would.
+                self._shard_rngs[shard_id] = standby_rng
+
+    def _dispatch_frame(
+        self,
+        frame: dict[str, np.ndarray],
+        time: float,
+        counts_sink: dict[int, int] | None = None,
+    ) -> None:
+        """Broadcast one batch frame to every shard-owning worker (pipelined)."""
+        if not self._transport_attached:
+            self._attach_all_shards()
+        pool = self._executor.transport
+        kwargs = {
+            "time": float(time),
+            "num_shards": self.num_shards,
+            "service_id": self._service_id,
+        }
+
+        def on_result(counts: dict[int, int]) -> None:
+            self._note_counts(counts)
+            if counts_sink is not None:
+                counts_sink.update(
+                    (int(shard_id), int(count)) for shard_id, count in counts.items()
+                )
+
+        for worker in range(min(pool.num_workers, self.num_shards)):
+            pool.apply(
+                worker,
+                service_ingest_frame,
+                kwargs=kwargs,
+                arrays=frame,
+                on_result=on_result,
+            )
+
+    def _sync(self) -> None:
+        """Pull authoritative resident shard state back to the driver.
+
+        Drains the pipeline (delivering activation acknowledgements), then
+        snapshots every shard ingested since its last sync. In-process
+        backends mutate the driver's samplers directly, so this is a no-op
+        for them.
+        """
+        if not self._transport_attached:
+            return
+        pool = self._executor.transport
+        pool.drain()
+        for shard_id in sorted(self._dirty):
+            snapshot = pool.snapshot(self._shard_key(shard_id), snapshot_sampler)
+            sampler = Sampler.from_state_dict(snapshot)
+            self._shards[shard_id] = sampler
+            if self._retained_rng.get(shard_id):
+                self._shard_rngs[shard_id] = sampler._rng
+        self._dirty.clear()
 
     def _route(
         self, batch: np.ndarray, keys: Sequence[Any] | np.ndarray | None
@@ -472,8 +708,12 @@ class SamplerService:
         Includes the master RNG, the reserved per-shard RNG streams (so
         shards that have *not* been created yet still get the exact stream
         they would have received), and one sampler snapshot per active
-        shard. Contains only plain containers and NumPy arrays.
+        shard. Contains only plain containers and NumPy arrays. On the
+        transport backend the pipeline is drained and resident shard state
+        pulled back first, so a checkpoint taken mid-stream is exact and
+        bit-identical to the serial backend's.
         """
+        self._sync()
         return {
             "format_version": STATE_FORMAT_VERSION,
             "service_type": type(self).__name__,
@@ -483,24 +723,67 @@ class SamplerService:
             "rng_state": generator_state(self._rng),
             "shard_rng_states": [generator_state(rng) for rng in self._shard_rngs],
             "shards": {
-                str(shard_id): sampler.state_dict()
-                for shard_id, sampler in self._shards.items()
+                str(shard_id): self._shards[shard_id].state_dict()
+                for shard_id in sorted(self._activated)
             },
         }
 
-    def shutdown(self) -> None:
-        """Release the executor's worker pools (no-op for the serial backend).
+    def close(self) -> None:
+        """Detach resident shard state and release the executor's workers.
 
-        The service and its samplers stay fully queryable afterwards; only
-        further ingest through a pooled backend would recreate workers.
+        The service owns its executor lifecycle: one worker pool serves
+        every ingest call, and ``close`` (or leaving the ``with`` block)
+        ends it. Resident shard snapshots are pulled back first, so the
+        service and its samplers stay fully queryable afterwards — and a
+        later ingest transparently re-attaches and respawns workers. (If
+        several services share one executor, closing any of them releases
+        the shared pool; close the services together.)
         """
+        if self._transport_attached:
+            try:
+                pool = self._executor.transport
+                pool.drain()
+                for shard_id in range(self.num_shards):
+                    key = self._shard_key(shard_id)
+                    if shard_id in self._activated:
+                        snapshot = pool.detach(key, snapshot_sampler)
+                        sampler = Sampler.from_state_dict(snapshot)
+                        self._shards[shard_id] = sampler
+                        if self._retained_rng.get(shard_id):
+                            self._shard_rngs[shard_id] = sampler._rng
+                    else:
+                        pool.detach(key, None)
+                self._dirty.clear()
+            except EngineError:
+                # A worker died with work possibly still in flight. Tear
+                # the pool down, then re-raise: close may be the *first*
+                # drain after the crash, and swallowing it would lose
+                # pipelined batches silently. (``__exit__`` suppresses the
+                # re-raise when another exception — usually this same
+                # crash, surfaced on the ingest path — is already
+                # propagating.)
+                self._transport_attached = False
+                self._executor.shutdown()
+                raise
+            finally:
+                self._transport_attached = False
         self._executor.shutdown()
+
+    def shutdown(self) -> None:
+        """Alias of :meth:`close` (kept for backward compatibility)."""
+        self.close()
 
     def __enter__(self) -> "SamplerService":
         return self
 
-    def __exit__(self, *exc_info: Any) -> None:
-        self.shutdown()
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        try:
+            self.close()
+        except EngineError:
+            if exc_type is None:
+                raise
+            # An exception (typically the same worker crash) is already
+            # propagating out of the with-block; don't mask it.
 
     @classmethod
     def from_state_dict(
@@ -546,4 +829,5 @@ class SamplerService:
             int(shard_id): Sampler.from_state_dict(sampler_state)
             for shard_id, sampler_state in state["shards"].items()
         }
+        service._init_transport_state()
         return service

@@ -166,6 +166,17 @@ class TestSimulatedClusterAsExecutor:
         assert serial.stages[-1].duration == threaded.stages[-1].duration
         threaded.shutdown()
 
-    def test_process_backend_is_rejected(self):
-        with pytest.raises(ValueError, match="in-process backend"):
-            SimulatedCluster(num_workers=2, backend=ProcessPoolExecutor(2))
+    def test_transport_capable_process_backend_is_accepted(self):
+        # The persistent-worker process backend provides a transport, so
+        # distributed algorithms can keep partitions resident; module-level
+        # tasks also run through the generic map path.
+        with ProcessPoolExecutor(2) as backend:
+            cluster = SimulatedCluster(num_workers=2, backend=backend)
+            assert cluster.map_partitions(_square, [2, 3]) == [4, 9]
+
+    def test_plain_state_shipping_backend_is_rejected(self):
+        class Shipper(SerialExecutor):
+            ships_state = True
+
+        with pytest.raises(ValueError, match="transport-capable"):
+            SimulatedCluster(num_workers=2, backend=Shipper())

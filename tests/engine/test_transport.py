@@ -1,0 +1,202 @@
+"""Tests for the persistent-worker shared-memory transport layer."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RTBS
+from repro.engine import (
+    EngineError,
+    ProcessPoolExecutor,
+    RemoteTaskError,
+    ShardWorkerPool,
+    WorkerCrashError,
+    restore_sampler,
+    service_ingest_frame,
+    snapshot_sampler,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"intentional failure on {x!r}")
+
+
+def _echo_arrays(residents, **kwargs):
+    """Return array sums so tests can verify ring contents arrived intact."""
+    return {name: float(np.asarray(value).sum()) for name, value in kwargs.items()}
+
+
+def _get_attached(residents, key):
+    return type(residents[key]).__name__
+
+
+@pytest.fixture
+def pool():
+    with ShardWorkerPool(max_workers=2, ring_bytes=1 << 20) as pool:
+        yield pool
+
+
+class TestResidentLifecycle:
+    def test_attach_ingest_snapshot_detach_round_trip(self, pool):
+        """Restore→resident ingest→snapshot equals the in-process trajectory."""
+        reference = RTBS(n=50, lambda_=0.2, rng=0)
+        shipped = RTBS(n=50, lambda_=0.2, rng=0)
+        key = ("svc", 9, 0)
+        pool.attach(key, restore_sampler, shipped.state_dict(), worker=0)
+        for index in range(5):
+            batch = np.arange(index * 100, (index + 1) * 100)
+            reference.process_stream([batch], times=[float(index + 1)])
+            pool.apply(
+                0,
+                service_ingest_frame,
+                kwargs={"time": float(index + 1), "num_shards": 1, "service_id": 9},
+                arrays={
+                    "payload": batch,
+                    "shard_ids": np.zeros(len(batch), dtype=np.int64),
+                },
+            )
+        mid = RTBS.from_state_dict(pool.snapshot(key, snapshot_sampler))
+        assert mid.sample_items() == reference.sample_items()
+        assert key in pool.resident_keys
+        final = RTBS.from_state_dict(pool.detach(key, snapshot_sampler))
+        assert final.sample_items() == reference.sample_items()
+        assert final.total_weight == reference.total_weight
+        assert key not in pool.resident_keys
+
+    def test_detach_without_snapshot_discards(self, pool):
+        pool.attach("junk", restore_sampler, RTBS(n=5, lambda_=0.1, rng=0).state_dict(), worker=1)
+        assert pool.detach("junk") is None
+        with pytest.raises(EngineError, match="no resident object"):
+            pool.worker_for("junk")
+
+    def test_duplicate_attach_is_rejected(self, pool):
+        state = RTBS(n=5, lambda_=0.1, rng=0).state_dict()
+        pool.attach("dup", restore_sampler, state, worker=0)
+        with pytest.raises(EngineError, match="already attached"):
+            pool.attach("dup", restore_sampler, state, worker=1)
+        pool.detach("dup")
+
+
+class TestRingBuffer:
+    def test_frames_larger_than_the_ring_grow_the_segment(self):
+        # A tiny ring forces both wraparound and segment growth.
+        with ShardWorkerPool(max_workers=1, ring_bytes=4096) as pool:
+            for index in range(10):
+                payload = np.arange(index * 1000, (index + 1) * 1000, dtype=np.int64)
+                result = pool.apply(
+                    0, _echo_arrays, arrays={"payload": payload}, sync=True
+                )
+                assert result["payload"] == float(payload.sum())
+
+    def test_pipelined_frames_survive_wraparound(self):
+        with ShardWorkerPool(max_workers=1, ring_bytes=8192) as pool:
+            sums = []
+            expected = []
+            for index in range(50):
+                payload = np.full(200, index, dtype=np.int64)
+                expected.append(float(payload.sum()))
+                pool.apply(
+                    0,
+                    _echo_arrays,
+                    arrays={"payload": payload},
+                    on_result=lambda r: sums.append(r["payload"]),
+                )
+            pool.drain()
+            assert sums == expected
+
+    def test_mixed_dtypes_and_object_fallback(self, pool):
+        payload = np.array(["a", "bb", "ccc"], dtype=object)
+        numeric = np.linspace(0.0, 1.0, 7)
+        result = pool.apply(
+            0,
+            _echo_arrays,
+            kwargs={},
+            arrays={"weights": numeric, "payload": np.arange(3)},
+            sync=True,
+        )
+        assert result["weights"] == pytest.approx(float(numeric.sum()))
+        # Object arrays cannot ride shared memory; they fall back to pickle.
+        name = pool.apply(
+            0,
+            _get_attached_type_of_payload,
+            kwargs={"payload": payload},
+            sync=True,
+        )
+        assert name == "ndarray"
+
+
+def _get_attached_type_of_payload(residents, payload):
+    return type(payload).__name__
+
+
+class TestGenericTasks:
+    def test_run_tasks_preserves_order(self, pool):
+        assert pool.run_tasks(_square, list(range(23))) == [x * x for x in range(23)]
+
+    def test_remote_errors_carry_the_original_traceback(self, pool):
+        with pytest.raises(RemoteTaskError, match="intentional failure"):
+            pool.run_tasks(_fail, [1, 2, 3])
+
+    def test_pool_survives_task_errors(self, pool):
+        with pytest.raises(RemoteTaskError):
+            pool.run_tasks(_fail, [1])
+        assert pool.run_tasks(_square, [5]) == [25]
+
+
+class TestWorkerCrash:
+    def test_killed_worker_raises_worker_crash_error_naming_it(self):
+        with ShardWorkerPool(max_workers=2, ring_bytes=1 << 20) as pool:
+            key = ("svc", 1, 0)
+            pool.attach(key, restore_sampler, RTBS(n=10, lambda_=0.1, rng=0).state_dict(), worker=0)
+            pool.drain()
+            victim = pool.workers[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            with pytest.raises(WorkerCrashError, match="shard worker 0") as excinfo:
+                for _ in range(200):
+                    pool.apply(
+                        0,
+                        service_ingest_frame,
+                        kwargs={"time": 1.0, "num_shards": 1, "service_id": 1},
+                        arrays={
+                            "payload": np.arange(64),
+                            "shard_ids": np.zeros(64, dtype=np.int64),
+                        },
+                    )
+                    pool.drain()
+                    time.sleep(0.01)
+            # The error names the resident state lost with the worker.
+            assert "restore" in str(excinfo.value)
+
+    def test_crash_error_is_an_engine_error(self):
+        assert issubclass(WorkerCrashError, EngineError)
+        assert issubclass(RemoteTaskError, EngineError)
+
+
+class TestExecutorIntegration:
+    def test_process_executor_exposes_transport(self):
+        with ProcessPoolExecutor(2) as executor:
+            assert executor.provides_transport
+            pool = executor.transport
+            assert pool is executor.transport  # one pool, reused
+            assert pool.run_tasks(_square, [3]) == [9]
+
+    def test_shutdown_closes_and_recreates_the_pool(self):
+        executor = ProcessPoolExecutor(1)
+        first = executor.transport
+        executor.shutdown()
+        with pytest.raises(EngineError, match="closed"):
+            first.run_tasks(_square, [1])
+        second = executor.transport
+        assert second is not first
+        assert second.run_tasks(_square, [4]) == [16]
+        executor.shutdown()

@@ -10,11 +10,29 @@ checkpoint/restore — driven through the thread and process backends.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
-from repro.core import RTBS
-from repro.engine import ProcessPoolExecutor, SerialExecutor, ThreadPoolExecutor
+from repro.core import (
+    RTBS,
+    TTBS,
+    AResSampler,
+    BatchedChao,
+    BatchedReservoir,
+    BTBS,
+    SlidingWindow,
+    UniformReservoir,
+)
+from repro.engine import (
+    EngineError,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    WorkerCrashError,
+)
 from repro.service import SamplerService, load_service, save_service
 
 
@@ -116,6 +134,237 @@ class TestSamplerFacade:
         via_ingest = SamplerService(rtbs_factory, num_shards=4, rng=5)
         via_ingest.ingest(batches)
         assert final == via_ingest.sample_items()
+
+
+_CORE_SAMPLER_FACTORIES = {
+    "rtbs": lambda rng: RTBS(n=60, lambda_=0.15, rng=rng),
+    "ttbs": lambda rng: TTBS(n=60, lambda_=0.15, mean_batch_size=100, rng=rng),
+    "chao": lambda rng: BatchedChao(n=60, lambda_=0.15, rng=rng),
+    "ares": lambda rng: AResSampler(n=60, lambda_=0.15, rng=rng),
+    "btbs": lambda rng: BTBS(lambda_=0.15, rng=rng),
+    "brs": lambda rng: BatchedReservoir(n=60, rng=rng),
+    "uniform": lambda rng: UniformReservoir(n=60, rng=rng),
+    "window": lambda rng: SlidingWindow(n=60, rng=rng),
+}
+
+
+def _assert_states_equal(actual, expected, path=""):
+    """Recursive exact equality over snapshot dicts (incl. RNG bit state)."""
+    assert type(actual) is type(expected) or (
+        isinstance(actual, (int, float)) and isinstance(expected, (int, float))
+    ), path
+    if isinstance(expected, dict):
+        assert set(actual) == set(expected), path
+        for key in expected:
+            _assert_states_equal(actual[key], expected[key], f"{path}/{key}")
+    elif isinstance(expected, (list, tuple)):
+        assert len(actual) == len(expected), path
+        for index, (a, b) in enumerate(zip(actual, expected)):
+            _assert_states_equal(a, b, f"{path}[{index}]")
+    elif isinstance(expected, np.ndarray):
+        assert np.array_equal(actual, expected), path
+    else:
+        assert actual == expected, path
+
+
+class TestProcessBitIdentityAcrossSamplers:
+    """Every core sampler's resident trajectory must equal the serial one."""
+
+    @pytest.mark.parametrize("name", sorted(_CORE_SAMPLER_FACTORIES))
+    def test_serial_and_process_checkpoints_are_bit_identical(self, name):
+        factory = _CORE_SAMPLER_FACTORIES[name]
+        batches = _batches(8, size=100)
+        serial = SamplerService(factory, num_shards=4, rng=11)
+        serial.ingest(batches)
+        with SamplerService(
+            factory, num_shards=4, rng=11, executor="process:2"
+        ) as resident:
+            resident.ingest(batches)
+            assert resident.sample_items() == serial.sample_items()
+            _assert_states_equal(resident.state_dict(), serial.state_dict())
+
+
+def _drawing_factory(rng):
+    """Pathological factory: draws from the shard stream at construction."""
+    seed_items = list(rng.integers(0, 1000, 3))
+    return RTBS(n=60, lambda_=0.15, initial_items=seed_items, rng=rng)
+
+
+class TestDrawingFactoryBitIdentity:
+    def test_idle_shard_reserved_streams_stay_pristine(self):
+        # All items share one routing key, so exactly one shard activates.
+        # Serial never invokes the factory for the idle shards; the
+        # transport builds them eagerly (routing is worker-side) but must
+        # not let those construction draws leak into the reserved streams.
+        batches = [np.full(50, 7) for _ in range(4)]
+        serial = SamplerService(_drawing_factory, num_shards=4, rng=19)
+        for index, batch in enumerate(batches):
+            serial.ingest_batch(batch, time=float(index + 1))
+        with SamplerService(
+            _drawing_factory, num_shards=4, rng=19, executor="process:2"
+        ) as resident:
+            for index, batch in enumerate(batches):
+                resident.ingest_batch(batch, time=float(index + 1))
+            assert resident.active_shards == serial.active_shards
+            assert len(resident.active_shards) == 1
+            _assert_states_equal(resident.state_dict(), serial.state_dict())
+
+
+class TestPlainStateShippingExecutor:
+    def test_ships_state_backend_without_transport_round_trips_snapshots(self):
+        # The documented extension point: a custom backend that requires
+        # picklable tasks but has no resident transport. Shard state must
+        # round-trip via state_dict snapshots, not silently mutate a copy.
+        class SnapshotShipper(SerialExecutor):
+            name = "shipper"
+            ships_state = True
+
+        batches = _batches(6)
+        serial = SamplerService(rtbs_factory, num_shards=4, rng=29)
+        serial.ingest(batches)
+        shipped = SamplerService(
+            rtbs_factory, num_shards=4, rng=29, executor=SnapshotShipper()
+        )
+        shipped.ingest(batches)
+        assert shipped.sample_items() == serial.sample_items()
+        assert shipped.total_weight == serial.total_weight
+
+
+class TestTransportRoutingModes:
+    """Each of the three frame routing modes must match serial routing."""
+
+    def test_object_payload_with_key_fn_routes_driver_side(self):
+        # key_fn is driver-side code; items are tuples (object payload), so
+        # frames fall back to pickled payloads + precomputed shard ids.
+        items = [[(index, batch) for index in range(120)] for batch in range(6)]
+        serial = SamplerService(
+            rtbs_factory, num_shards=4, rng=5, key_fn=lambda item: item[0]
+        )
+        serial.ingest(items)
+        with SamplerService(
+            rtbs_factory,
+            num_shards=4,
+            rng=5,
+            key_fn=lambda item: item[0],
+            executor="process:2",
+        ) as resident:
+            resident.ingest(items)
+            assert resident.sample_items() == serial.sample_items()
+
+    def test_string_key_arrays_route_worker_side(self):
+        rng = np.random.default_rng(3)
+        batches = _batches(6, size=200)
+        keys = [
+            np.asarray([f"user-{value}" for value in rng.integers(0, 50, 200)])
+            for _ in range(6)
+        ]
+        serial = SamplerService(rtbs_factory, num_shards=4, rng=7)
+        serial.ingest(batches, keys=list(keys))
+        with SamplerService(
+            rtbs_factory, num_shards=4, rng=7, executor="process:2"
+        ) as resident:
+            resident.ingest(batches, keys=list(keys))
+            assert resident.sample_items() == serial.sample_items()
+            assert resident.shard_samples() == serial.shard_samples()
+
+    def test_explicit_numeric_keys_route_worker_side(self):
+        batches = _batches(5)
+        keys = [np.arange(400) % 37 for _ in range(5)]
+        serial = SamplerService(rtbs_factory, num_shards=4, rng=2)
+        serial.ingest(batches, keys=list(keys))
+        with SamplerService(
+            rtbs_factory, num_shards=4, rng=2, executor="process:2"
+        ) as resident:
+            resident.ingest(batches, keys=list(keys))
+            assert resident.sample_items() == serial.sample_items()
+
+
+class TestExecutorLifecycle:
+    def test_close_detaches_and_later_ingest_reattaches(self):
+        batches = _batches(12)
+        serial = SamplerService(rtbs_factory, num_shards=4, rng=31)
+        serial.ingest(batches)
+        resident = SamplerService(
+            rtbs_factory, num_shards=4, rng=31, executor="process:2"
+        )
+        resident.ingest(batches[:6])
+        resident.close()  # workers gone; state pulled back to the driver
+        resident.ingest(batches[6:])  # transparently respawns + re-attaches
+        try:
+            assert resident.sample_items() == serial.sample_items()
+            _assert_states_equal(resident.state_dict(), serial.state_dict())
+        finally:
+            resident.close()
+
+    def test_flush_is_a_barrier_and_a_noop_in_process(self):
+        serial = SamplerService(rtbs_factory, num_shards=2, rng=0)
+        serial.flush()  # no-op, never spawns workers
+        with SamplerService(
+            rtbs_factory, num_shards=2, rng=0, executor="process:1"
+        ) as resident:
+            resident.ingest(_batches(3))
+            resident.flush()
+            assert len(resident) > 0
+
+    def test_one_pool_is_reused_across_ingest_calls(self):
+        with SamplerService(
+            rtbs_factory, num_shards=2, rng=0, executor="process:1"
+        ) as service:
+            service.ingest(_batches(2))
+            pool_before = service.executor.transport
+            service.ingest(_batches(2, start=2 * 400))
+            assert service.executor.transport is pool_before
+
+    def test_killed_shard_worker_surfaces_as_engine_error(self):
+        # Raised once on the ingest path, and again if close() is called
+        # directly afterwards (resident state could not be detached) —
+        # while the with-block form below never double-raises.
+        with pytest.raises(EngineError):
+            with SamplerService(
+                rtbs_factory, num_shards=4, rng=13, executor="process:2"
+            ) as service:
+                service.ingest(_batches(2))
+                service.flush()
+                victim = service.executor.transport.workers[1].process
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join(timeout=10)
+                with pytest.raises(EngineError, match="shard worker 1"):
+                    for index in range(200):
+                        service.ingest(_batches(1, start=(index + 2) * 400))
+                        service.flush()
+                # Leaving the with-block "cleanly" now: close() re-raises
+                # the crash (resident state could not be detached), caught
+                # by the outer raises.
+
+    def test_with_block_does_not_mask_a_propagating_exception(self):
+        with pytest.raises(RuntimeError, match="user error"):
+            with SamplerService(
+                rtbs_factory, num_shards=2, rng=0, executor="process:1"
+            ) as service:
+                service.ingest(_batches(1))
+                service.flush()
+                victim = service.executor.transport.workers[0].process
+                os.kill(victim.pid, signal.SIGKILL)
+                victim.join(timeout=10)
+                raise RuntimeError("user error")
+
+    def test_close_as_first_drain_after_crash_raises_instead_of_losing_data(self):
+        service = SamplerService(
+            rtbs_factory, num_shards=4, rng=13, executor="process:2"
+        )
+        service.ingest(_batches(2))
+        service.flush()
+        victim = service.executor.transport.workers[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        # The crash must surface on whichever call drains first — possibly
+        # close() itself — never be swallowed.
+        with pytest.raises(EngineError, match="shard worker 0"):
+            service.ingest(_batches(1, start=800))
+            service.close()
+
+    def test_worker_crash_error_names_resident_shards(self):
+        assert issubclass(WorkerCrashError, EngineError)
 
 
 @pytest.mark.parametrize("backend", ["thread", "process:2"])
