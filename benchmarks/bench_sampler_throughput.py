@@ -36,6 +36,12 @@ A fifth operating point measures string-keyed ingest: the vectorized
 unique-then-digest BLAKE2b routing path (with its repeated-key LRU cache)
 against per-item ``stable_hash`` calls, asserting the vectorization holds.
 
+A sixth operating point measures elastic resharding: a warmed k-shard
+service repeatedly resharded between k and 3k/2 shards, recording retained
+items re-homed per second — the latency a deployment pays to scale its
+shard count without discarding its sample — and asserting conservation of
+the aggregate bookkeeping across every reshard.
+
 Every operating point's items/sec is recorded through the ``throughput``
 fixture and flushed to ``benchmarks/BENCH_throughput.json`` at session end,
 so the performance trajectory is machine-readable across PRs.
@@ -398,6 +404,54 @@ def test_service_string_key_routing_operating_point(throughput):
     assert speedup >= 2.0, (
         f"vectorized string-key routing regressed: {speedup:.1f}x < 2x the "
         "per-item hashing path"
+    )
+
+
+def test_service_reshard_operating_point(benchmark, throughput):
+    """Elastic reshard of a warmed service: retained items re-homed per second.
+
+    The timed region is one full `reshard` — drain/sync, per-shard key
+    recovery and hashing under the new layout, the sampler-level
+    split/merge, and fresh shard-RNG spawning — alternating between
+    ``_SERVICE_SHARDS`` and ``3/2 _SERVICE_SHARDS`` so every round really
+    re-partitions. Total weight must be conserved through every round (the
+    correctness half of the operating point); the recorded number is the
+    cost of scaling a live deployment without discarding its sample.
+    """
+    grown = _SERVICE_SHARDS * 3 // 2
+    service = SamplerService(
+        lambda rng: RTBS(n=_CAPACITY // _SERVICE_SHARDS, lambda_=_LAMBDA, rng=rng),
+        num_shards=_SERVICE_SHARDS,
+        rng=0,
+    )
+    service.ingest(_large_batches(_SERVICE_WARMUP))
+    weight_before = service.total_weight
+    retained = len(service)
+    state = {"count": _SERVICE_SHARDS}
+
+    def one_reshard():
+        state["count"] = grown if state["count"] == _SERVICE_SHARDS else _SERVICE_SHARDS
+        count = state["count"]
+        service.reshard(
+            count, lambda rng: RTBS(n=_CAPACITY // count, lambda_=_LAMBDA, rng=rng)
+        )
+
+    benchmark(one_reshard)
+    reshard_seconds = benchmark.stats.stats.mean
+    items_per_second = retained / reshard_seconds
+    benchmark.extra_info["retained_items"] = retained
+    benchmark.extra_info["num_shards"] = f"{_SERVICE_SHARDS}<->{grown}"
+    benchmark.extra_info["reshard_ms"] = round(reshard_seconds * 1e3, 3)
+    throughput(
+        f"service-reshard-{_SERVICE_SHARDS}to{grown}shards", items_per_second
+    )
+    print(
+        f"\nSamplerService reshard {_SERVICE_SHARDS}<->{grown} shards: "
+        f"{reshard_seconds * 1e3:.2f} ms for {retained:,} retained items "
+        f"({items_per_second:,.0f} items/s re-homed)"
+    )
+    assert service.total_weight == pytest.approx(weight_before, rel=1e-9), (
+        "reshard failed to conserve total weight"
     )
 
 

@@ -1,0 +1,93 @@
+"""Elastic resharding: scale a live sharded deployment without losing its sample.
+
+Scenario: a 4-shard :class:`repro.service.SamplerService` has been sampling
+a keyed stream for a while when traffic grows. We (1) reshard the *live*
+service from 4 to 6 shards — every retained item moves to the shard its key
+hashes to under the new layout, total weight is conserved — and keep
+ingesting; then (2) demonstrate the checkpoint-portable path: a checkpoint
+saved by the old 4-shard deployment restores directly as a 3-shard service
+(scale-*down*, non-power-of-two) with per-shard capacity re-provisioned so
+the aggregate stays constant.
+
+Run with:
+
+    PYTHONPATH=src python examples/reshard_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro.core import RTBS
+from repro.service import SamplerService, load_service, save_service, shard_ids_for_keys
+
+TOTAL_CAPACITY = 1_200
+LAMBDA = 0.05
+BATCH_SIZE = 2_000
+NUM_BATCHES = 25
+
+
+def factory_for(num_shards: int):
+    """Keep *aggregate* capacity constant however many shards carry it."""
+
+    def make_sampler(rng: np.random.Generator) -> RTBS:
+        return RTBS(n=TOTAL_CAPACITY // num_shards, lambda_=LAMBDA, rng=rng)
+
+    return make_sampler
+
+
+def sensor_batches(count: int, start: int = 0) -> list[np.ndarray]:
+    return [
+        np.arange(start + index * BATCH_SIZE, start + (index + 1) * BATCH_SIZE)
+        for index in range(count)
+    ]
+
+
+def describe(tag: str, service: SamplerService) -> None:
+    sizes = {shard: len(sample) for shard, sample in service.shard_samples().items()}
+    print(
+        f"{tag}: shards={service.num_shards}, W_t={service.total_weight:.2f}, "
+        f"C_t={service.expected_sample_size:.2f}, shard sizes={sizes}"
+    )
+
+
+def check_affinity(service: SamplerService) -> None:
+    """Every retained item must sit on the shard its key hashes to."""
+    for shard_id, sample in service.shard_samples().items():
+        routed = shard_ids_for_keys(np.array(sample), service.num_shards)
+        assert (routed == shard_id).all(), f"shard {shard_id} holds foreign keys"
+
+
+def main() -> None:
+    service = SamplerService(factory_for(4), num_shards=4, rng=42)
+    service.ingest(sensor_batches(NUM_BATCHES))
+    describe("before", service)
+    weight_before = service.total_weight
+
+    # --- 1. live scale-up: 4 -> 6 shards, aggregate capacity unchanged ---
+    service.reshard(6, factory_for(6))
+    describe("after live reshard to 6", service)
+    check_affinity(service)
+    assert abs(service.total_weight - weight_before) < 1e-6 * weight_before
+    service.ingest(sensor_batches(5, start=NUM_BATCHES * BATCH_SIZE))
+    describe("after 5 more batches", service)
+
+    # --- 2. checkpoint-portable restore: 4-shard save -> 3-shard service ---
+    old_layout = SamplerService(factory_for(4), num_shards=4, rng=42)
+    old_layout.ingest(sensor_batches(NUM_BATCHES))
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        save_service(old_layout, checkpoint_dir)
+        shrunk = load_service(checkpoint_dir, factory_for(3), num_shards=3)
+    describe("restored 4-shard checkpoint as 3 shards", shrunk)
+    check_affinity(shrunk)
+    assert abs(shrunk.total_weight - weight_before) < 1e-6 * weight_before
+    shrunk.ingest(sensor_batches(5, start=NUM_BATCHES * BATCH_SIZE))
+    describe("shrunk deployment resumed", shrunk)
+
+    print("\naffinity holds and total weight is conserved across both reshards")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,10 @@ or compares against:
   reservoir sampling with exponential weights (Section 7 related work).
 
 Supporting machinery lives in :mod:`repro.core.latent` (array-backed
-fractional samples and the vectorized downsampling procedure of Algorithm 3),
+fractional samples, the vectorized downsampling procedure of Algorithm 3,
+and the latent split/merge primitives behind elastic resharding),
+:mod:`repro.core.resharding` (the sampler-level split/merge orchestration
+that re-partitions shard state under a new key→shard map),
 :mod:`repro.core.arrays` (opaque-payload array helpers shared by the
 vectorized engines), :mod:`repro.core.decay` (decay-rate calibration helpers)
 and :mod:`repro.core.analysis` (closed-form predictions from Theorems 3.1 and
@@ -39,7 +42,8 @@ from repro.core.decay import (
     lambda_for_retention,
     lambda_for_survival,
 )
-from repro.core.latent import LatentSample, downsample
+from repro.core.latent import LatentSample, downsample, merge_latent_samples
+from repro.core.resharding import apportion_integer, reshard_samplers
 from repro.core.rtbs import RTBS
 from repro.core.ttbs import TTBS
 from repro.core.btbs import BTBS
@@ -94,6 +98,9 @@ __all__ = [
     "lambda_for_survival",
     "LatentSample",
     "downsample",
+    "merge_latent_samples",
+    "apportion_integer",
+    "reshard_samplers",
     "RTBS",
     "TTBS",
     "BTBS",

@@ -94,6 +94,54 @@ class AResSampler(Sampler):
         self._items = as_item_array(payload["items"], copy=True)
         self._landmark = float(payload["landmark"])
 
+    # ------------------------------------------------------------------
+    # resharding
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        return self._items
+
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+        """Route (key, payload) pairs; each piece carries its landmark."""
+        destinations = np.asarray(destinations, dtype=np.int64)
+        return {
+            int(destination): {
+                "keys": self._keys[np.flatnonzero(destinations == destination)],
+                "items": self._items[np.flatnonzero(destinations == destination)],
+                "landmark": self._landmark,
+            }
+            for destination in np.unique(destinations)
+        }
+
+    def reshard_absorb(self, pieces: list[dict]) -> None:
+        """Merge pieces under a common landmark; keep the ``n`` largest keys.
+
+        A-Res reservoirs are mergeable by construction: keys renormalize to
+        the latest source landmark (multiplying a piece's log-domain keys
+        by ``e^{lambda (L - landmark)}`` re-expresses them relative to
+        ``L``, preserving order), and the union's ``n`` largest keys are
+        exactly the reservoir a single sampler would hold. A piece whose
+        landmark trails ``L`` by more than the renormalization range
+        (``~500/lambda`` time units) underflows to ``-inf`` keys — its
+        items' relative weights are below ``e^{-500}`` and they lose every
+        comparison anyway.
+        """
+        landmark = max(float(piece["landmark"]) for piece in pieces)
+        keys_parts = []
+        item_parts = []
+        for piece in pieces:
+            scale = np.exp(self.lambda_ * (landmark - float(piece["landmark"])))
+            keys_parts.append(np.asarray(piece["keys"], dtype=np.float64) * scale)
+            item_parts.append(piece["items"])
+        keys = np.concatenate(keys_parts) if keys_parts else np.empty(0)
+        payloads = concat_items(*item_parts)
+        if len(keys) > self.n:
+            keep = np.argpartition(keys, len(keys) - self.n)[len(keys) - self.n :]
+            keys = keys[keep]
+            payloads = payloads[keep]
+        self._keys = keys
+        self._items = payloads
+        self._landmark = landmark
+
     def _forward_weight(self, arrival_time: float) -> float:
         """Forward-decay weight ``e^{lambda (t - landmark)}`` with landmark shifting."""
         exponent = self.lambda_ * (arrival_time - self._landmark)

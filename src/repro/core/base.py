@@ -332,6 +332,61 @@ class Sampler:
         )
 
     # ------------------------------------------------------------------
+    # resharding protocol
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        """All physically retained item payloads, in the sampler's canonical order.
+
+        The first half of the resharding protocol
+        (:mod:`repro.core.resharding`): the caller computes a destination
+        partition for each returned payload (by hashing its routing key)
+        and feeds the destinations to :meth:`reshard_split`. The order is
+        sampler-specific but must match the order :meth:`reshard_split`
+        interprets; samplers with fractional state list full items first,
+        then the partial item.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support resharding (no "
+            "reshard_items/reshard_split/reshard_absorb implementation)"
+        )
+
+    def reshard_split(
+        self, destinations: np.ndarray, num_parts: int
+    ) -> dict[int, dict[str, Any]]:
+        """Partition retained state into per-destination *pieces*.
+
+        ``destinations`` is parallel to :meth:`reshard_items` and maps each
+        retained payload to a destination in ``[0, num_parts)``. Returns a
+        mapping ``{destination: piece}`` where each piece is an in-memory,
+        algorithm-specific mapping carrying the routed payloads plus that
+        destination's share of the sampler's aggregate bookkeeping
+        (``W_t``, stream counters, ...), such that the shares sum to the
+        source's aggregates. Pieces are consumed by :meth:`reshard_absorb`
+        on a freshly built sampler of the same type; they are never
+        persisted.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support resharding (no "
+            "reshard_items/reshard_split/reshard_absorb implementation)"
+        )
+
+    def reshard_absorb(self, pieces: list[dict[str, Any]]) -> None:
+        """Install the union of routed pieces into this freshly built sampler.
+
+        ``pieces`` come from :meth:`reshard_split` calls on source samplers
+        of the same type (listed in ascending source-shard order), all
+        synchronized to a common clock. Any randomness the merge needs
+        (fractional-item folding, capacity-overflow subsampling) is drawn
+        from this sampler's private RNG, so the merge is deterministic per
+        destination. Called on a sampler that has seen no data; the
+        caller fixes up ``_time``/``_batches_seen`` afterwards.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support resharding (no "
+            "reshard_items/reshard_split/reshard_absorb implementation)"
+        )
+
+    # ------------------------------------------------------------------
     # subclass hooks
     # ------------------------------------------------------------------
     def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:

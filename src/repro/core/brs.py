@@ -14,8 +14,13 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.arrays import as_item_array
 from repro.core.base import Sampler
-from repro.core.random_utils import hypergeometric, sample_without_replacement
+from repro.core.random_utils import (
+    choose_indices,
+    hypergeometric,
+    sample_without_replacement,
+)
 
 __all__ = ["BatchedReservoir"]
 
@@ -63,6 +68,63 @@ class BatchedReservoir(Sampler):
     def _restore_payload(self, payload: dict[str, Any]) -> None:
         self._sample = list(payload["sample"])
         self._items_seen = int(payload["items_seen"])
+
+    # ------------------------------------------------------------------
+    # resharding
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        return as_item_array(self._sample)
+
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+        """Route retained items; apportion ``items_seen`` by largest remainder.
+
+        The stream counter splits proportionally to each destination's
+        routed sample count (integer-exact, so the counters — and hence
+        ``total_weight`` — are conserved across the whole reshard). A
+        source with a counter but no retained items spreads it evenly.
+        """
+        from repro.core.resharding import apportion_integer
+
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if len(destinations) == 0:
+            if self._items_seen == 0:
+                return {}
+            shares = apportion_integer(self._items_seen, np.ones(num_parts))
+            return {
+                destination: {"items": [], "items_seen": int(shares[destination])}
+                for destination in range(num_parts)
+            }
+        targets = np.unique(destinations)
+        counts = np.array(
+            [int((destinations == destination).sum()) for destination in targets]
+        )
+        shares = apportion_integer(self._items_seen, counts)
+        return {
+            int(destination): {
+                "items": [
+                    self._sample[index]
+                    for index in np.flatnonzero(destinations == destination)
+                ],
+                "items_seen": int(share),
+            }
+            for destination, share in zip(targets, shares)
+        }
+
+    def reshard_absorb(self, pieces: list[dict]) -> None:
+        """Concatenate routed items; uniformly subsample past the capacity.
+
+        Keys skewed onto one destination (or a shrink) can route more than
+        ``n`` items here; a uniform subsample restores the bound. Strictly,
+        items from sources with different inclusion probabilities would
+        need weighted selection — uniform is the documented approximation
+        (exact whenever the source reservoirs were equally saturated).
+        """
+        sample = [item for piece in pieces for item in piece["items"]]
+        if len(sample) > self.n:
+            keep = np.sort(choose_indices(self._rng, len(sample), self.n))
+            sample = [sample[int(index)] for index in keep]
+        self._sample = sample
+        self._items_seen = int(sum(piece["items_seen"] for piece in pieces))
 
     def _process_batch(self, items: list[Any], elapsed: float) -> None:
         batch_size = len(items)

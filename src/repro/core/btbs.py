@@ -17,6 +17,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.arrays import as_item_array
 from repro.core.base import Sampler
 from repro.core.random_utils import binomial, sample_without_replacement
 
@@ -59,6 +60,28 @@ class BTBS(Sampler):
 
     def _restore_payload(self, payload: dict[str, Any]) -> None:
         self._sample = list(payload["sample"])
+
+    # ------------------------------------------------------------------
+    # resharding
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        return as_item_array(self._sample)
+
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+        destinations = np.asarray(destinations, dtype=np.int64)
+        return {
+            int(destination): {
+                "items": [
+                    self._sample[index]
+                    for index in np.flatnonzero(destinations == destination)
+                ]
+            }
+            for destination in np.unique(destinations)
+        }
+
+    def reshard_absorb(self, pieces: list[dict]) -> None:
+        """Concatenate routed items in source order (B-TBS has no size bound)."""
+        self._sample = [item for piece in pieces for item in piece["items"]]
 
     def _process_batch(self, items: list[Any], elapsed: float) -> None:
         retention = math.exp(-self.lambda_ * elapsed)

@@ -131,6 +131,82 @@ class BatchedChao(Sampler):
         ]
 
     # ------------------------------------------------------------------
+    # resharding
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        """Canonical order: ordinary sample items, then pinned overweight items."""
+        from repro.core.arrays import as_item_array, concat_items
+
+        return concat_items(
+            as_item_array(self._sample),
+            as_item_array([item for item, _ in self._overweight]),
+        )
+
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+        """Route ordinary and overweight items; apportion the stream weight.
+
+        ``W`` (the normalizer of Chao's inclusion probabilities) splits
+        proportionally to each destination's routed ordinary-item count —
+        conserving the sum — with an even spread when no ordinary items are
+        retained. Overweight items carry their individual weights with
+        them.
+        """
+        destinations = np.asarray(destinations, dtype=np.int64)
+        ordinary_count = len(self._sample)
+        ordinary_dest = destinations[:ordinary_count]
+        overweight_dest = destinations[ordinary_count:]
+
+        pieces: dict[int, dict] = {}
+
+        def piece(destination: int) -> dict:
+            return pieces.setdefault(
+                int(destination),
+                {"sample": [], "stream_weight": 0.0, "overweight": []},
+            )
+
+        for destination in np.unique(ordinary_dest) if ordinary_count else ():
+            idx = np.flatnonzero(ordinary_dest == destination)
+            entry = piece(destination)
+            entry["sample"] = [self._sample[int(index)] for index in idx]
+            entry["stream_weight"] = self._stream_weight * len(idx) / ordinary_count
+        if ordinary_count == 0 and self._stream_weight != 0.0:
+            for destination in range(num_parts):
+                piece(destination)["stream_weight"] = self._stream_weight / num_parts
+        for index, destination in enumerate(overweight_dest):
+            piece(destination)["overweight"].append(self._overweight[index])
+        return pieces
+
+    def reshard_absorb(self, pieces: list[dict]) -> None:
+        """Merge routed pieces; restore the ``n``-item bound.
+
+        If the pinned overweight items alone exceed the capacity, the
+        lightest are demoted back into the ordinary pool (their weight
+        rejoins ``W``); an over-full ordinary pool is uniformly subsampled.
+        """
+        from repro.core.random_utils import choose_indices
+
+        sample = [item for piece in pieces for item in piece["sample"]]
+        overweight = [pair for piece in pieces for pair in piece["overweight"]]
+        stream_weight = float(sum(piece["stream_weight"] for piece in pieces))
+        if len(overweight) > self.n:
+            order = np.argsort(
+                -np.array([weight for _, weight in overweight]), kind="stable"
+            )
+            kept = [overweight[int(index)] for index in order[: self.n]]
+            for index in order[self.n :]:
+                item, weight = overweight[int(index)]
+                sample.append(item)
+                stream_weight += weight
+            overweight = kept
+        room = self.n - len(overweight)
+        if len(sample) > room:
+            keep = np.sort(choose_indices(self._rng, len(sample), room))
+            sample = [sample[int(index)] for index in keep]
+        self._sample = sample
+        self._overweight = [(item, float(weight)) for item, weight in overweight]
+        self._stream_weight = stream_weight
+
+    # ------------------------------------------------------------------
     # Algorithm 6
     # ------------------------------------------------------------------
     def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:

@@ -12,6 +12,20 @@ weight ``C'`` such that every item's realized inclusion probability is scaled
 by exactly ``C'/C`` (Theorem 4.1). R-TBS relies on this to preserve the
 appearance-probability invariant (4) under decay.
 
+:meth:`LatentSample.split` and :func:`merge_latent_samples` are the
+re-partitioning primitives behind elastic resharding: a latent sample is
+split into per-destination latent fragments (each a valid latent sample
+whose weight is its full-item count plus the source's fractional part if
+the partial item routed there), and fragments from many sources merge back
+into one latent sample using the same stratified partial-item combination
+the paper's D-R-TBS merge/subsample machinery relies on — two fractional
+items of inclusion probability ``f1`` and ``f2`` combine into one partial
+of fraction ``f1 + f2`` (keeping either with probability proportional to
+its fraction) when ``f1 + f2 < 1``, or promote one of the two to a full
+item (with the marginal-preserving probabilities) when ``f1 + f2 >= 1``.
+Every item's realized inclusion probability is preserved exactly through a
+split followed by a merge.
+
 Storage is array-backed: payloads live in a 1-D NumPy array with parallel
 ``float64`` arrays of per-item arrival weights and arrival timestamps, so
 Algorithm 3's ``Sample(A, m)``/``Swap1``/``Move1`` primitives are fancy-index
@@ -30,7 +44,7 @@ import numpy as np
 from repro.core.arrays import as_item_array, concat_items, empty_item_array
 from repro.core.random_utils import choose_indices, ensure_rng
 
-__all__ = ["LatentSample", "downsample"]
+__all__ = ["LatentSample", "downsample", "merge_latent_samples"]
 
 _WEIGHT_TOLERANCE = 1e-9
 
@@ -319,6 +333,49 @@ class LatentSample:
             self._full.concat(appended), self._partial.copy(), self.weight + len(arr)
         )
 
+    # ------------------------------------------------------------------
+    # resharding primitives
+    # ------------------------------------------------------------------
+    def split(
+        self,
+        full_destinations: np.ndarray,
+        partial_destination: int | None,
+    ) -> dict[int, "LatentSample"]:
+        """Re-partition this latent sample into per-destination fragments.
+
+        ``full_destinations[i]`` names the destination of the ``i``-th full
+        item (parallel to :attr:`full_array`); ``partial_destination`` names
+        the destination of the partial item (required iff one is stored).
+        Each returned fragment is itself a valid latent sample: its weight
+        is its full-item count, plus ``frac(C)`` for the one fragment that
+        received the partial item. Fragment weights therefore sum to ``C``
+        exactly, and every item keeps its realized inclusion probability
+        (full items stay full; the partial item keeps its fraction).
+        """
+        full_destinations = np.asarray(full_destinations, dtype=np.int64)
+        if len(full_destinations) != len(self._full):
+            raise ValueError(
+                f"{len(full_destinations)} destinations for "
+                f"{len(self._full)} full items"
+            )
+        if self.has_partial and partial_destination is None:
+            raise ValueError("a partial item is stored but has no destination")
+        pieces: dict[int, LatentSample] = {}
+        for destination in np.unique(full_destinations):
+            idx = np.flatnonzero(full_destinations == destination)
+            pieces[int(destination)] = LatentSample(
+                self._full.take(idx), _Items.empty(), float(len(idx))
+            )
+        if self.has_partial and self.fraction > 0.0:
+            destination = int(partial_destination)
+            base = pieces.get(destination, LatentSample.empty())
+            pieces[destination] = LatentSample(
+                base._full, self._partial.copy(), base.weight + self.fraction
+            )
+        for piece in pieces.values():
+            piece.check_invariants()
+        return pieces
+
 
 # ----------------------------------------------------------------------
 # Algorithm 3 primitives (array form)
@@ -411,3 +468,65 @@ def downsample(
     result = LatentSample(full, partial, float(target_weight))
     result.check_invariants()
     return result
+
+
+def merge_latent_samples(
+    pieces: Sequence[LatentSample],
+    rng: np.random.Generator | int | None = None,
+) -> LatentSample:
+    """Merge latent samples into one, preserving every item's inclusion probability.
+
+    The inverse of :meth:`LatentSample.split`, and the stratified merge the
+    D-R-TBS machinery uses when sub-samples are combined: full items are
+    concatenated in piece order, and the pieces' partial items (at most one
+    each, with fractions ``f_i``) are folded pairwise —
+
+    * ``f1 + f2 < 1``: one survivor stays partial with fraction
+      ``f1 + f2``, chosen with probability proportional to its own
+      fraction, so ``Pr[item kept realized] = f_i`` exactly;
+    * ``f1 + f2 >= 1``: one item is *promoted* to full (item 1 with the
+      marginal-preserving probability ``(1 - f2) / ((1 - f1) + (1 - f2))``)
+      and the other stays partial with fraction ``f1 + f2 - 1``.
+
+    The merged weight is the merged full count plus the surviving fraction,
+    which equals the sum of the piece weights up to floating-point
+    tolerance. Draws come from ``rng`` in piece order, so the merge is
+    deterministic for a fixed generator state.
+    """
+    rng = ensure_rng(rng)
+    full = _Items.empty()
+    partial = _Items.empty()
+    fraction = 0.0
+    for piece in pieces:
+        full = full.concat(piece._full)
+        if not piece.has_partial or piece.fraction <= 0.0:
+            continue
+        incoming = piece._partial.copy()
+        incoming_fraction = piece.fraction
+        if not len(partial):
+            partial, fraction = incoming, incoming_fraction
+            continue
+        combined = fraction + incoming_fraction
+        if combined < 1.0 - _WEIGHT_TOLERANCE:
+            if rng.random() < incoming_fraction / combined:
+                partial = incoming
+            fraction = combined
+        else:
+            # Promote one of the two to full; the other keeps the excess.
+            promote_current = rng.random() < (1.0 - incoming_fraction) / (
+                (1.0 - fraction) + (1.0 - incoming_fraction)
+            )
+            if promote_current:
+                full = full.concat(partial)
+                partial = incoming
+            else:
+                full = full.concat(incoming)
+            fraction = combined - 1.0
+            if not (_WEIGHT_TOLERANCE < fraction < 1.0 - _WEIGHT_TOLERANCE):
+                fraction = 0.0
+                partial = _Items.empty()
+    if fraction == 0.0 and len(partial):
+        partial = _Items.empty()
+    merged = LatentSample(full, partial, float(len(full)) + fraction)
+    merged.check_invariants()
+    return merged

@@ -1,0 +1,164 @@
+"""Sampler-level split/merge orchestration for elastic resharding.
+
+A sharded deployment (``repro.service.SamplerService``) pins every routing
+key to one shard for the lifetime of a *shard layout*. Elastic resharding
+changes the layout — ``N`` shards become ``M`` — by physically re-homing
+every retained item onto the shard its key hashes to under ``M``, while
+conserving the deployment's aggregate bookkeeping (``W_t``, stream
+counters) and each item's statistical standing.
+
+The machinery is the sampler-level resharding protocol
+(:meth:`~repro.core.base.Sampler.reshard_items` /
+:meth:`~repro.core.base.Sampler.reshard_split` /
+:meth:`~repro.core.base.Sampler.reshard_absorb`) plus this module's
+orchestrator, :func:`reshard_samplers`, which is deliberately ignorant of
+*how* destinations are computed — the caller supplies a function from
+retained payloads to destination ids (the service hashes recovered routing
+keys), so this layer stays free of any routing/service dependency.
+
+The statistical semantics per sampler family:
+
+* **R-TBS** re-partitions its latent sample with
+  :meth:`~repro.core.latent.LatentSample.split` /
+  :func:`~repro.core.latent.merge_latent_samples` (the D-R-TBS stratified
+  merge), apportions ``W_t`` so each fragment keeps its source's ``W/C``
+  ratio (total weight is conserved exactly), and restores ``C <= min(n,
+  W)`` at each destination — overshoot is Algorithm 3 downsampling,
+  shortfall is the tolerated *underfull* state R-TBS refills from.
+* **T-TBS / B-TBS** concatenate routed items (no size bound to enforce).
+* **B-RS / Unif** apportion the ``items_seen`` counter by largest
+  remainder (integer-exact conservation) and uniformly subsample a
+  destination that lands over capacity.
+* **B-Chao** routes ordinary and overweight items separately, apportions
+  the aggregate stream weight proportionally, and demotes the lightest
+  overweight items if a destination's pin set alone exceeds capacity.
+* **A-Res** renormalizes per-piece keys to a common forward-decay
+  landmark and keeps the ``n`` largest keys — the scheme is mergeable by
+  construction.
+* **Count-based sliding windows** do not reshard: they retain no arrival
+  metadata, so windows from different shards cannot be interleaved
+  honestly. (The time-based window reshards fine: entries carry
+  timestamps.)
+
+Determinism: all draws come from the destination samplers' private RNG
+streams, consumed in ascending destination order, and sources are
+processed in ascending shard order — resharding is a pure driver-side
+function of (source states, destination map, destination RNG streams).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.core.base import Sampler
+
+__all__ = ["apportion_integer", "reshard_samplers"]
+
+
+def apportion_integer(total: int, weights: np.ndarray) -> np.ndarray:
+    """Split integer ``total`` proportionally to ``weights``, conserving the sum.
+
+    Largest-remainder (Hamilton) apportionment: each part gets the floor of
+    its exact quota and the leftover units go to the largest fractional
+    remainders (ties broken by lowest index, so the split is
+    deterministic). Used to divide integer stream counters (``items_seen``)
+    across destinations without drift — the parts always sum to ``total``
+    exactly.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if len(weights) == 0 or weights.sum() <= 0.0:
+        raise ValueError("weights must be non-empty with a positive sum")
+    quotas = total * (weights / weights.sum())
+    floors = np.floor(quotas).astype(np.int64)
+    leftover = int(total - floors.sum())
+    if leftover:
+        remainders = quotas - floors
+        # argsort is stable, so equal remainders resolve to the lowest index.
+        order = np.argsort(-remainders, kind="stable")
+        floors[order[:leftover]] += 1
+    return floors
+
+
+def reshard_samplers(
+    sources: Mapping[int, Sampler],
+    destinations_for: Callable[[np.ndarray], np.ndarray],
+    make_sampler: Callable[[int], Sampler],
+    num_parts: int,
+) -> dict[int, Sampler]:
+    """Re-partition the retained state of ``sources`` into ``num_parts`` samplers.
+
+    Parameters
+    ----------
+    sources:
+        Source samplers keyed by shard id, all of one type and — this is
+        the caller's responsibility — synchronized to a common clock (every
+        sampler at the same :attr:`~repro.core.base.Sampler.time`; a shard
+        behind the deployment clock must first process an empty batch at
+        the common time so its decay bookkeeping is current).
+    destinations_for:
+        Maps an array of retained payloads (``reshard_items`` order) to an
+        ``int64`` array of destination ids in ``[0, num_parts)`` — e.g. the
+        service's key-recovery + stable-hash routing under the new layout.
+    make_sampler:
+        Builds destination ``d``'s fresh sampler (typically the service's
+        factory on destination ``d``'s reserved RNG stream). Only invoked
+        for destinations that receive at least one piece.
+    num_parts:
+        The new shard count ``M``.
+
+    Returns
+    -------
+    dict[int, Sampler]
+        One merged sampler per destination that received state. The
+        destination samplers' clocks are set to the sources' common time
+        and their batch counters to the maximum source counter, so they
+        continue decaying from the reshard point exactly like a shard that
+        had been serving its keys all along.
+    """
+    if num_parts <= 0:
+        raise ValueError(f"num_parts must be positive, got {num_parts}")
+    if not sources:
+        return {}
+    times = {float(sampler.time) for sampler in sources.values()}
+    if len(times) > 1:
+        raise ValueError(
+            f"source samplers are at different times {sorted(times)}; "
+            "synchronize them to a common clock before resharding"
+        )
+    common_time = times.pop()
+    batches_seen = max(sampler.batches_seen for sampler in sources.values())
+
+    pieces_by_destination: dict[int, list[dict[str, Any]]] = {}
+    for shard_id in sorted(sources):
+        sampler = sources[shard_id]
+        items = sampler.reshard_items()
+        destinations = np.asarray(destinations_for(items), dtype=np.int64)
+        if len(destinations) != len(items):
+            raise ValueError(
+                f"destination map returned {len(destinations)} ids for "
+                f"{len(items)} retained items of shard {shard_id}"
+            )
+        if len(destinations) and (
+            destinations.min() < 0 or destinations.max() >= num_parts
+        ):
+            raise ValueError(
+                f"destination ids must lie in [0, {num_parts}); got range "
+                f"[{destinations.min()}, {destinations.max()}] for shard {shard_id}"
+            )
+        for destination, piece in sorted(
+            sampler.reshard_split(destinations, num_parts).items()
+        ):
+            pieces_by_destination.setdefault(int(destination), []).append(piece)
+
+    merged: dict[int, Sampler] = {}
+    for destination in sorted(pieces_by_destination):
+        sampler = make_sampler(destination)
+        sampler.reshard_absorb(pieces_by_destination[destination])
+        sampler._time = common_time
+        sampler._batches_seen = batches_seen
+        merged[destination] = sampler
+    return merged

@@ -21,6 +21,18 @@ eviction, and downsampling are whole-array NumPy operations. Per-batch cost
 is therefore dominated by a few fancy-indexing passes over at most ``n``
 items, independent of how the batch is represented — feeding 1-D NumPy
 arrays as batches avoids per-item conversion entirely.
+
+**Underfull states.** Algorithm 2 maintains the invariant ``C_t = min(n,
+W_t)``. Elastic resharding (:mod:`repro.core.resharding`) can transiently
+break it: re-homing a shard's items under a new key→shard map conserves
+both the latent weight and the history weight exactly, but a destination
+may inherit more history weight than latent weight (``C < min(n, W)`` — it
+received, say, half the items of a saturated source but also half its
+``W``). This implementation tolerates such *underfull* states: the latent
+sample decays by its own weight, arriving items are accepted at the
+saturated rate ``n / W`` (with overshoot handled by Algorithm 3), and the
+sample grows back toward ``C = min(n, W)``. On the invariant states
+Algorithm 2 produces, the update is bit-for-bit the classic one.
 """
 
 from __future__ import annotations
@@ -32,7 +44,7 @@ import numpy as np
 
 from repro.core.arrays import as_item_array, concat_items
 from repro.core.base import Sampler
-from repro.core.latent import LatentSample, downsample
+from repro.core.latent import LatentSample, downsample, merge_latent_samples
 from repro.core.random_utils import choose_indices, stochastic_round
 
 __all__ = ["RTBS"]
@@ -148,6 +160,71 @@ class RTBS(Sampler):
         self._total_weight = float(payload["total_weight"])
         self._include_partial = bool(payload["include_partial"])
 
+    # ------------------------------------------------------------------
+    # resharding
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        """Retained payloads in canonical order: full items, then the partial."""
+        return concat_items(
+            self._latent.full_array, self._latent._partial.payloads
+        )
+
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+        """Split the latent sample (and ``W_t``) by destination.
+
+        Each destination's piece carries a valid latent fragment plus its
+        share of the history weight, apportioned so every fragment keeps the
+        source's ``W/C`` saturation ratio — fragments of one source sum back
+        to exactly ``W_t``, so resharding conserves total weight. A source
+        with history weight but no latent mass (itself a degenerate
+        post-reshard state) spreads its ``W_t`` evenly over all
+        destinations.
+        """
+        destinations = np.asarray(destinations, dtype=np.int64)
+        full_count = self._latent.full_count
+        partial_destination = (
+            int(destinations[full_count]) if len(destinations) > full_count else None
+        )
+        fragments = self._latent.split(destinations[:full_count], partial_destination)
+        weight = self._latent.weight
+        if weight > 0.0:
+            ratio = self._total_weight / weight
+            return {
+                destination: {
+                    "latent": fragment,
+                    "weight_share": fragment.weight * ratio,
+                }
+                for destination, fragment in fragments.items()
+            }
+        share = self._total_weight / num_parts
+        return {
+            destination: {"latent": LatentSample.empty(), "weight_share": share}
+            for destination in range(num_parts)
+        }
+
+    def reshard_absorb(self, pieces: list[dict]) -> None:
+        """Merge routed latent fragments; restore ``C <= min(n, W)``.
+
+        The merged latent weight may exceed the capacity (keys skewed onto
+        this destination, or a shrink of a saturated deployment), in which
+        case Algorithm 3 downsamples it to ``n`` — exactly the overshoot
+        handling of Algorithm 2. It may also fall short of ``min(n, W)``
+        (growing a saturated deployment), leaving the tolerated underfull
+        state this sampler refills from (see the module docstring).
+        """
+        merged = merge_latent_samples([piece["latent"] for piece in pieces], self._rng)
+        if merged.weight > self.n:
+            merged = downsample(merged, float(self.n), self._rng)
+        self._latent = merged
+        # W is the sum of the sources' conserved shares; it can trail the
+        # merged latent weight by float rounding only, never materially.
+        self._total_weight = max(
+            float(sum(piece["weight_share"] for piece in pieces)), merged.weight
+        )
+        self._include_partial = (
+            self._latent.has_partial and self._rng.random() < self._latent.fraction
+        )
+
     def theoretical_inclusion_probability(self, item_age: float) -> float:
         """Invariant (4): probability that an item of the given age is in the sample."""
         if item_age < 0:
@@ -176,56 +253,91 @@ class RTBS(Sampler):
         )
 
     def _process_unsaturated(self, batch: np.ndarray, decay: float) -> None:
-        """Previously unsaturated: ``W_{t-1} < n`` and ``C_{t-1} = W_{t-1}``."""
+        """Previously unsaturated: ``W_{t-1} < n`` (and normally ``C_{t-1} = W_{t-1}``).
+
+        The latent sample decays by *its own* weight — identical to decaying
+        by ``W`` on invariant states (where ``C == W`` bit-for-bit), and the
+        correct generalization for post-reshard underfull states where
+        ``C < W``.
+        """
         batch_size = len(batch)
         new_weight = self._total_weight * decay
-        if new_weight > _WEIGHT_EPSILON:
-            self._latent = downsample(self._latent, new_weight, self._rng)
+        latent_target = self._latent.weight * decay
+        if latent_target > _WEIGHT_EPSILON:
+            self._latent = downsample(self._latent, latent_target, self._rng)
         else:
-            new_weight = 0.0
             self._latent = LatentSample.empty()
+        if new_weight <= _WEIGHT_EPSILON:
+            new_weight = 0.0
 
         # Accept every arriving item as a full item (inclusion probability 1).
         self._latent = self._latent.with_appended_full(batch, timestamp=self._time)
         self._total_weight = new_weight + batch_size
 
-        if self._total_weight > self.n:
+        if self._latent.weight > self.n:
             # Overshoot: one extra round of downsampling brings the weight to n.
             self._latent = downsample(self._latent, float(self.n), self._rng)
         self._latent.check_invariants()
 
     def _process_saturated(self, batch: np.ndarray, decay: float) -> None:
-        """Previously saturated: ``W_{t-1} >= n`` and the latent sample holds n full items."""
+        """Previously saturated: ``W_{t-1} >= n`` (normally with n full items stored)."""
         batch_size = len(batch)
         decayed_weight = self._total_weight * decay
         self._total_weight = decayed_weight + batch_size
 
         if self._total_weight >= self.n:
-            # Still saturated: replace a stochastically-rounded number of victims.
-            accepted = stochastic_round(self._rng, batch_size * self.n / self._total_weight)
-            accepted = min(accepted, batch_size, self.n)
-            if accepted > 0:
-                survivor_idx = choose_indices(
-                    self._rng, self._latent.full_count, self.n - accepted
+            if self._latent.weight == float(self.n):
+                # Classic saturated step: replace a stochastically-rounded
+                # number of victims (bit-for-bit the original Algorithm 2).
+                accepted = stochastic_round(
+                    self._rng, batch_size * self.n / self._total_weight
                 )
-                insert_idx = choose_indices(self._rng, batch_size, accepted)
-                self._latent = LatentSample(
-                    full=concat_items(self._latent.full_array[survivor_idx], batch[insert_idx]),
-                    weight=float(self.n),
-                    full_weights=np.concatenate(
-                        [self._latent.item_weights[survivor_idx], np.ones(accepted)]
-                    ),
-                    full_timestamps=np.concatenate(
-                        [
-                            self._latent.item_timestamps[survivor_idx],
-                            np.full(accepted, self._time),
-                        ]
-                    ),
+                accepted = min(accepted, batch_size, self.n)
+                if accepted > 0:
+                    survivor_idx = choose_indices(
+                        self._rng, self._latent.full_count, self.n - accepted
+                    )
+                    insert_idx = choose_indices(self._rng, batch_size, accepted)
+                    self._latent = LatentSample(
+                        full=concat_items(
+                            self._latent.full_array[survivor_idx], batch[insert_idx]
+                        ),
+                        weight=float(self.n),
+                        full_weights=np.concatenate(
+                            [self._latent.item_weights[survivor_idx], np.ones(accepted)]
+                        ),
+                        full_timestamps=np.concatenate(
+                            [
+                                self._latent.item_timestamps[survivor_idx],
+                                np.full(accepted, self._time),
+                            ]
+                        ),
+                    )
+            else:
+                # Underfull (post-reshard): fewer than n items are stored
+                # even though W >= n. Accept arrivals at the saturated rate
+                # n / W so the sample refills toward C = n, and let
+                # Algorithm 3 absorb any overshoot past the capacity.
+                accepted = stochastic_round(
+                    self._rng, batch_size * self.n / self._total_weight
                 )
+                accepted = min(accepted, batch_size)
+                if accepted > 0:
+                    insert_idx = choose_indices(self._rng, batch_size, accepted)
+                    self._latent = self._latent.with_appended_full(
+                        batch[insert_idx], timestamp=self._time
+                    )
+                if self._latent.weight > self.n:
+                    self._latent = downsample(self._latent, float(self.n), self._rng)
         else:
             # Undershoot: the batch cannot refill the reservoir, so the sample
             # shrinks to the decayed weight and every batch item enters as full.
-            target = self._total_weight - batch_size
+            if self._latent.weight == float(self.n):
+                target = self._total_weight - batch_size
+            else:
+                # Underfull: the latent sample can only decay by its own
+                # weight (there is no item mass beyond C to shrink from).
+                target = self._latent.weight * decay
             if target > _WEIGHT_EPSILON:
                 self._latent = downsample(self._latent, target, self._rng)
             else:

@@ -89,6 +89,40 @@ class TimeBasedSlidingWindow(Sampler):
             for t, item in zip(payload["entry_times"], payload["entry_items"])
         )
 
+    # ------------------------------------------------------------------
+    # resharding
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        from repro.core.arrays import as_item_array
+
+        return as_item_array([item for _, item in self._entries])
+
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+        destinations = np.asarray(destinations, dtype=np.int64)
+        return {
+            int(destination): {
+                "entries": [
+                    self._entries[int(index)]
+                    for index in np.flatnonzero(destinations == destination)
+                ]
+            }
+            for destination in np.unique(destinations)
+        }
+
+    def reshard_absorb(self, pieces: list[dict]) -> None:
+        """Interleave routed entries by arrival time (stable across sources).
+
+        Entries carry their timestamps, so windows from different shards
+        merge exactly; a stable sort keeps source order among equal times,
+        making the merge deterministic. (The count-based
+        :class:`SlidingWindow` cannot do this — it retains no arrival
+        metadata — and therefore does not implement the protocol.)
+        """
+        entries = [entry for piece in pieces for entry in piece["entries"]]
+        times = np.array([entry_time for entry_time, _ in entries], dtype=np.float64)
+        order = np.argsort(times, kind="stable")
+        self._entries = deque(entries[int(index)] for index in order)
+
     def _process_batch(self, items: list[Any], elapsed: float) -> None:
         arrival_time = self._time
         for item in items:

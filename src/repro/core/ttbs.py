@@ -142,6 +142,26 @@ class TTBS(Sampler):
         self._sample = as_item_array(payload["sample"], copy=True)
 
     # ------------------------------------------------------------------
+    # resharding
+    # ------------------------------------------------------------------
+    def reshard_items(self) -> np.ndarray:
+        return self._sample
+
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+        """Route each retained item to its destination; no aggregates to split."""
+        destinations = np.asarray(destinations, dtype=np.int64)
+        return {
+            int(destination): {
+                "items": self._sample[np.flatnonzero(destinations == destination)]
+            }
+            for destination in np.unique(destinations)
+        }
+
+    def reshard_absorb(self, pieces: list[dict]) -> None:
+        """Concatenate routed items in source order (T-TBS has no size bound)."""
+        self._sample = concat_items(*[piece["items"] for piece in pieces])
+
+    # ------------------------------------------------------------------
     # Algorithm 1 (vectorized Bernoulli thinning)
     # ------------------------------------------------------------------
     def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:

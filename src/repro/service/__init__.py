@@ -10,8 +10,9 @@ a long-running service:
   per-shard samplers with lazy creation, deterministic per-shard RNG
   streams, bulk ingest through the vectorized ``process_stream`` hot path
   fanned out over a pluggable :mod:`repro.engine` executor
-  (serial/thread/process), a ``stats()`` observability endpoint, and
-  merged/per-shard sample queries;
+  (serial/thread/process), a ``stats()`` observability endpoint,
+  merged/per-shard sample queries, and elastic ``reshard()`` — the shard
+  layout scales live (or at restore time) without discarding the sample;
 * :mod:`repro.service.checkpoint` — pickle-free directory checkpoints
   (JSON manifest + npz arrays) with exact, bit-identical restore of every
   sampler trajectory; damaged checkpoints raise :class:`CheckpointError`
@@ -28,11 +29,17 @@ from repro.service.checkpoint import (
     save_sampler,
     save_service,
 )
-from repro.service.routing import shard_ids_for_keys, split_by_shard, stable_hash
+from repro.service.routing import (
+    ROUTING_VERSION,
+    shard_ids_for_keys,
+    split_by_shard,
+    stable_hash,
+)
 from repro.service.service import SamplerService
 
 __all__ = [
     "SamplerService",
+    "ROUTING_VERSION",
     "CheckpointError",
     "MissingCheckpointError",
     "shard_ids_for_keys",

@@ -269,15 +269,26 @@ def load_service(
     sampler_factory,
     key_fn=None,
     executor=None,
+    num_shards=None,
 ) -> "SamplerService":
     """Restore a service checkpoint; the factory is re-supplied by the caller.
 
     ``executor`` is deployment configuration, not state: a service saved
     under one backend may be restored under any other (e.g. serial in a
     notebook, process pool in production) without changing its trajectory.
+    So is ``num_shards``: a checkpoint saved with ``N`` shards restores as
+    an ``M``-shard service for any ``M`` (growing, shrinking, or a
+    non-power-of-two count) — the restored deployment is elastically
+    resharded before it is returned, so every retained item sits on the
+    shard its key hashes to under ``M`` and total weight is conserved (see
+    :meth:`~repro.service.service.SamplerService.reshard`).
     """
     from repro.service.service import SamplerService
 
     return SamplerService.from_state_dict(
-        load_checkpoint(directory), sampler_factory, key_fn=key_fn, executor=executor
+        load_checkpoint(directory),
+        sampler_factory,
+        key_fn=key_fn,
+        executor=executor,
+        num_shards=num_shards,
     )

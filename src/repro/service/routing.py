@@ -22,6 +22,42 @@ used instead:
 Both paths agree with :func:`stable_hash` key for key, so mixed callers may
 switch freely between scalar and vectorized routing.
 
+Canonical key encoding (``ROUTING_VERSION`` 1)
+----------------------------------------------
+
+:func:`stable_hash` defines the key→hash map every router — scalar,
+vectorized, driver-side, worker-side — must agree on:
+
+* ``bool`` → SplitMix64 of ``0``/``1``;
+* ``int`` (any width, incl. NumPy integers) → SplitMix64 of the value
+  modulo ``2**64`` (so ``-1`` and ``2**64 - 1`` collide by design: they are
+  the same 64-bit pattern);
+* ``float`` → SplitMix64 of the IEEE-754 ``float64`` bit pattern (``+0.0``
+  and ``-0.0`` are *different* keys; every NaN routes by its own bit
+  pattern; integers and their float equivalents are different keys);
+* ``str`` → 8-byte BLAKE2b digest of the UTF-8 encoding;
+* ``bytes``/``bytearray`` → 8-byte BLAKE2b digest of the raw bytes;
+* ``tuple``/``list`` → left fold ``h = SplitMix64(h ^ stable_hash(elem))``
+  seeded with ``0x6A09E667F3BCC909``;
+* anything else → ``TypeError`` (object identity is not process-stable).
+
+Shard ids are the hash modulo ``num_shards`` (a power-of-two count folds
+with a bitmask, which is the same map). ``ROUTING_VERSION`` is recorded in
+service checkpoints; it only changes if this encoding changes, because a
+different encoding would silently re-route every persisted deployment's
+keys.
+
+One NumPy caveat is load-bearing enough to spell out: fixed-width ``S``/
+``U`` arrays *cannot represent trailing NUL characters* — ``np.asarray([
+b"user\\x00", b"user"])`` stores both keys identically, destroying the
+distinction before any router sees it. This module therefore never coerces
+keys into ``S``/``U`` arrays itself when any key has a trailing NUL (those
+fall back to exact per-key hashing), and routes caller-provided ``S``/``U``
+arrays on their element values as NumPy reads them — consistent between
+the vectorized and per-element paths, but necessarily collapsed for keys
+the caller's own array construction already truncated. Pass such keys as
+lists or ``object`` arrays to keep them distinct.
+
 :func:`split_by_shard` is the fused group-by behind the service's ingest hot
 path: one radix sort of the (small-int) shard ids, one gather of the items,
 and the per-shard sub-batches come back as **contiguous views** of the
@@ -36,7 +72,11 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["shard_ids_for_keys", "stable_hash", "split_by_shard"]
+__all__ = ["ROUTING_VERSION", "shard_ids_for_keys", "stable_hash", "split_by_shard"]
+
+#: Version of the canonical key-encoding spec above. Recorded in service
+#: checkpoints; bumped only on changes that would re-route persisted keys.
+ROUTING_VERSION = 1
 
 _MASK64 = (1 << 64) - 1
 
@@ -154,18 +194,24 @@ def shard_ids_for_keys(
 
     1-D integer/float arrays take the vectorized SplitMix64 path; 1-D
     string/bytes arrays take the vectorized unique-then-digest BLAKE2b path;
-    lists of strings are promoted to an array first. Any other input is
-    hashed per key via :func:`stable_hash`.
+    lists (and ``object`` arrays) of strings or bytes are promoted to
+    fixed-width arrays first — *unless* any key carries a trailing NUL,
+    which fixed-width ``S``/``U`` dtypes cannot represent (see the module
+    docstring): those fall back to exact per-key hashing, so the vectorized
+    and scalar paths always agree key for key. Any other input is hashed
+    per key via :func:`stable_hash`.
     """
     if num_shards <= 0:
         raise ValueError(f"num_shards must be positive, got {num_shards}")
-    if (
-        isinstance(keys, list)
-        and keys
-        and isinstance(keys[0], str)
-        and all(isinstance(key, str) for key in keys)
-    ):
-        keys = np.asarray(keys, dtype=np.str_)
+    if isinstance(keys, list) and keys:
+        if isinstance(keys[0], str) and all(
+            isinstance(key, str) and not key.endswith("\x00") for key in keys
+        ):
+            keys = np.asarray(keys, dtype=np.str_)
+        elif isinstance(keys[0], bytes) and all(
+            isinstance(key, bytes) and not key.endswith(b"\x00") for key in keys
+        ):
+            keys = np.asarray(keys, dtype=np.bytes_)
     if isinstance(keys, np.ndarray) and keys.ndim == 1:
         if keys.dtype == np.int64 or keys.dtype == np.uint64:
             # Zero-copy bit reinterpretation: the add inside the mixer makes
@@ -182,10 +228,19 @@ def shard_ids_for_keys(
             return _shards_from_hashes(hashes, num_shards)
         if keys.dtype.kind in "US":
             return _string_array_shard_ids(keys, num_shards)
-        if keys.dtype == object and len(keys) and all(
-            isinstance(key, str) for key in keys
-        ):
-            return _string_array_shard_ids(keys.astype(np.str_), num_shards)
+        if keys.dtype == object and len(keys):
+            # Promote homogeneous object arrays to the vectorized digest
+            # path only when the fixed-width coercion is lossless: a
+            # trailing NUL would be silently dropped by the S/U dtype and
+            # the affected keys mis-routed relative to stable_hash.
+            if all(
+                isinstance(key, str) and not key.endswith("\x00") for key in keys
+            ):
+                return _string_array_shard_ids(keys.astype(np.str_), num_shards)
+            if all(
+                isinstance(key, bytes) and not key.endswith(b"\x00") for key in keys
+            ):
+                return _string_array_shard_ids(keys.astype(np.bytes_), num_shards)
     return np.fromiter(
         (stable_hash(key) % num_shards for key in keys),
         dtype=np.int64,

@@ -10,6 +10,11 @@ time-biased sample is to stay alive over an unbounded stream):
   ingested in parallel or hosted on different processes;
 * **key affinity** — all items of one key land in one shard's sample, and
   routing is stable across processes and restarts;
+* **elasticity** — :meth:`SamplerService.reshard` changes the shard count
+  of a *live* service (and a checkpoint saved with ``N`` shards restores
+  as an ``M``-shard service), re-homing every retained item onto the shard
+  its key hashes to under the new layout while conserving total weight and
+  expected sample size;
 * **durability** — the whole service (every shard's sampler, including its
   RNG stream, plus the service clock and the RNG streams reserved for shards
   that have not been created yet) snapshots to a plain dict of scalars and
@@ -57,6 +62,7 @@ from repro.core.random_utils import (
     generator_state,
     spawn_rngs,
 )
+from repro.core.resharding import reshard_samplers
 from repro.engine import (
     EngineError,
     Executor,
@@ -67,7 +73,7 @@ from repro.engine import (
     service_ingest_frame,
     snapshot_sampler,
 )
-from repro.service.routing import shard_ids_for_keys, split_by_shard
+from repro.service.routing import ROUTING_VERSION, shard_ids_for_keys, split_by_shard
 
 __all__ = ["SamplerService"]
 
@@ -91,8 +97,14 @@ class SamplerService:
         must implement the snapshot protocol for the service to be
         checkpointable.
     num_shards:
-        Number of hash shards (fixed for the lifetime of the service —
-        resharding would re-route keys and break per-key sample affinity).
+        Number of hash shards in the current layout. The layout is
+        *elastic*: :meth:`reshard` changes it live (and
+        :meth:`from_state_dict` / :func:`~repro.service.checkpoint.load_service`
+        accept a different ``num_shards`` than the checkpoint was saved
+        with), re-homing every retained item onto the shard its key hashes
+        to under the new count — growing, shrinking, and non-power-of-two
+        counts included — so per-key affinity holds under the new layout
+        and aggregate bookkeeping is conserved.
     key_fn:
         Optional per-item routing-key extractor used when ``ingest`` is not
         given explicit keys; defaults to routing on the item itself.
@@ -145,6 +157,13 @@ class SamplerService:
         self._shards: dict[int, Sampler] = {}
         self._time: float = 0.0
         self._batches_seen: int = 0
+        #: Whether any batch was ever routed on caller-supplied explicit
+        #: keys. Explicit keys are not a function of the payload, so a
+        #: service that used them (and has no ``key_fn``) cannot recompute
+        #: retained items' keys — which :meth:`reshard` needs. ``None``
+        #: means *unknown*: the service was restored from a pre-elastic
+        #: checkpoint that did not record the flag.
+        self._explicit_keys_used: bool | None = False
         self._init_transport_state()
 
     def _init_transport_state(self) -> None:
@@ -539,6 +558,8 @@ class SamplerService:
         per-item fallback hashing). Raises on malformed keys *before* the
         caller advances the service clock.
         """
+        keys = self._coerce_keys(keys, batch)
+        explicit = keys is not None
         frame: dict[str, np.ndarray] = {"payload": batch}
         if keys is None:
             if self.key_fn is not None:
@@ -549,15 +570,14 @@ class SamplerService:
                 if not (isinstance(batch, np.ndarray) and not batch.dtype.hasobject):
                     frame["shard_ids"] = shard_ids_for_keys(batch, self.num_shards)
                 return frame
-        elif len(keys) != len(batch):
-            raise ValueError(
-                f"{len(keys)} keys for {len(batch)} items; provide exactly "
-                "one routing key per item"
-            )
         if isinstance(keys, np.ndarray) and keys.ndim == 1 and not keys.dtype.hasobject:
             frame["keys"] = keys
         else:
             frame["shard_ids"] = shard_ids_for_keys(keys, self.num_shards)
+        if explicit and len(batch):
+            # As in _route: recorded only once the keys made it into a
+            # routable frame, never for a rejected batch.
+            self._explicit_keys_used = True
         return frame
 
     def _shard_key(self, shard_id: int) -> tuple:
@@ -674,23 +694,54 @@ class SamplerService:
                 self._shard_rngs[shard_id] = sampler._rng
         self._dirty.clear()
 
-    def _route(
-        self, batch: np.ndarray, keys: Sequence[Any] | np.ndarray | None
-    ) -> list[tuple[int, np.ndarray]]:
-        if not len(batch):
-            return []
+    def _coerce_keys(
+        self, keys: Any, batch: np.ndarray
+    ) -> Sequence[Any] | np.ndarray | None:
+        """Materialize and validate one batch's explicit keys (or ``None``).
+
+        Sized-less iterables (generators, ``map`` objects) are materialized
+        exactly as batches are; a non-iterable ``keys`` entry raises a
+        ``ValueError`` naming the argument instead of an opaque
+        ``TypeError`` from a ``len`` call deep in the routing layer.
+        """
         if keys is None:
-            if self.key_fn is not None:
-                keys = [self.key_fn(item) for item in batch]
-            else:
-                keys = batch
-        elif len(keys) != len(batch):
+            return None
+        if not hasattr(keys, "__len__"):
+            try:
+                keys = list(keys)
+            except TypeError:
+                raise ValueError(
+                    "keys must be a sequence, array, or iterable of routing "
+                    f"keys (one per item); got {type(keys).__name__}"
+                ) from None
+        if len(keys) != len(batch):
             raise ValueError(
                 f"{len(keys)} keys for {len(batch)} items; provide exactly "
                 "one routing key per item"
             )
-        shard_ids = shard_ids_for_keys(keys, self.num_shards)
-        return split_by_shard(shard_ids, batch)
+        return keys
+
+    def _route(
+        self, batch: np.ndarray, keys: Sequence[Any] | np.ndarray | None
+    ) -> list[tuple[int, np.ndarray]]:
+        keys = self._coerce_keys(keys, batch)
+        explicit = keys is not None
+        if len(batch):
+            if keys is None:
+                if self.key_fn is not None:
+                    keys = [self.key_fn(item) for item in batch]
+                else:
+                    keys = batch
+            shard_ids = shard_ids_for_keys(keys, self.num_shards)
+            routed = split_by_shard(shard_ids, batch)
+        else:
+            routed = []
+        if explicit and len(batch):
+            # Recorded only once the keys actually routed items: a rejected
+            # ingest (unroutable key types, length mismatch) must not
+            # poison the service's ability to reshard.
+            self._explicit_keys_used = True
+        return routed
 
     def _advance_time(self, time: float | None) -> float:
         self._time, _ = validate_batch_time(
@@ -698,6 +749,153 @@ class SamplerService:
         )
         self._batches_seen += 1
         return self._time
+
+    # ------------------------------------------------------------------
+    # elastic resharding
+    # ------------------------------------------------------------------
+    def _recover_keys(self, items: np.ndarray) -> Sequence[Any] | np.ndarray:
+        """Recompute the routing keys of retained item payloads.
+
+        Keys come from ``key_fn`` when one is configured, otherwise the
+        items route on themselves. A service that was fed caller-supplied
+        explicit keys and has no ``key_fn`` cannot do this — the keys were
+        never a function of the payload — so resharding refuses rather than
+        silently re-routing on the wrong keys.
+        """
+        self._check_keys_recoverable()
+        if self.key_fn is not None:
+            return [self.key_fn(item) for item in items]
+        return items
+
+    def _check_keys_recoverable(self) -> None:
+        """Refuse resharding when retained items' keys cannot be recomputed.
+
+        With a ``key_fn``, keys are always recoverable — explicit keys
+        passed alongside one are treated as a precomputed cache of
+        ``key_fn`` (the contract of mixing the two; if they disagreed, the
+        original routing was already inconsistent with the configured
+        ``key_fn``). Without one, explicit keys are unrecoverable; and a
+        pre-elastic checkpoint (``explicit_keys_used`` missing, restored as
+        ``None``) cannot *prove* explicit keys were never used, so it is
+        refused too rather than risking silent mis-affinity.
+        """
+        if self.key_fn is not None:
+            return
+        if self._explicit_keys_used:
+            raise ValueError(
+                "cannot reshard: this service ingested batches with explicit "
+                "keys and has no key_fn, so retained items' routing keys "
+                "cannot be recomputed. Construct (or restore) the service "
+                "with a key_fn that derives each item's key, or route on the "
+                "items themselves."
+            )
+        if self._explicit_keys_used is None:
+            raise ValueError(
+                "cannot reshard: this checkpoint predates key-usage "
+                "recording, so it cannot prove explicit keys were never "
+                "used. Restore with a key_fn that derives each item's key; "
+                "or, if the deployment routed on the items themselves, set "
+                "'explicit_keys_used' to false in the snapshot and restore "
+                "again (one more save then records it permanently)."
+            )
+
+    def reshard(
+        self, num_shards: int, sampler_factory: SamplerFactory | None = None
+    ) -> None:
+        """Change the shard layout of a *live* service to ``num_shards``.
+
+        Every retained item moves to the shard its routing key hashes to
+        under the new count — growing, shrinking, and non-power-of-two
+        counts all supported — so key affinity holds under the new layout
+        exactly as if the service had always run with ``num_shards``
+        shards. Aggregate bookkeeping is conserved: total weight exactly
+        (up to float summation), expected sample size exactly unless a
+        destination lands over its sampler's capacity (key skew, or
+        shrinking a saturated deployment below its retained mass), where
+        the capacity bound necessarily subsamples — for R-TBS via
+        Algorithm 3, preserving relative inclusion probabilities.
+
+        Mechanics: the ingest pipeline is drained and resident shard state
+        detached from the worker pool (the next ingest re-attaches under
+        the new layout); every active shard is synchronized to the service
+        clock (an empty batch at the current time, so idle shards decay by
+        their full gap before their items move); the per-sampler
+        split/merge primitives (:mod:`repro.core.resharding`) re-partition
+        the synchronized shards; and fresh per-shard RNG streams for the
+        new layout are spawned deterministically from the master RNG. The
+        whole operation runs driver-side, so it is bit-identical across
+        serial/thread/process backends and through checkpoint/restore.
+
+        ``sampler_factory``, when given, replaces the service's factory for
+        the new layout (and all shards created after it) — the idiomatic
+        way to keep *aggregate* capacity constant across a reshard:
+        ``service.reshard(2 * k, lambda rng: RTBS(n=total // (2 * k), ...))``.
+        With the default factory kept, shrinking a saturated deployment
+        necessarily caps each destination at the old per-shard capacity.
+
+        Requires recoverable routing keys and a shard sampler type that
+        implements the resharding protocol. Keys are recoverable when a
+        ``key_fn`` is configured or items route on themselves; a service
+        fed caller-supplied explicit keys without a ``key_fn`` refuses
+        (the keys were never a function of the payload), as does one
+        restored from a pre-elastic checkpoint that cannot prove explicit
+        keys were unused. Mixing explicit keys *with* a ``key_fn`` is
+        supported under the contract that the explicit keys are a
+        precomputed cache of ``key_fn(item)`` — resharding re-routes on
+        ``key_fn``, so keys that disagreed with it would already have been
+        routed inconsistently at ingest time. A same-count reshard with no
+        new factory is a no-op.
+        """
+        new_count = int(num_shards)
+        if new_count <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if sampler_factory is None and new_count == self.num_shards:
+            return
+        # All validation happens before any state changes: a refused reshard
+        # must leave the service exactly as it was (same factory included).
+        self._check_keys_recoverable()
+        if sampler_factory is not None:
+            self._factory = sampler_factory
+        if self._transport_attached:
+            # Drain + detach: the driver's samplers become authoritative and
+            # the next ingest re-attaches them under the new layout.
+            self._detach_all_shards()
+        # Bring every active shard to the service clock so the split sees
+        # fully decayed bookkeeping (idle shards decay by their whole gap).
+        for shard_id in sorted(self._activated):
+            sampler = self._shards[shard_id]
+            if sampler.time < self._time:
+                sampler.process_batch([], time=self._time)
+
+        new_rngs = spawn_rngs(self._rng, new_count)
+
+        def make_sampler(shard_id: int) -> Sampler:
+            sampler = self._factory(new_rngs[shard_id])
+            if not isinstance(sampler, Sampler):
+                raise TypeError(
+                    "sampler_factory must return a repro.core.base.Sampler, "
+                    f"got {type(sampler).__name__}"
+                )
+            return sampler
+
+        def destinations_for(items: np.ndarray) -> np.ndarray:
+            return shard_ids_for_keys(self._recover_keys(items), new_count)
+
+        new_shards = reshard_samplers(
+            {shard_id: self._shards[shard_id] for shard_id in sorted(self._activated)},
+            destinations_for,
+            make_sampler,
+            new_count,
+        )
+
+        self.num_shards = new_count
+        self._shard_rngs = new_rngs
+        self._shards = new_shards
+        self._activated = set(new_shards)
+        self._dirty = set()
+        self._retained_rng = {}
+        self._standby_states = {}
+        self._standby_rngs = {}
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -718,6 +916,13 @@ class SamplerService:
             "format_version": STATE_FORMAT_VERSION,
             "service_type": type(self).__name__,
             "num_shards": self.num_shards,
+            # The routing contract the shard layout was computed under, and
+            # whether explicit keys were ever used — both are what a restore
+            # with a different shard count needs to re-route safely. A
+            # pre-elastic restore's *unknown* (None) is preserved as null,
+            # never laundered into a confident False.
+            "routing_version": ROUTING_VERSION,
+            "explicit_keys_used": self._explicit_keys_used,
             "time": float(self._time),
             "batches_seen": int(self._batches_seen),
             "rng_state": generator_state(self._rng),
@@ -727,6 +932,30 @@ class SamplerService:
                 for shard_id in sorted(self._activated)
             },
         }
+
+    def _detach_all_shards(self) -> None:
+        """Drain the pipeline and pull every resident shard off the workers.
+
+        After this the driver's samplers are authoritative again and the
+        pool holds no state for this service — the precondition for both
+        :meth:`close` (which then releases the pool) and :meth:`reshard`
+        (which re-partitions driver-side; the next ingest re-attaches the
+        shards under the new layout).
+        """
+        pool = self._executor.transport
+        pool.drain()
+        for shard_id in range(self.num_shards):
+            key = self._shard_key(shard_id)
+            if shard_id in self._activated:
+                snapshot = pool.detach(key, snapshot_sampler)
+                sampler = Sampler.from_state_dict(snapshot)
+                self._shards[shard_id] = sampler
+                if self._retained_rng.get(shard_id):
+                    self._shard_rngs[shard_id] = sampler._rng
+            else:
+                pool.detach(key, None)
+        self._dirty.clear()
+        self._transport_attached = False
 
     def close(self) -> None:
         """Detach resident shard state and release the executor's workers.
@@ -741,19 +970,7 @@ class SamplerService:
         """
         if self._transport_attached:
             try:
-                pool = self._executor.transport
-                pool.drain()
-                for shard_id in range(self.num_shards):
-                    key = self._shard_key(shard_id)
-                    if shard_id in self._activated:
-                        snapshot = pool.detach(key, snapshot_sampler)
-                        sampler = Sampler.from_state_dict(snapshot)
-                        self._shards[shard_id] = sampler
-                        if self._retained_rng.get(shard_id):
-                            self._shard_rngs[shard_id] = sampler._rng
-                    else:
-                        pool.detach(key, None)
-                self._dirty.clear()
+                self._detach_all_shards()
             except EngineError:
                 # A worker died with work possibly still in flight. Tear
                 # the pool down, then re-raise: close may be the *first*
@@ -792,6 +1009,7 @@ class SamplerService:
         sampler_factory: SamplerFactory,
         key_fn: Callable[[Any], Any] | None = None,
         executor: Executor | str | None = None,
+        num_shards: int | None = None,
     ) -> "SamplerService":
         """Reconstruct a service from :meth:`state_dict`.
 
@@ -803,12 +1021,32 @@ class SamplerService:
         one backend may restore under any other without changing its
         trajectory. Active shards are rebuilt from their own snapshots via
         ``Sampler.from_state_dict``.
+
+        ``num_shards`` makes the restore *checkpoint-portable across shard
+        layouts*: passing an ``M`` different from the ``N`` the snapshot
+        was saved with restores the ``N``-shard deployment and immediately
+        :meth:`reshard`\\ s it to ``M`` — every retained item lands on the
+        shard its key hashes to under ``M``, with aggregate bookkeeping
+        conserved. Snapshots record the routing contract they were built
+        under (``routing_version``); pre-elastic snapshots without the
+        field are migrated as version-1 layouts (the encoding is unchanged).
         """
         version = state.get("format_version")
         if version != STATE_FORMAT_VERSION:
             raise ValueError(
                 f"unsupported service state format {version!r}; "
                 f"this build reads version {STATE_FORMAT_VERSION}"
+            )
+        # Old-layout snapshots (pre-elastic) carry no routing_version; the
+        # key encoding has been stable since version 1, so they migrate
+        # cleanly. A snapshot from a *different* encoding cannot: its
+        # key→shard map is not reproducible here.
+        routing_version = int(state.get("routing_version", ROUTING_VERSION))
+        if routing_version != ROUTING_VERSION:
+            raise ValueError(
+                f"checkpoint was routed under key-encoding version "
+                f"{routing_version}, but this build implements version "
+                f"{ROUTING_VERSION}; its key->shard map cannot be reproduced"
             )
         service = cls.__new__(cls)
         service._factory = sampler_factory
@@ -825,9 +1063,13 @@ class SamplerService:
         service._shard_rngs = [generator_from_state(s) for s in shard_rng_states]
         service._time = float(state["time"])
         service._batches_seen = int(state["batches_seen"])
+        flag = state.get("explicit_keys_used")
+        service._explicit_keys_used = None if flag is None else bool(flag)
         service._shards = {
             int(shard_id): Sampler.from_state_dict(sampler_state)
             for shard_id, sampler_state in state["shards"].items()
         }
         service._init_transport_state()
+        if num_shards is not None and int(num_shards) != service.num_shards:
+            service.reshard(int(num_shards))
         return service

@@ -1,0 +1,327 @@
+"""Unit tests for the sampler-level resharding primitives.
+
+Covers the latent split/merge machinery (inclusion probabilities and weight
+conservation through a split→merge round trip), the per-sampler
+``reshard_split``/``reshard_absorb`` implementations, the integer
+apportionment helper, and the orchestrator's validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RTBS,
+    TTBS,
+    AResSampler,
+    BatchedChao,
+    BatchedReservoir,
+    BTBS,
+    LatentSample,
+    Sampler,
+    SlidingWindow,
+    TimeBasedSlidingWindow,
+    UniformReservoir,
+    apportion_integer,
+    merge_latent_samples,
+    reshard_samplers,
+)
+from repro.core.resharding import apportion_integer as apportion  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# latent split / merge
+# ----------------------------------------------------------------------
+class TestLatentSplitMerge:
+    def _latent_with_partial(self, count=10, fraction=0.4):
+        latent = LatentSample.from_full_items(np.arange(count))
+        return LatentSample(
+            latent._full,
+            LatentSample.from_full_items(np.array([999]))._full,
+            count + fraction,
+        )
+
+    def test_split_pieces_are_valid_latents_and_conserve_weight(self):
+        latent = self._latent_with_partial(10, 0.4)
+        destinations = np.arange(10) % 3
+        pieces = latent.split(destinations, partial_destination=1)
+        assert set(pieces) == {0, 1, 2}
+        total = sum(piece.weight for piece in pieces.values())
+        assert total == pytest.approx(latent.weight)
+        for destination, piece in pieces.items():
+            piece.check_invariants()
+            routed = np.flatnonzero(destinations == destination)
+            assert piece.full == [int(i) for i in np.arange(10)[routed]]
+        assert pieces[1].has_partial
+        assert pieces[1].fraction == pytest.approx(0.4)
+
+    def test_split_requires_partial_destination(self):
+        latent = self._latent_with_partial()
+        with pytest.raises(ValueError, match="partial item"):
+            latent.split(np.zeros(10, dtype=np.int64), partial_destination=None)
+
+    def test_split_rejects_wrong_destination_count(self):
+        latent = LatentSample.from_full_items(np.arange(5))
+        with pytest.raises(ValueError, match="destinations"):
+            latent.split(np.zeros(3, dtype=np.int64), partial_destination=None)
+
+    def test_merge_inverts_split_weight(self):
+        rng = np.random.default_rng(0)
+        latent = self._latent_with_partial(12, 0.7)
+        pieces = latent.split(np.arange(12) % 4, partial_destination=2)
+        merged = merge_latent_samples(
+            [pieces[d] for d in sorted(pieces)], rng=rng
+        )
+        merged.check_invariants()
+        assert merged.weight == pytest.approx(latent.weight)
+        assert sorted(merged.items()) == sorted(latent.items())
+
+    def test_merge_folds_many_partials_with_promotion(self):
+        # Five pieces each carrying fraction 0.5: total fractional mass 2.5
+        # -> two promotions plus one surviving 0.5 partial. Weight must be
+        # conserved and invariants restored for any RNG outcome.
+        rng = np.random.default_rng(3)
+        pieces = [
+            LatentSample(
+                LatentSample.empty()._full,
+                LatentSample.from_full_items(np.array([100 + k]))._full,
+                0.5,
+            )
+            for k in range(5)
+        ]
+        merged = merge_latent_samples(pieces, rng=rng)
+        merged.check_invariants()
+        assert merged.weight == pytest.approx(2.5)
+        assert merged.full_count == 2
+        assert merged.has_partial
+
+    def test_merge_preserves_marginal_inclusion_probabilities(self):
+        # Two fractional items with f1=0.3, f2=0.9 merge to weight 1.2: one
+        # promotion. Empirically the marginals must stay 0.3 and 0.9.
+        trials = 20_000
+        rng = np.random.default_rng(11)
+        hits = {1: 0, 2: 0}
+        for _ in range(trials):
+            piece1 = LatentSample(
+                LatentSample.empty()._full,
+                LatentSample.from_full_items(np.array([1]))._full,
+                0.3,
+            )
+            piece2 = LatentSample(
+                LatentSample.empty()._full,
+                LatentSample.from_full_items(np.array([2]))._full,
+                0.9,
+            )
+            merged = merge_latent_samples([piece1, piece2], rng=rng)
+            realized = merged.realize(rng)
+            for item in realized:
+                hits[int(item)] += 1
+        assert hits[1] / trials == pytest.approx(0.3, abs=0.02)
+        assert hits[2] / trials == pytest.approx(0.9, abs=0.02)
+
+
+# ----------------------------------------------------------------------
+# apportionment
+# ----------------------------------------------------------------------
+class TestApportionInteger:
+    def test_sums_exactly_and_is_proportional(self):
+        shares = apportion_integer(100, np.array([1.0, 1.0, 2.0]))
+        assert shares.sum() == 100
+        assert shares.tolist() == [25, 25, 50]
+
+    def test_largest_remainder_breaks_ties_deterministically(self):
+        shares = apportion_integer(10, np.array([1.0, 1.0, 1.0]))
+        assert shares.sum() == 10
+        assert shares.tolist() == [4, 3, 3]
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            apportion_integer(-1, np.array([1.0]))
+        with pytest.raises(ValueError):
+            apportion_integer(5, np.array([]))
+        with pytest.raises(ValueError):
+            apportion_integer(5, np.array([0.0, 0.0]))
+
+
+# ----------------------------------------------------------------------
+# per-sampler split/absorb via the orchestrator
+# ----------------------------------------------------------------------
+def _ingest(sampler, num_batches=8, size=60, start=0):
+    for index in range(num_batches):
+        sampler.process_batch(
+            np.arange(start + index * size, start + (index + 1) * size),
+            time=float(index + 1),
+        )
+    return sampler
+
+
+def _destinations_mod(num_parts):
+    def fn(items):
+        return np.asarray([int(item) % num_parts for item in items], dtype=np.int64)
+
+    return fn
+
+
+_FACTORIES = {
+    "rtbs": lambda rng: RTBS(n=40, lambda_=0.2, rng=rng),
+    "ttbs": lambda rng: TTBS(n=40, lambda_=0.2, mean_batch_size=60, rng=rng),
+    "btbs": lambda rng: BTBS(lambda_=0.2, rng=rng),
+    "brs": lambda rng: BatchedReservoir(n=40, rng=rng),
+    "uniform": lambda rng: UniformReservoir(n=40, rng=rng),
+    "chao": lambda rng: BatchedChao(n=40, lambda_=0.2, rng=rng),
+    "ares": lambda rng: AResSampler(n=40, lambda_=0.2, rng=rng),
+    "tbsw": lambda rng: TimeBasedSlidingWindow(window=3.0, rng=rng),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_FACTORIES))
+class TestSamplerReshardProtocol:
+    def test_split_merge_re_homes_every_item(self, name):
+        factory = _FACTORIES[name]
+        rng = np.random.default_rng(5)
+        sources = {
+            shard: _ingest(factory(np.random.default_rng(shard)), start=shard * 10_000)
+            for shard in range(3)
+        }
+        retained = sorted(
+            item for sampler in sources.values() for item in sampler.reshard_items().tolist()
+        )
+        merged = reshard_samplers(
+            sources, _destinations_mod(4), lambda d: factory(np.random.default_rng(100 + d)), 4
+        )
+        for destination, sampler in merged.items():
+            for item in sampler.reshard_items().tolist():
+                assert int(item) % 4 == destination
+            assert sampler.time == 8.0
+            assert sampler.batches_seen == 8
+        survivors = sorted(
+            item
+            for sampler in merged.values()
+            for item in sampler.reshard_items().tolist()
+        )
+        # No destination exceeded its capacity here, so re-homing keeps
+        # every retained item (capacity-bound samplers may subsample under
+        # skew, which mod-4 routing of 3 sources into 4 parts avoids).
+        if name not in ("brs", "uniform", "chao", "ares", "rtbs"):
+            assert survivors == retained
+        else:
+            assert set(survivors) <= set(retained)
+
+    def test_total_weight_is_conserved(self, name):
+        factory = _FACTORIES[name]
+        sources = {
+            shard: _ingest(factory(np.random.default_rng(shard)), start=shard * 10_000)
+            for shard in range(3)
+        }
+        before = sum(sampler.total_weight for sampler in sources.values())
+        merged = reshard_samplers(
+            sources, _destinations_mod(5), lambda d: factory(np.random.default_rng(50 + d)), 5
+        )
+        after = sum(sampler.total_weight for sampler in merged.values())
+        if np.isnan(before):
+            assert np.isnan(after)
+        else:
+            assert after == pytest.approx(before, rel=1e-12)
+
+    def test_resharded_samplers_keep_working(self, name):
+        factory = _FACTORIES[name]
+        sources = {
+            shard: _ingest(factory(np.random.default_rng(shard)), start=shard * 10_000)
+            for shard in range(2)
+        }
+        merged = reshard_samplers(
+            sources, _destinations_mod(3), lambda d: factory(np.random.default_rng(70 + d)), 3
+        )
+        for sampler in merged.values():
+            sampler.process_batch(np.arange(100), time=10.0)
+            assert sampler.time == 10.0
+
+
+class TestRTBSUnderfull:
+    def test_underfull_shard_refills_toward_capacity(self):
+        # Split one saturated reservoir in two: each destination inherits
+        # about half the items but half the (much larger) history weight,
+        # the underfull state. Continued ingest must refill toward n while
+        # conserving the W bookkeeping rules.
+        source = _ingest(RTBS(n=40, lambda_=0.2, rng=np.random.default_rng(0)), 12)
+        assert source.is_saturated
+        merged = reshard_samplers(
+            {0: source},
+            _destinations_mod(2),
+            lambda d: RTBS(n=40, lambda_=0.2, rng=np.random.default_rng(d)),
+            2,
+        )
+        for sampler in merged.values():
+            assert sampler.total_weight > sampler.expected_sample_size  # underfull
+            for index in range(30):
+                sampler.process_batch(np.arange(60), time=13.0 + index)
+            assert sampler.expected_sample_size == pytest.approx(40.0)
+
+    def test_merge_overshoot_downsamples_to_capacity(self):
+        # Everything routed to one destination: 40 + 40 items into one
+        # 40-capacity reservoir must downsample via Algorithm 3.
+        sources = {
+            shard: _ingest(
+                RTBS(n=40, lambda_=0.2, rng=np.random.default_rng(shard)),
+                start=shard * 10_000,
+            )
+            for shard in range(2)
+        }
+        before_w = sum(s.total_weight for s in sources.values())
+        merged = reshard_samplers(
+            sources,
+            lambda items: np.zeros(len(items), dtype=np.int64),
+            lambda d: RTBS(n=40, lambda_=0.2, rng=np.random.default_rng(9)),
+            1,
+        )
+        (sampler,) = merged.values()
+        assert sampler.expected_sample_size == pytest.approx(40.0)
+        assert sampler.total_weight == pytest.approx(before_w)
+        assert len(sampler.sample_items()) <= 41
+
+
+class TestOrchestratorValidation:
+    def test_sources_must_share_a_clock(self):
+        fast = _ingest(TTBS(n=40, lambda_=0.2, mean_batch_size=60, rng=0), 8)
+        slow = _ingest(TTBS(n=40, lambda_=0.2, mean_batch_size=60, rng=1), 4)
+        with pytest.raises(ValueError, match="different times"):
+            reshard_samplers(
+                {0: fast, 1: slow},
+                _destinations_mod(2),
+                lambda d: TTBS(n=40, lambda_=0.2, mean_batch_size=60, rng=d),
+                2,
+            )
+
+    def test_destination_ids_are_range_checked(self):
+        sampler = _ingest(TTBS(n=40, lambda_=0.2, mean_batch_size=60, rng=0), 4)
+        with pytest.raises(ValueError, match="must lie in"):
+            reshard_samplers(
+                {0: sampler},
+                lambda items: np.full(len(items), 7, dtype=np.int64),
+                lambda d: TTBS(n=40, lambda_=0.2, mean_batch_size=60, rng=d),
+                2,
+            )
+
+    def test_count_based_sliding_window_does_not_reshard(self):
+        window = SlidingWindow(n=10, rng=0)
+        window.process_batch(np.arange(20))
+        with pytest.raises(NotImplementedError, match="SlidingWindow"):
+            reshard_samplers(
+                {0: window},
+                _destinations_mod(2),
+                lambda d: SlidingWindow(n=10, rng=d),
+                2,
+            )
+
+    def test_empty_sources_reshard_to_nothing(self):
+        assert reshard_samplers({}, _destinations_mod(2), lambda d: None, 2) == {}
+
+    def test_base_sampler_protocol_raises_by_default(self):
+        sampler = Sampler()
+        with pytest.raises(NotImplementedError, match="resharding"):
+            sampler.reshard_items()
+        with pytest.raises(NotImplementedError, match="resharding"):
+            sampler.reshard_split(np.empty(0, dtype=np.int64), 2)
+        with pytest.raises(NotImplementedError, match="resharding"):
+            sampler.reshard_absorb([])
