@@ -17,6 +17,15 @@ Usage::
 CI runs the smoke-scale suite into a scratch JSON and compares its
 ``operating_points_smoke`` map against the committed file's, so a PR that
 slows a hot path >25% at any recorded operating point fails the bench job.
+
+``--relative NAME:BASE:MAXDROP`` adds a *within-candidate* gate: operating
+point ``NAME`` must reach at least ``(1 - MAXDROP)`` of sibling point
+``BASE`` **in the same candidate file**. Cross-run thresholds tolerate
+machine drift; a relative gate pins an overhead ratio two points measured
+back to back on the same machine — e.g. WAL-enabled ingest within 15% of
+non-durable ingest::
+
+    --relative service-8shards-wal-batch100k:service-8shards-serial-batch100k:0.15
 """
 
 from __future__ import annotations
@@ -68,6 +77,52 @@ def compare(
     return lines, regressions
 
 
+def parse_relative_gate(spec: str) -> tuple[str, str, float]:
+    parts = spec.rsplit(":", 2)
+    if len(parts) != 3:
+        raise SystemExit(
+            f"--relative expects NAME:BASE:MAXDROP, got {spec!r}"
+        )
+    name, base, drop_text = parts
+    try:
+        max_drop = float(drop_text)
+    except ValueError:
+        raise SystemExit(f"--relative MAXDROP must be a number, got {drop_text!r}")
+    if not 0.0 <= max_drop < 1.0:
+        raise SystemExit(f"--relative MAXDROP must be in [0, 1), got {max_drop}")
+    return name, base, max_drop
+
+
+def check_relative_gates(
+    candidate: dict[str, float], gates: list[tuple[str, str, float]]
+) -> list[str]:
+    """Within-candidate ratio gates; returns failure lines (empty = pass)."""
+    failures: list[str] = []
+    for name, base, max_drop in gates:
+        point = candidate.get(name)
+        reference = candidate.get(base)
+        if point is None or reference is None:
+            missing = name if point is None else base
+            failures.append(
+                f"{name} vs {base}: point {missing!r} absent from the candidate"
+            )
+            continue
+        floor = reference * (1.0 - max_drop)
+        verdict = "OK" if point >= floor else "FAIL"
+        print(
+            f"relative gate [{verdict}]: {name} {point:,.0f} items/s vs "
+            f"{base} {reference:,.0f} (floor {floor:,.0f}, "
+            f"max drop {max_drop:.0%})"
+        )
+        if point < floor:
+            failures.append(
+                f"{name}: {point:,.0f} items/s is "
+                f"{1.0 - point / reference:.1%} below {base} "
+                f"({reference:,.0f}); allowed -{max_drop:.0%}"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline BENCH_throughput.json")
@@ -89,22 +144,39 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="maximum tolerated fractional slowdown per point (default: %(default)s)",
     )
+    parser.add_argument(
+        "--relative",
+        action="append",
+        default=[],
+        metavar="NAME:BASE:MAXDROP",
+        help="within-candidate gate: NAME must reach (1 - MAXDROP) of "
+        "sibling point BASE in the candidate file (repeatable)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.threshold < 1.0:
         parser.error("--threshold must be in [0, 1)")
+    relative_gates = [parse_relative_gate(spec) for spec in args.relative]
 
     baseline = load_points(args.baseline, args.baseline_key or args.key)
     candidate = load_points(args.candidate, args.candidate_key or args.key)
-    if not baseline:
+    if not baseline and not relative_gates:
         print(f"no baseline operating points under {args.baseline_key or args.key!r}; nothing to gate")
         return 0
 
-    lines, regressions = compare(baseline, candidate, args.threshold)
-    print("\n".join(lines))
+    regressions: list[str] = []
+    if baseline:
+        lines, regressions = compare(baseline, candidate, args.threshold)
+        print("\n".join(lines))
+    relative_failures = check_relative_gates(candidate, relative_gates)
     if regressions:
         print(f"\n{len(regressions)} operating point(s) regressed more than {args.threshold:.0%}:")
         for regression in regressions:
             print(f"  - {regression}")
+    if relative_failures:
+        print(f"\n{len(relative_failures)} relative gate(s) failed:")
+        for failure in relative_failures:
+            print(f"  - {failure}")
+    if regressions or relative_failures:
         return 1
     print(f"\nOK: no operating point regressed more than {args.threshold:.0%}.")
     return 0

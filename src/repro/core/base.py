@@ -29,11 +29,26 @@ import numpy as np
 
 from repro.core.random_utils import ensure_rng, generator_from_state, generator_state
 
-__all__ = ["Sampler", "SamplerState", "STATE_FORMAT_VERSION", "validate_batch_time"]
+__all__ = [
+    "Sampler",
+    "SamplerState",
+    "STATE_FORMAT_VERSION",
+    "CHECKPOINT_MANIFEST_VERSION",
+    "validate_batch_time",
+]
 
 #: Version tag embedded in every :meth:`Sampler.state_dict`; bump on
 #: backwards-incompatible changes to the snapshot layout.
 STATE_FORMAT_VERSION = 1
+
+#: Version tag embedded in every on-disk checkpoint manifest (classic
+#: directory checkpoints and delta-checkpoint MANIFESTs alike). Distinct
+#: from :data:`STATE_FORMAT_VERSION`, which versions the *in-memory*
+#: snapshot mapping: the manifest version covers the directory layout —
+#: file naming, the manifest's own keys, the delta structure. Version 1
+#: manifests (pre-durability, no version field) are still readable;
+#: version 2 added the field itself and the delta layout.
+CHECKPOINT_MANIFEST_VERSION = 2
 
 
 def validate_batch_time(

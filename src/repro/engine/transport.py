@@ -79,6 +79,9 @@ _ALIGN = 64
 #: payload buffered in the pipe.
 _MAX_PENDING = 256
 
+#: How often an idle worker wakes to check whether its driver still exists.
+_ORPHAN_POLL_SECONDS = 1.0
+
 
 def _aligned(nbytes: int) -> int:
     return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
@@ -112,6 +115,7 @@ def _worker_main(conn: Connection, worker_index: int) -> None:
     """Entry point of one persistent worker process."""
     residents: dict[Any, Any] = {}
     segments: dict[int, shared_memory.SharedMemory] = {}
+    driver_pid = os.getppid()
 
     def materialize_frames(kwargs: dict[str, Any], frames: Sequence[tuple]) -> None:
         for name, segment_id, offset, dtype_str, shape in frames:
@@ -122,6 +126,16 @@ def _worker_main(conn: Connection, worker_index: int) -> None:
 
     while True:
         try:
+            # Orphan watchdog. A driver killed outright (SIGKILL, OOM) never
+            # sends "close" — and EOF may never arrive either: workers forked
+            # after this one inherited the driver-side end of this pipe, so
+            # the fd outlives the driver. Wake periodically and exit once
+            # re-parented; the cascade of exits then closes every stray end.
+            while not conn.poll(_ORPHAN_POLL_SECONDS):
+                if os.getppid() != driver_pid:
+                    for segment in segments.values():
+                        segment.close()
+                    return
             message = conn.recv()
         except (EOFError, OSError):
             break
@@ -178,17 +192,19 @@ def _worker_main(conn: Connection, worker_index: int) -> None:
 # driver side
 # ----------------------------------------------------------------------
 class _PendingEntry:
-    __slots__ = ("ring_bytes", "on_result", "sink")
+    __slots__ = ("ring_bytes", "on_result", "sink", "tag")
 
     def __init__(
         self,
         ring_bytes: int = 0,
         on_result: Callable[[Any], None] | None = None,
         sink: tuple[list, int] | None = None,
+        tag: int | None = None,
     ) -> None:
         self.ring_bytes = ring_bytes
         self.on_result = on_result
         self.sink = sink
+        self.tag = tag
 
 
 class _WorkerHandle:
@@ -242,6 +258,11 @@ class _WorkerHandle:
         if not ok:
             exc_type, exc_message, tb = payload
             raise RemoteTaskError(self.index, exc_type, exc_message, tb)
+        if entry.tag is not None:
+            # Successful acknowledgements only: a command that errored (or a
+            # worker that died with commands in flight) must leave its tag
+            # outstanding, so the durability watermark stays conservative.
+            self.pool._tag_acked(entry.tag)
         if entry.on_result is not None:
             entry.on_result(payload)
         if entry.sink is not None:
@@ -267,12 +288,13 @@ class _WorkerHandle:
         ring_bytes: int = 0,
         on_result: Callable[[Any], None] | None = None,
         sink: tuple[list, int] | None = None,
+        tag: int | None = None,
     ) -> int:
         """Send one command, registering its pending acknowledgement."""
         while len(self.pending) >= _MAX_PENDING:
             self._receive_ack(blocking=True)
         seq = self.next_seq()
-        self.pending[seq] = _PendingEntry(ring_bytes, on_result, sink)
+        self.pending[seq] = _PendingEntry(ring_bytes, on_result, sink, tag)
         self.send((kind, seq, *message_tail))
         return seq
 
@@ -426,6 +448,10 @@ class ShardWorkerPool:
         ]
         self._key_worker: dict[Any, int] = {}
         self._closed = False
+        # Acknowledgement watermark state (see acked_through): tag ->
+        # number of still-unacknowledged commands carrying it.
+        self._tag_outstanding: dict[int, int] = {}
+        self._last_tag: int | None = None
 
     # ------------------------------------------------------------------
     # resident objects
@@ -467,6 +493,7 @@ class ShardWorkerPool:
         arrays: dict[str, np.ndarray] | None = None,
         sync: bool = False,
         on_result: Callable[[Any], None] | None = None,
+        tag: int | None = None,
     ) -> Any:
         """Run ``fn(residents, **kwargs)`` on one worker.
 
@@ -477,6 +504,12 @@ class ShardWorkerPool:
         and ``on_result`` (if given) receives the task's return value when
         its acknowledgement is drained; with ``sync=True`` the result is
         returned directly.
+
+        ``tag`` enrolls the command in the pool's acknowledgement watermark
+        (:meth:`acked_through`): several commands may share one tag (a batch
+        fanned out to every worker), and the tag counts as acknowledged only
+        when all of them have succeeded. Tags must be issued in
+        non-decreasing order.
         """
         self._check_open()
         handle = self.workers[worker % self.num_workers]
@@ -493,15 +526,51 @@ class ShardWorkerPool:
                     kwargs[name] = value
             if ring_arrays:
                 frames, ring_bytes = handle.write_arrays(ring_arrays)
+        if tag is not None:
+            tag = int(tag)
+            if self._last_tag is not None and tag < self._last_tag:
+                raise EngineError(
+                    f"watermark tags must be non-decreasing: got {tag} after "
+                    f"{self._last_tag}"
+                )
+            self._tag_outstanding[tag] = self._tag_outstanding.get(tag, 0) + 1
+            self._last_tag = tag
         seq = handle.submit(
             (fn, kwargs, frames),
             kind="apply",
             ring_bytes=ring_bytes,
             on_result=on_result,
+            tag=tag,
         )
         if sync:
             return handle.wait_for(seq)
         return None
+
+    def _tag_acked(self, tag: int) -> None:
+        remaining = self._tag_outstanding.get(tag, 0) - 1
+        if remaining <= 0:
+            self._tag_outstanding.pop(tag, None)
+        else:
+            self._tag_outstanding[tag] = remaining
+
+    def acked_through(self) -> int | None:
+        """Highest tag with every tagged command at or below it acknowledged.
+
+        The durability watermark for pipelined dispatch: a driver that tags
+        each batch's commands with the batch's sequence number can read off
+        exactly which prefix of the stream the workers have fully processed
+        — anything beyond it is pipelined-but-unacknowledged and must be
+        replayed (not dropped) after a
+        :class:`~repro.engine.errors.WorkerCrashError`. Commands that failed,
+        or died with their worker, leave their tag outstanding forever, so
+        the watermark never moves past a lost batch. ``None`` until the
+        first tagged command is submitted.
+        """
+        if self._last_tag is None:
+            return None
+        if self._tag_outstanding:
+            return min(self._tag_outstanding) - 1
+        return self._last_tag
 
     def snapshot(self, key: Any, snapshot_fn: Callable[[Any], Any]) -> Any:
         """Synchronously snapshot one resident object (it stays resident)."""

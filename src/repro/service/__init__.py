@@ -16,7 +16,13 @@ a long-running service:
 * :mod:`repro.service.checkpoint` — pickle-free directory checkpoints
   (JSON manifest + npz arrays) with exact, bit-identical restore of every
   sampler trajectory; damaged checkpoints raise :class:`CheckpointError`
-  naming the bad file.
+  naming the bad file. Delta checkpoints (:func:`save_service_delta`)
+  rewrite only the shards that changed since the last save;
+* :mod:`repro.service.wal` — the durability layer: a per-shard
+  write-ahead log (``wal_dir=`` on the service) records every batch before
+  dispatch, delta checkpoints truncate it at their watermark, and
+  :func:`recover_service` rebuilds a crashed service bit-identically —
+  last checkpoint plus log replay, on any executor backend.
 """
 
 from repro.service.checkpoint import (
@@ -25,9 +31,11 @@ from repro.service.checkpoint import (
     load_checkpoint,
     load_sampler,
     load_service,
+    load_service_delta,
     save_checkpoint,
     save_sampler,
     save_service,
+    save_service_delta,
 )
 from repro.service.routing import (
     ROUTING_VERSION,
@@ -36,12 +44,16 @@ from repro.service.routing import (
     stable_hash,
 )
 from repro.service.service import SamplerService
+from repro.service.wal import WALError, WriteAheadLog, recover_service
 
 __all__ = [
     "SamplerService",
     "ROUTING_VERSION",
     "CheckpointError",
     "MissingCheckpointError",
+    "WALError",
+    "WriteAheadLog",
+    "recover_service",
     "shard_ids_for_keys",
     "split_by_shard",
     "stable_hash",
@@ -51,4 +63,6 @@ __all__ = [
     "load_sampler",
     "save_service",
     "load_service",
+    "save_service_delta",
+    "load_service_delta",
 ]

@@ -32,12 +32,16 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 import zipfile
 import zlib
 from typing import Any
 
 import numpy as np
+
+from repro.core.base import CHECKPOINT_MANIFEST_VERSION
+from repro.service.wal import _fault
 
 __all__ = [
     "CheckpointError",
@@ -48,6 +52,8 @@ __all__ = [
     "load_sampler",
     "save_service",
     "load_service",
+    "save_service_delta",
+    "load_service_delta",
 ]
 
 
@@ -161,7 +167,11 @@ def save_checkpoint(state: dict[str, Any], directory: str | os.PathLike) -> None
             os.unlink(arrays_tmp)
         raise
 
-    manifest = {"arrays_file": arrays_name, "state": encoded}
+    manifest = {
+        "manifest_version": CHECKPOINT_MANIFEST_VERSION,
+        "arrays_file": arrays_name,
+        "state": encoded,
+    }
     fd, manifest_tmp = tempfile.mkstemp(dir=directory, prefix="manifest-", suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -212,6 +222,16 @@ def load_checkpoint(directory: str | os.PathLike) -> dict[str, Any]:
         raise CheckpointError(
             f"corrupt checkpoint manifest {manifest_path}: expected a mapping "
             "with 'arrays_file' and 'state' keys"
+        )
+    # Pre-durability manifests carry no version field; they are version 1
+    # and the file layout they describe is unchanged, so they load as-is.
+    manifest_version = manifest.get("manifest_version", 1)
+    if manifest_version > CHECKPOINT_MANIFEST_VERSION:
+        raise CheckpointError(
+            f"checkpoint manifest {manifest_path} has manifest_version "
+            f"{manifest_version}, newer than this build reads "
+            f"({CHECKPOINT_MANIFEST_VERSION}); load it with the build that "
+            "wrote it"
         )
     arrays_path = os.path.join(directory, manifest["arrays_file"])
     if not os.path.exists(arrays_path):
@@ -282,13 +302,219 @@ def load_service(
     resharded before it is returned, so every retained item sits on the
     shard its key hashes to under ``M`` and total weight is conserved (see
     :meth:`~repro.service.service.SamplerService.reshard`).
+
+    Both checkpoint layouts load transparently: the classic monolithic
+    directory written by :func:`save_service`, and the *delta* layout
+    written by :func:`save_service_delta` (one sub-checkpoint per shard,
+    as produced by a WAL-enabled service — note that loading a delta
+    checkpoint alone recovers the service only *up to its watermark*; use
+    :func:`~repro.service.wal.recover_service` to also replay the WAL
+    tail).
     """
     from repro.service.service import SamplerService
 
+    if os.path.exists(os.path.join(directory, _DELTA_MANIFEST_NAME)):
+        state, _ = load_service_delta(directory)
+    else:
+        state = load_checkpoint(directory)
     return SamplerService.from_state_dict(
-        load_checkpoint(directory),
+        state,
         sampler_factory,
         key_fn=key_fn,
         executor=executor,
         num_shards=num_shards,
     )
+
+
+# ----------------------------------------------------------------------
+# delta checkpoints (incremental per-shard service snapshots)
+# ----------------------------------------------------------------------
+_DELTA_MANIFEST_NAME = "MANIFEST.json"
+_DELTA_KIND = "service-delta"
+_SERVICE_PREFIX = "service-"
+_SHARD_PREFIX = "shard-"
+
+
+def _shard_dir_prefix(shard_id: int) -> str:
+    return f"{_SHARD_PREFIX}{int(shard_id):05d}-"
+
+
+def save_service_delta(
+    scalar_state: dict[str, Any],
+    shard_states: dict[int, dict[str, Any]],
+    directory: str | os.PathLike,
+    watermark: int,
+    dirty: set[int] | None = None,
+) -> None:
+    """Write an incremental service checkpoint, rewriting only dirty shards.
+
+    The delta layout keeps one sub-checkpoint directory per active shard
+    (``shard-<id>-<token>/``) plus one for the service's scalar state
+    (``service-<token>/``, always rewritten — it is tiny), all named by a
+    top-level ``MANIFEST.json``. A save rewrites the sub-checkpoints of the
+    shards in ``dirty`` (plus any shard the previous manifest did not know),
+    re-references the rest untouched, and swaps the new manifest in with an
+    atomic ``os.replace`` — the same crash-safety protocol as
+    :func:`save_checkpoint`, extended over a directory tree: a crash at any
+    point leaves the previous delta checkpoint fully loadable. Superseded
+    sub-checkpoints are garbage-collected after the swap.
+
+    ``watermark`` is the global sequence number of the last batch the
+    snapshot includes — the WAL truncation point; ``-1`` for a snapshot
+    taken before any batch. ``dirty=None`` rewrites every shard (a full
+    save in delta clothing).
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    manifest_path = os.path.join(directory, _DELTA_MANIFEST_NAME)
+    previous: dict[str, str] = {}
+    if os.path.exists(manifest_path):
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                old_manifest = json.load(fh)
+            previous = dict(old_manifest.get("shards", {}))
+        except (ValueError, OSError, AttributeError):
+            # A damaged previous manifest cannot tell us which shard dirs
+            # are current, so rewrite everything — correctness over reuse.
+            previous = {}
+    if dirty is None:
+        rewrite = set(shard_states)
+    else:
+        rewrite = {
+            shard_id
+            for shard_id in shard_states
+            if shard_id in dirty or str(shard_id) not in previous
+        }
+
+    shard_dirs: dict[str, str] = {}
+    for shard_id, state in sorted(shard_states.items()):
+        if shard_id in rewrite:
+            shard_dir = tempfile.mkdtemp(
+                dir=directory, prefix=_shard_dir_prefix(shard_id)
+            )
+            save_checkpoint(state, shard_dir)
+            _fault(f"ckpt.shard-dir:{shard_id}")
+            shard_dirs[str(shard_id)] = os.path.basename(shard_dir)
+        else:
+            shard_dirs[str(shard_id)] = previous[str(shard_id)]
+
+    service_dir = tempfile.mkdtemp(dir=directory, prefix=_SERVICE_PREFIX)
+    save_checkpoint(scalar_state, service_dir)
+    _fault("ckpt.service-dir")
+
+    manifest = {
+        "manifest_version": CHECKPOINT_MANIFEST_VERSION,
+        "kind": _DELTA_KIND,
+        "watermark": int(watermark),
+        "service": os.path.basename(service_dir),
+        "shards": shard_dirs,
+    }
+    fd, manifest_tmp = tempfile.mkstemp(dir=directory, prefix="MANIFEST-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _fault("ckpt.manifest-swap")
+        os.replace(manifest_tmp, manifest_path)
+    except BaseException:
+        if os.path.exists(manifest_tmp):
+            os.unlink(manifest_tmp)
+        raise
+
+    # The new manifest is the only live reference; drop every sub-directory
+    # (and stray manifest temp) it does not name. Best effort, like the
+    # classic GC — leftover debris never breaks a load.
+    _fault("ckpt.gc")
+    live = {manifest["service"], *shard_dirs.values()}
+    for name in os.listdir(directory):
+        path = os.path.join(directory, name)
+        if os.path.isdir(path) and (
+            name.startswith(_SERVICE_PREFIX) or name.startswith(_SHARD_PREFIX)
+        ):
+            if name not in live:
+                shutil.rmtree(path, ignore_errors=True)
+        elif name.startswith("MANIFEST-") and name.endswith(".tmp"):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def load_service_delta(directory: str | os.PathLike) -> tuple[dict[str, Any], int]:
+    """Load a delta checkpoint; return ``(service state_dict, watermark)``.
+
+    Every shard sub-checkpoint is probed before anything is raised: a
+    partially-written or partially-copied delta directory reports **all**
+    missing or damaged shard checkpoints in one :class:`CheckpointError`
+    (each with its path and failure), instead of failing on the first
+    absent archive — one error message tells the operator the full extent
+    of the damage.
+    """
+    directory = os.fspath(directory)
+    manifest_path = os.path.join(directory, _DELTA_MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise MissingCheckpointError(f"no delta-checkpoint manifest at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        try:
+            manifest = json.load(fh)
+        except ValueError as error:
+            raise CheckpointError(
+                f"corrupt delta-checkpoint manifest {manifest_path}: not valid "
+                f"JSON ({error}); the checkpoint was truncated or partially "
+                "copied"
+            ) from error
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("kind") != _DELTA_KIND
+        or "service" not in manifest
+        or "shards" not in manifest
+        or "watermark" not in manifest
+    ):
+        raise CheckpointError(
+            f"corrupt delta-checkpoint manifest {manifest_path}: expected a "
+            f"mapping with kind={_DELTA_KIND!r} and 'service', 'shards', "
+            "'watermark' keys"
+        )
+    manifest_version = manifest.get("manifest_version", 1)
+    if manifest_version > CHECKPOINT_MANIFEST_VERSION:
+        raise CheckpointError(
+            f"delta-checkpoint manifest {manifest_path} has manifest_version "
+            f"{manifest_version}, newer than this build reads "
+            f"({CHECKPOINT_MANIFEST_VERSION})"
+        )
+
+    problems: list[str] = []
+    scalar_state: dict[str, Any] | None = None
+    service_dir = os.path.join(directory, manifest["service"])
+    try:
+        scalar_state = load_checkpoint(service_dir)
+    except CheckpointError as error:
+        problems.append(f"service state {service_dir}: {error}")
+
+    shards: dict[str, dict[str, Any]] = {}
+    for shard_id, dirname in sorted(
+        manifest["shards"].items(), key=lambda pair: int(pair[0])
+    ):
+        shard_dir = os.path.join(directory, dirname)
+        try:
+            shards[shard_id] = load_checkpoint(shard_dir)
+        except MissingCheckpointError:
+            problems.append(
+                f"shard {shard_id}: checkpoint {shard_dir} is missing (named "
+                f"by {manifest_path})"
+            )
+        except CheckpointError as error:
+            problems.append(f"shard {shard_id}: stale or damaged checkpoint — {error}")
+    if problems:
+        details = "\n  - ".join(problems)
+        raise CheckpointError(
+            f"delta checkpoint {directory} is incomplete: "
+            f"{len(problems)} of {len(manifest['shards']) + 1} sub-checkpoints "
+            f"unreadable; the directory is crash debris or a partial copy.\n"
+            f"  - {details}"
+        )
+    assert scalar_state is not None
+    state = dict(scalar_state)
+    state["shards"] = shards
+    return state, int(manifest["watermark"])

@@ -50,6 +50,7 @@ backend produces bit-identical samples and checkpoints for a fixed seed.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -74,6 +75,7 @@ from repro.engine import (
     snapshot_sampler,
 )
 from repro.service.routing import ROUTING_VERSION, shard_ids_for_keys, split_by_shard
+from repro.service.wal import WriteAheadLog
 
 __all__ = ["SamplerService"]
 
@@ -121,6 +123,23 @@ class SamplerService:
         backends for a fixed seed. The service owns the executor's worker
         lifecycle: one pool is reused across every ingest call, and
         :meth:`close` (or the context manager) releases it.
+    wal_dir:
+        Enable durability: every ingested batch is appended to a
+        write-ahead log in this directory *before* dispatch, and
+        :meth:`checkpoint` writes delta checkpoints that truncate the log
+        at their watermark. After a crash,
+        :func:`~repro.service.wal.recover_service` rebuilds the service
+        bit-identically from the last checkpoint plus log replay. The
+        directory must be empty (or new); a directory holding a previous
+        deployment's logs is refused — recover it instead. A WAL-enabled
+        service should not share its executor's worker pool with other
+        services (the acknowledgement watermark is pool-wide).
+    wal_fsync:
+        Log flush policy: ``"os"`` (default) flushes every batch to the OS
+        page cache — durable against process crash; ``"always"`` fsyncs
+        every batch — durable against power loss, at a large latency cost;
+        ``"none"`` buffers in userspace until ``flush()``/checkpoint/close
+        — fastest, replay lag bounded by the last flush.
 
     Examples
     --------
@@ -140,6 +159,8 @@ class SamplerService:
         key_fn: Callable[[Any], Any] | None = None,
         rng: np.random.Generator | int | None = None,
         executor: Executor | str | None = None,
+        wal_dir: str | os.PathLike | None = None,
+        wal_fsync: str = "os",
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -165,6 +186,14 @@ class SamplerService:
         #: checkpoint that did not record the flag.
         self._explicit_keys_used: bool | None = False
         self._init_transport_state()
+        if wal_dir is not None:
+            self._wal = WriteAheadLog.create(
+                wal_dir, self.num_shards, fsync=wal_fsync
+            )
+            # The master seed and reserved shard streams exist only in
+            # memory until the first checkpoint; write one now so a crash
+            # at any point — including before the first batch — recovers.
+            self.checkpoint()
 
     def _init_transport_state(self) -> None:
         self._service_id = next(_SERVICE_IDS)
@@ -189,6 +218,16 @@ class SamplerService:
         #: never see data stay pristine in checkpoints, exactly as serial.
         self._standby_rngs: dict[int, np.random.Generator] = {}
         self._transport_attached = False
+        #: The write-ahead log, when durability is enabled (``wal_dir=`` at
+        #: construction, or attached by ``recover_service``).
+        self._wal: WriteAheadLog | None = None
+        #: Global sequence number of the last batch covered by the paired
+        #: delta checkpoint; everything after it lives only in the WAL.
+        self._wal_watermark: int = -1
+        #: Shards ingested since the last delta checkpoint. Distinct from
+        #: ``_dirty``, which tracks transport-sync staleness and is cleared
+        #: by every read; this set is cleared only by :meth:`checkpoint`.
+        self._ckpt_dirty: set[int] = set()
 
     # ------------------------------------------------------------------
     # queries
@@ -287,6 +326,15 @@ class SamplerService:
                 "time": sampler.time,
             }
             total_items += size
+        durability: dict[str, Any] = {"wal_enabled": self._wal is not None}
+        if self._wal is not None:
+            durability.update(
+                wal_dir=self._wal.directory,
+                fsync=self._wal.fsync,
+                checkpoint_watermark=self._wal_watermark,
+                replay_lag_batches=self._batches_seen - 1 - self._wal_watermark,
+                acked_batches=self.acked_batches,
+            )
         return {
             "num_shards": self.num_shards,
             "active_shards": len(shards),
@@ -296,6 +344,7 @@ class SamplerService:
             "total_items": total_items,
             "total_weight": self.total_weight,
             "expected_sample_size": self.expected_sample_size,
+            "durability": durability,
             "shards": shards,
         }
 
@@ -350,6 +399,7 @@ class SamplerService:
         shard_ids = sorted(pending)
         if not shard_ids:
             return
+        self._ckpt_dirty.update(shard_ids)
         shards = [self._get_or_create_shard(shard_id) for shard_id in shard_ids]
         if self._executor.ships_state:
             tasks = [
@@ -392,6 +442,7 @@ class SamplerService:
         if self._executor.provides_transport:
             frame = self._frame_parts(batch, keys)
             time = self._advance_time(time)
+            self._wal_log_frame(frame, batch, time)
             if not len(batch):
                 return {}
             counts: dict[int, int] = {}
@@ -400,6 +451,7 @@ class SamplerService:
             return dict(sorted(counts.items()))
         routed = self._route(batch, keys)
         time = self._advance_time(time)
+        self._wal_log(routed, time)
         pending: dict[int, tuple[list[Any], list[float]]] = {}
         counts = {}
         for shard_id, sub_batch in routed:
@@ -515,11 +567,13 @@ class SamplerService:
                 if use_transport:
                     frame = self._frame_parts(items, batch_keys)
                     time = self._advance_time(time)
+                    self._wal_log_frame(frame, items, time)
                     if len(items):
                         self._dispatch_frame(frame, time)
                     continue
                 routed = self._route(items, batch_keys)
                 time = self._advance_time(time)
+                self._wal_log(routed, time)
                 for shard_id, sub_batch in routed:
                     sub_batches, sub_times = pending.setdefault(shard_id, ([], []))
                     sub_batches.append(sub_batch)
@@ -540,9 +594,113 @@ class SamplerService:
         """Barrier: wait until every enqueued batch has been ingested.
 
         A no-op on in-process backends, whose ingest calls are synchronous.
+        With a WAL, the log is also flushed — to the OS page cache (and to
+        disk under the ``"always"`` policy), making everything logged so
+        far durable under the configured policy.
         """
         if self._executor.provides_transport and self._transport_attached:
             self._executor.transport.drain()
+        if self._wal is not None:
+            self._wal.flush()
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log + delta checkpoints)
+    # ------------------------------------------------------------------
+    def _wal_log(self, routed: list[tuple[int, np.ndarray]], time: float) -> None:
+        """Append one routed batch to the WAL (after the clock advanced)."""
+        if self._wal is None:
+            return
+        self._wal.append_batch(
+            self._batches_seen - 1, time, routed, bool(self._explicit_keys_used)
+        )
+
+    def _wal_log_frame(
+        self, frame: dict[str, np.ndarray], batch: np.ndarray, time: float
+    ) -> None:
+        """Append one transport frame's batch to the WAL.
+
+        WAL-enabled frames always carry driver-computed ``shard_ids`` (see
+        :meth:`_frame_parts`), so the logged per-shard sub-batches are
+        exactly the partitions the workers will ingest — same items, same
+        within-shard order — which is what makes log replay through
+        ``process_stream`` bit-identical to the live run.
+        """
+        if self._wal is None:
+            return
+        routed = split_by_shard(frame["shard_ids"], batch) if len(batch) else []
+        self._wal_log(routed, time)
+
+    @property
+    def wal_dir(self) -> str | None:
+        """The write-ahead log directory, or ``None`` when durability is off."""
+        return self._wal.directory if self._wal is not None else None
+
+    @property
+    def acked_batches(self) -> int:
+        """Number of leading batches fully acknowledged by the backend.
+
+        On in-process backends ingestion is synchronous, so this equals
+        :attr:`batches_seen`. On the transport backend with a WAL, batches
+        are pipelined and each one is tagged with its sequence number; this
+        property reads the acknowledgement watermark — batches beyond it
+        are in flight (or lost with a crashed worker) and recovery replays
+        them from the log rather than trusting the pipeline.
+        """
+        if (
+            self._wal is not None
+            and self._executor.provides_transport
+            and self._transport_attached
+        ):
+            acked = self._executor.transport.acked_through()
+            if acked is not None:
+                return acked + 1
+        return self._batches_seen
+
+    def checkpoint(self, directory: str | os.PathLike | None = None) -> None:
+        """Write a delta checkpoint, rewriting only shards changed since the last.
+
+        With no ``directory`` the WAL's paired checkpoint
+        (``<wal_dir>/checkpoint``) is written, after which each log is
+        truncated at the checkpoint watermark — the log shrinks back to
+        (usually) nothing, and recovery replay is bounded by the data that
+        arrived since this call. An explicit ``directory`` writes a
+        self-contained delta checkpoint elsewhere (every shard rewritten;
+        incremental reuse is only safe against the paired directory's own
+        history) and leaves the WAL untouched.
+
+        The save drains the pipeline first, so the snapshot is exact, and
+        uses the same atomic-swap protocol as
+        :func:`~repro.service.checkpoint.save_checkpoint` — a crash mid-save
+        leaves the previous checkpoint fully loadable.
+        """
+        from repro.service.checkpoint import save_service_delta
+
+        paired = directory is None
+        if paired:
+            if self._wal is None:
+                raise ValueError(
+                    "checkpoint() without a directory writes the WAL's paired "
+                    "checkpoint, but this service has no WAL; pass a directory "
+                    "or construct the service with wal_dir="
+                )
+            directory = self._wal.checkpoint_dir
+        self._sync()
+        shard_states = {
+            shard_id: self._shards[shard_id].state_dict()
+            for shard_id in sorted(self._activated)
+        }
+        watermark = self._batches_seen - 1
+        save_service_delta(
+            self._scalar_state(),
+            shard_states,
+            directory,
+            watermark,
+            dirty=set(self._ckpt_dirty) if paired else None,
+        )
+        if paired:
+            self._ckpt_dirty.clear()
+            self._wal_watermark = watermark
+            self._wal.truncate(watermark)
 
     # ------------------------------------------------------------------
     # transport (process backend) dispatch
@@ -569,7 +727,7 @@ class SamplerService:
                 # worker-side, anything else is hashed here once.
                 if not (isinstance(batch, np.ndarray) and not batch.dtype.hasobject):
                     frame["shard_ids"] = shard_ids_for_keys(batch, self.num_shards)
-                return frame
+                return self._force_shard_ids(frame, batch)
         if isinstance(keys, np.ndarray) and keys.ndim == 1 and not keys.dtype.hasobject:
             frame["keys"] = keys
         else:
@@ -578,6 +736,24 @@ class SamplerService:
             # As in _route: recorded only once the keys made it into a
             # routable frame, never for a rejected batch.
             self._explicit_keys_used = True
+        return self._force_shard_ids(frame, batch)
+
+    def _force_shard_ids(
+        self, frame: dict[str, np.ndarray], batch: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Ensure a WAL-enabled frame carries driver-computed ``shard_ids``.
+
+        The WAL logs each batch as its per-shard sub-batches, so routing
+        must be known driver-side *before* dispatch. The worker
+        short-circuits its own hashing when ``shard_ids`` is present, and
+        both sides use the same stable hash, so the partition — and thus
+        the trajectory — is unchanged; the WAL merely pre-pays the hashing
+        the worker would have done.
+        """
+        if self._wal is not None and len(batch) and "shard_ids" not in frame:
+            frame["shard_ids"] = shard_ids_for_keys(
+                frame.get("keys", batch), self.num_shards
+            )
         return frame
 
     def _shard_key(self, shard_id: int) -> tuple:
@@ -635,6 +811,7 @@ class SamplerService:
             shard_id = int(shard_id)
             self._activated.add(shard_id)
             self._dirty.add(shard_id)
+            self._ckpt_dirty.add(shard_id)
             self._standby_states.pop(shard_id, None)
             standby_rng = self._standby_rngs.pop(shard_id, None)
             if standby_rng is not None:
@@ -665,6 +842,11 @@ class SamplerService:
                     (int(shard_id), int(count)) for shard_id, count in counts.items()
                 )
 
+        # With a WAL, every command of this batch is tagged with the batch's
+        # global sequence number, feeding the pool's acknowledgement
+        # watermark (`acked_through`): after a worker crash, the watermark
+        # tells recovery exactly which pipelined batches never landed.
+        tag = self._batches_seen - 1 if self._wal is not None else None
         for worker in range(min(pool.num_workers, self.num_shards)):
             pool.apply(
                 worker,
@@ -672,6 +854,7 @@ class SamplerService:
                 kwargs=kwargs,
                 arrays=frame,
                 on_result=on_result,
+                tag=tag,
             )
 
     def _sync(self) -> None:
@@ -854,6 +1037,11 @@ class SamplerService:
         # All validation happens before any state changes: a refused reshard
         # must leave the service exactly as it was (same factory included).
         self._check_keys_recoverable()
+        if self._wal is not None:
+            # Checkpoint + truncate before re-homing: the logs' per-shard
+            # records are keyed by the *old* layout, so everything in them
+            # must be durable in the checkpoint before the layout changes.
+            self.checkpoint()
         if sampler_factory is not None:
             self._factory = sampler_factory
         if self._transport_attached:
@@ -896,6 +1084,14 @@ class SamplerService:
         self._retained_rng = {}
         self._standby_states = {}
         self._standby_rngs = {}
+        if self._wal is not None:
+            # Fresh, empty logs for the new layout, and a checkpoint of the
+            # re-homed state: every shard changed identity, so all are
+            # dirty, and a crash right after this point must recover the
+            # *post*-reshard deployment.
+            self._wal.reset_layout(new_count)
+            self._ckpt_dirty = set(new_shards)
+            self.checkpoint()
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -913,6 +1109,21 @@ class SamplerService:
         """
         self._sync()
         return {
+            **self._scalar_state(),
+            "shards": {
+                str(shard_id): self._shards[shard_id].state_dict()
+                for shard_id in sorted(self._activated)
+            },
+        }
+
+    def _scalar_state(self) -> dict[str, Any]:
+        """The service-level half of :meth:`state_dict` (everything but shards).
+
+        Delta checkpoints persist this part on every save (it is tiny) and
+        the per-shard sampler snapshots separately, rewriting only dirty
+        ones. Callers must :meth:`_sync` first — this is a pure read.
+        """
+        return {
             "format_version": STATE_FORMAT_VERSION,
             "service_type": type(self).__name__,
             "num_shards": self.num_shards,
@@ -927,10 +1138,6 @@ class SamplerService:
             "batches_seen": int(self._batches_seen),
             "rng_state": generator_state(self._rng),
             "shard_rng_states": [generator_state(rng) for rng in self._shard_rngs],
-            "shards": {
-                str(shard_id): self._shards[shard_id].state_dict()
-                for shard_id in sorted(self._activated)
-            },
         }
 
     def _detach_all_shards(self) -> None:
@@ -968,23 +1175,30 @@ class SamplerService:
         several services share one executor, closing any of them releases
         the shared pool; close the services together.)
         """
-        if self._transport_attached:
-            try:
-                self._detach_all_shards()
-            except EngineError:
-                # A worker died with work possibly still in flight. Tear
-                # the pool down, then re-raise: close may be the *first*
-                # drain after the crash, and swallowing it would lose
-                # pipelined batches silently. (``__exit__`` suppresses the
-                # re-raise when another exception — usually this same
-                # crash, surfaced on the ingest path — is already
-                # propagating.)
-                self._transport_attached = False
-                self._executor.shutdown()
-                raise
-            finally:
-                self._transport_attached = False
-        self._executor.shutdown()
+        try:
+            if self._transport_attached:
+                try:
+                    self._detach_all_shards()
+                except EngineError:
+                    # A worker died with work possibly still in flight. Tear
+                    # the pool down, then re-raise: close may be the *first*
+                    # drain after the crash, and swallowing it would lose
+                    # pipelined batches silently — under a WAL those batches
+                    # are on disk and recover_service replays them. (The
+                    # ``finally`` still closes the log handles, so the logs
+                    # are flushed and ready for recovery. ``__exit__``
+                    # suppresses the re-raise when another exception —
+                    # usually this same crash, surfaced on the ingest path —
+                    # is already propagating.)
+                    self._transport_attached = False
+                    self._executor.shutdown()
+                    raise
+                finally:
+                    self._transport_attached = False
+            self._executor.shutdown()
+        finally:
+            if self._wal is not None:
+                self._wal.close()
 
     def shutdown(self) -> None:
         """Alias of :meth:`close` (kept for backward compatibility)."""
@@ -1069,6 +1283,21 @@ class SamplerService:
             int(shard_id): Sampler.from_state_dict(sampler_state)
             for shard_id, sampler_state in state["shards"].items()
         }
+        # Re-establish the RNG aliasing the live service had: with the
+        # usual factory pattern (the sampler retains the generator it was
+        # handed), shard k's sampler and the reserved stream k are one
+        # object, so the reserved stream advances as the sampler draws.
+        # The snapshot stores them as two equal states; restoring them as
+        # two *objects* would freeze the reserved stream while the sampler
+        # draws on — and every later snapshot would diverge from an
+        # uninterrupted run's. Equal states at snapshot time mean the pair
+        # was (observationally) aliased, so re-alias.
+        for shard_id, sampler in service._shards.items():
+            sampler_rng = getattr(sampler, "_rng", None)
+            if sampler_rng is not None and generator_state(
+                sampler_rng
+            ) == generator_state(service._shard_rngs[shard_id]):
+                service._shard_rngs[shard_id] = sampler_rng
         service._init_transport_state()
         if num_shards is not None and int(num_shards) != service.num_shards:
             service.reshard(int(num_shards))

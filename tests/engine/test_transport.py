@@ -39,6 +39,10 @@ def _get_attached(residents, key):
     return type(residents[key]).__name__
 
 
+def _boom(residents, **kwargs):
+    raise ValueError("boom")
+
+
 @pytest.fixture
 def pool():
     with ShardWorkerPool(max_workers=2, ring_bytes=1 << 20) as pool:
@@ -180,6 +184,67 @@ class TestWorkerCrash:
     def test_crash_error_is_an_engine_error(self):
         assert issubclass(WorkerCrashError, EngineError)
         assert issubclass(RemoteTaskError, EngineError)
+
+
+class TestAckWatermark:
+    """The tag watermark that tells a WAL-backed driver what is truly done."""
+
+    def test_none_until_the_first_tagged_command(self, pool):
+        assert pool.acked_through() is None
+        pool.apply(0, _echo_arrays, arrays={"x": np.arange(4)})  # untagged
+        pool.drain()
+        assert pool.acked_through() is None
+
+    def test_a_fanned_out_tag_acks_only_when_every_command_does(self, pool):
+        # One batch fans out to both workers under a single tag; the tag is
+        # acknowledged as a unit.
+        for worker in (0, 1):
+            pool.apply(worker, _echo_arrays, arrays={"x": np.arange(8)}, tag=0)
+        pool.drain()
+        assert pool.acked_through() == 0
+        pool.apply(1, _echo_arrays, arrays={"x": np.arange(8)}, tag=1)
+        pool.drain()
+        assert pool.acked_through() == 1
+
+    def test_a_failed_command_pins_the_watermark_forever(self, pool):
+        pool.apply(0, _echo_arrays, arrays={"x": np.arange(4)}, tag=0)
+        pool.drain()
+        assert pool.acked_through() == 0
+        pool.apply(0, _boom, tag=1)
+        with pytest.raises(RemoteTaskError, match="boom"):
+            pool.drain()
+        # Later batches may still succeed, but the watermark never moves
+        # past the lost one — its batch must be replayed, not dropped.
+        pool.apply(1, _echo_arrays, arrays={"x": np.arange(4)}, tag=2)
+        pool.drain()
+        assert pool.acked_through() == 0
+
+    def test_a_crashed_worker_keeps_the_watermark_conservative(self):
+        with ShardWorkerPool(max_workers=2, ring_bytes=1 << 20) as pool:
+            pool.apply(0, _echo_arrays, arrays={"x": np.arange(4)}, tag=0)
+            pool.drain()
+            victim = pool.workers[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10)
+            with pytest.raises(WorkerCrashError):
+                for index in range(200):
+                    pool.apply(
+                        0,
+                        _echo_arrays,
+                        arrays={"x": np.arange(4)},
+                        tag=1 + index,
+                    )
+                    pool.drain()
+                    time.sleep(0.01)
+            # Everything submitted after the crash died with the worker:
+            # the watermark still reports only batch 0 as durable.
+            assert pool.acked_through() == 0
+
+    def test_tags_must_be_non_decreasing(self, pool):
+        pool.apply(0, _echo_arrays, arrays={"x": np.arange(4)}, tag=5)
+        with pytest.raises(EngineError, match="non-decreasing"):
+            pool.apply(0, _echo_arrays, arrays={"x": np.arange(4)}, tag=4)
+        pool.drain()
 
 
 class TestExecutorIntegration:

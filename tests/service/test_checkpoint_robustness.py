@@ -10,16 +10,21 @@ protocol must never produce such a directory on its own.
 from __future__ import annotations
 
 import json
+import shutil
 
 import numpy as np
 import pytest
 
 from repro.core import RTBS
+from repro.core.base import CHECKPOINT_MANIFEST_VERSION
 from repro.service import (
     CheckpointError,
     MissingCheckpointError,
+    SamplerService,
     load_checkpoint,
     load_sampler,
+    load_service,
+    load_service_delta,
     save_sampler,
 )
 
@@ -129,3 +134,117 @@ class TestCrashSafeOverwriteNeverDamages:
         save_sampler(sampler, directory)
         assert not list(directory.glob("*.tmp"))
         assert len(list(directory.glob("arrays-*.npz"))) == 1
+
+
+class TestManifestVersioning:
+    def test_classic_manifest_records_the_format_version(self, checkpoint_dir):
+        manifest = json.loads((checkpoint_dir / "manifest.json").read_text())
+        assert manifest["manifest_version"] == CHECKPOINT_MANIFEST_VERSION
+
+    def test_classic_manifest_from_the_future_is_refused(self, checkpoint_dir):
+        manifest_path = checkpoint_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["manifest_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="newer than this build reads"):
+            load_checkpoint(checkpoint_dir)
+
+    def test_versionless_legacy_manifest_still_loads(self, checkpoint_dir):
+        # Checkpoints written before versioning carry no marker; they are
+        # implicitly version 1 and must keep loading.
+        manifest_path = checkpoint_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["manifest_version"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert load_sampler(checkpoint_dir).batches_seen == 1
+
+
+@pytest.fixture
+def delta_dir(tmp_path):
+    """A healthy delta checkpoint of a 4-shard service, all shards active."""
+    service = SamplerService(
+        lambda rng: RTBS(n=20, lambda_=0.2, rng=rng), num_shards=4, rng=3
+    )
+    for start in range(0, 4):
+        service.ingest_batch(np.arange(start * 300, (start + 1) * 300))
+    directory = tmp_path / "delta"
+    service.checkpoint(directory)
+    return directory
+
+
+class TestDamagedDeltaCheckpoints:
+    def test_partial_copy_reports_every_missing_and_stale_shard(self, delta_dir):
+        """One error names *all* the damage, not just the first absent file."""
+        manifest = json.loads((delta_dir / "MANIFEST.json").read_text())
+        shard_dirs = {
+            int(shard_id): delta_dir / dirname
+            for shard_id, dirname in manifest["shards"].items()
+        }
+        assert sorted(shard_dirs) == [0, 1, 2, 3]
+        shutil.rmtree(shard_dirs[1])  # missing outright
+        shutil.rmtree(shard_dirs[3])  # missing outright
+        (archive,) = shard_dirs[2].glob("arrays-*.npz")  # present but damaged
+        archive.write_bytes(b"not a zip")
+
+        with pytest.raises(CheckpointError) as excinfo:
+            load_service_delta(delta_dir)
+        message = str(excinfo.value)
+        assert "3 of 5 sub-checkpoints" in message
+        assert "shard 1" in message and "shard 3" in message
+        assert "is missing" in message
+        assert "shard 2" in message and "stale or damaged" in message
+        # The service-level loader (auto-detecting the delta layout) surfaces
+        # the same aggregate report.
+        with pytest.raises(CheckpointError, match="3 of 5 sub-checkpoints"):
+            load_service(
+                delta_dir, lambda rng: RTBS(n=20, lambda_=0.2, rng=rng)
+            )
+
+    def test_damaged_service_state_is_reported_alongside_shards(self, delta_dir):
+        manifest = json.loads((delta_dir / "MANIFEST.json").read_text())
+        shutil.rmtree(delta_dir / manifest["service"])
+        shutil.rmtree(delta_dir / manifest["shards"]["0"])
+        with pytest.raises(CheckpointError) as excinfo:
+            load_service_delta(delta_dir)
+        message = str(excinfo.value)
+        assert "2 of 5 sub-checkpoints" in message
+        assert "service state" in message and "shard 0" in message
+
+    def test_delta_manifest_from_the_future_is_refused(self, delta_dir):
+        manifest_path = delta_dir / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["manifest_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="newer than this build reads"):
+            load_service_delta(delta_dir)
+
+    def test_corrupt_delta_manifest_is_not_a_json_error(self, delta_dir):
+        manifest_path = delta_dir / "MANIFEST.json"
+        text = manifest_path.read_text()
+        manifest_path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_service_delta(delta_dir)
+
+    def test_wrong_kind_is_rejected(self, delta_dir):
+        manifest_path = delta_dir / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["kind"] = "something-else"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="service-delta"):
+            load_service_delta(delta_dir)
+
+    def test_unreferenced_crash_debris_is_collected_by_the_next_save(self, delta_dir):
+        # Orphan sub-directories — a writer that died between writing new
+        # shard dirs and swapping the manifest — are swept by the next
+        # successful checkpoint and never break a load in the meantime.
+        (delta_dir / "shard-00002-deadbeef").mkdir()
+        (delta_dir / "shard-00002-deadbeef" / "junk").write_text("partial")
+        state, watermark = load_service_delta(delta_dir)
+        service = SamplerService.from_state_dict(
+            state, lambda rng: RTBS(n=20, lambda_=0.2, rng=rng)
+        )
+        assert watermark == 3 and service.batches_seen == 4
+        service.ingest_batch(np.arange(100))
+        service.checkpoint(delta_dir)
+        assert not (delta_dir / "shard-00002-deadbeef").exists()
+        load_service_delta(delta_dir)

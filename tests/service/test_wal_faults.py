@@ -1,0 +1,163 @@
+"""Crash-at-any-point recovery: the durability layer's central property.
+
+A child process runs the canonical durable-ingest workload and is
+``SIGKILL``\\ ed at an injected failpoint — mid-WAL-append, mid-flush,
+mid-fsync, mid-delta-checkpoint, mid-truncation. The parent recovers from
+the child's WAL directory, feeds the batches the recovered clock says are
+still owed, and asserts the final state is **bit-identical** to the
+uninterrupted golden run — and that the next checkpoint is too. Crash
+points are drawn from fixed seeds (the CI matrix) across all three executor
+backends; ``REPRO_FAULT_EXHAUSTIVE=1`` sweeps *every* failpoint of the
+serial workload instead.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.service import SamplerService, load_service_delta
+
+from tests.faults import (
+    CKPT_EVERY,
+    NUM_BATCHES,
+    assert_states_equal,
+    count_failpoints,
+    crash_workload,
+    golden_state,
+    make_factory,
+    recover_and_finish,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return golden_state()
+
+
+@pytest.fixture(scope="module")
+def failpoint_sites(tmp_path_factory):
+    sites = count_failpoints(str(tmp_path_factory.mktemp("failpoint-count")))
+    assert len(sites) > 50, "workload passes through suspiciously few failpoints"
+    return sites
+
+
+def _run_case(
+    tmp_path,
+    backend,
+    golden,
+    crash_index=None,
+    site_prefix=None,
+    occurrence=1,
+    fsync="os",
+):
+    wal_dir = str(tmp_path / "wal")
+    exitcode = crash_workload(
+        wal_dir,
+        backend,
+        fsync=fsync,
+        crash_index=crash_index,
+        site_prefix=site_prefix,
+        occurrence=occurrence,
+    )
+    # -SIGKILL when the failpoint fired; 0 when the chosen point lies past
+    # the workload's end (then recovery is from a cleanly closed log).
+    assert exitcode in (0, -signal.SIGKILL), exitcode
+    service = recover_and_finish(wal_dir, backend, fsync=fsync)
+    try:
+        assert_states_equal(service.state_dict(), golden)
+        # The *next* checkpoint must also be bit-identical: write it, load
+        # it back, and compare the restored service's snapshot (restoring
+        # normalizes JSON round-trip types exactly as any recovery would).
+        service.checkpoint()
+        state, watermark = load_service_delta(os.path.join(wal_dir, "checkpoint"))
+        assert watermark == NUM_BATCHES - 1
+        restored = SamplerService.from_state_dict(state, make_factory())
+        assert_states_equal(restored.state_dict(), golden)
+    finally:
+        service.close()
+
+
+# The fixed CI seed matrix: more serial draws (cheapest), a few on each
+# parallel backend. Each seed maps to one crash point via its own RNG, so
+# the matrix is stable run to run and machine to machine.
+SEED_MATRIX = (
+    [(None, seed) for seed in (11, 12, 13, 14, 15, 16)]
+    + [("thread:2", seed) for seed in (21, 22, 23, 24)]
+    + [("process:2", seed) for seed in (31, 32, 33)]
+)
+
+
+@pytest.mark.parametrize(
+    "backend,seed",
+    SEED_MATRIX,
+    ids=[f"{backend or 'serial'}-seed{seed}" for backend, seed in SEED_MATRIX],
+)
+def test_crash_at_random_point_recovers_bit_identically(
+    tmp_path, golden, failpoint_sites, backend, seed
+):
+    rng = np.random.default_rng(seed)
+    crash_index = int(rng.integers(1, len(failpoint_sites) + 1))
+    _run_case(tmp_path, backend, golden, crash_index=crash_index)
+
+
+# Semantically chosen crash moments, pinned by site name so they stay
+# meaningful as the failpoint count drifts. fsync="always" runs exercise
+# the mid-fsync window the "os" policy never enters.
+NAMED_SITES = [
+    ("wal.append:commit.wal", 1, "os"),
+    ("wal.append:shard-", 1, "os"),
+    ("wal.append:shard-", 40, "os"),
+    ("wal.flush", 5, "os"),
+    ("wal.fsync", 1, "always"),
+    ("wal.fsync", 9, "always"),
+    ("wal.truncate-write", 1, "os"),
+    ("wal.truncate-replace", 2, "os"),
+    ("ckpt.shard-dir", 1, "os"),
+    ("ckpt.service-dir", 2, "os"),
+    ("ckpt.manifest-swap", 1, "os"),  # mid-construction: restart from scratch
+    ("ckpt.manifest-swap", 2, "os"),
+    ("ckpt.gc", 2, "os"),
+]
+
+
+@pytest.mark.parametrize(
+    "site,occurrence,fsync",
+    NAMED_SITES,
+    ids=[f"{site}-{occurrence}-{fsync}" for site, occurrence, fsync in NAMED_SITES],
+)
+def test_crash_at_named_site_recovers_bit_identically(
+    tmp_path, golden, site, occurrence, fsync
+):
+    _run_case(
+        tmp_path, None, golden, site_prefix=site, occurrence=occurrence, fsync=fsync
+    )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_FAULT_EXHAUSTIVE"),
+    reason="set REPRO_FAULT_EXHAUSTIVE=1 to sweep every failpoint (slow)",
+)
+def test_exhaustive_crash_sweep_serial(tmp_path, golden, failpoint_sites):
+    for crash_index in range(1, len(failpoint_sites) + 1):
+        case_dir = tmp_path / f"crash-{crash_index}"
+        case_dir.mkdir()
+        _run_case(case_dir, None, golden, crash_index=crash_index)
+
+
+def test_replay_lag_is_bounded_by_checkpoint_cadence(tmp_path, golden, failpoint_sites):
+    """Crash at the very last failpoint: replay covers at most one cadence."""
+    wal_dir = str(tmp_path / "wal")
+    exitcode = crash_workload(wal_dir, None, crash_index=len(failpoint_sites))
+    assert exitcode in (0, -signal.SIGKILL)
+    service = recover_and_finish(wal_dir, None)
+    try:
+        # recover_and_finish already asserts the lag bound; the end state
+        # must still be golden.
+        assert service.batches_seen == NUM_BATCHES
+        assert_states_equal(service.state_dict(), golden)
+    finally:
+        service.close()

@@ -1,0 +1,320 @@
+"""Service-level durability: the WAL wired through ``SamplerService``.
+
+Complements :mod:`tests.service.test_wal` (format level) and
+:mod:`tests.service.test_wal_faults` (crash-at-any-point property). Here the
+service is exercised through its public API: logging must not perturb the
+sampling trajectory on any backend, recovery after a clean close or a worker
+crash must be bit-identical, resharding must checkpoint-and-truncate before
+re-homing, and the observability surface (``stats()["durability"]``,
+``acked_batches``) must tell the truth.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineError
+from repro.service import (
+    MissingCheckpointError,
+    SamplerService,
+    WALError,
+    load_service_delta,
+    recover_service,
+)
+from repro.service.wal import read_log_records
+
+from tests.faults import assert_states_equal
+
+BACKENDS = [None, "thread:2", "process:2"]
+BACKEND_IDS = ["serial", "thread", "process"]
+
+
+def _factory():
+    from repro.core import RTBS
+
+    return lambda rng: RTBS(n=30, lambda_=0.1, rng=rng)
+
+
+def _batches(count: int, start: int = 0, size: int = 150) -> list[np.ndarray]:
+    rng = np.random.default_rng(555)
+    all_batches = [
+        rng.integers(0, 50_000, size=size) for _ in range(start + count)
+    ]
+    return all_batches[start:]
+
+
+def _golden(batches, num_shards: int = 4, rng: int = 7, **kwargs) -> dict:
+    service = SamplerService(_factory(), num_shards=num_shards, rng=rng, **kwargs)
+    for batch in batches:
+        service.ingest_batch(batch)
+    state = service.state_dict()
+    service.close()
+    return state
+
+
+class TestTrajectoryUnperturbed:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_wal_does_not_perturb_the_trajectory(self, tmp_path, backend):
+        batches = _batches(10)
+        golden = _golden(batches)
+        service = SamplerService(
+            _factory(),
+            num_shards=4,
+            rng=7,
+            executor=backend,
+            wal_dir=tmp_path / "wal",
+        )
+        for batch in batches:
+            service.ingest_batch(batch)
+        try:
+            assert_states_equal(service.state_dict(), golden)
+        finally:
+            service.close()
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+    def test_clean_close_then_recover_is_bit_identical(self, tmp_path, backend):
+        batches = _batches(9)
+        service = SamplerService(
+            _factory(),
+            num_shards=4,
+            rng=7,
+            executor=backend,
+            wal_dir=tmp_path / "wal",
+        )
+        for index, batch in enumerate(batches):
+            service.ingest_batch(batch)
+            if index == 4:
+                service.checkpoint()
+        service.close()
+
+        recovered = recover_service(tmp_path / "wal", _factory(), executor=backend)
+        try:
+            assert recovered.batches_seen == len(batches)
+            assert_states_equal(recovered.state_dict(), _golden(batches))
+            # The recovered service is live: it keeps ingesting and stays on
+            # the golden trajectory.
+            more = _batches(3, start=len(batches))
+            for batch in more:
+                recovered.ingest_batch(batch)
+            assert_states_equal(
+                recovered.state_dict(), _golden(_batches(12))
+            )
+        finally:
+            recovered.close()
+
+    def test_pipelined_unacked_batches_replay_after_worker_crash(self, tmp_path):
+        """A worker dies with frames in flight; the log replays them all.
+
+        The WAL records every batch driver-side *before* dispatch, so the
+        batches the crashed worker never acknowledged are still durable;
+        recovery replays them and lands exactly where an uninterrupted run
+        would have.
+        """
+        batches = _batches(12)
+        service = SamplerService(
+            _factory(),
+            num_shards=4,
+            rng=7,
+            executor="process:2",
+            wal_dir=tmp_path / "wal",
+        )
+        for batch in batches[:6]:
+            service.ingest_batch(batch)
+        service.checkpoint()
+        # Bulk-enqueue without a barrier: these frames are pipelined, some
+        # acknowledged, some not — but every one is already on disk.
+        service.ingest(batches[6:])
+        assert 0 <= service.acked_batches <= service.batches_seen
+        victim = service.executor.transport.workers[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        with pytest.raises(EngineError):
+            service.close()  # first drain after the crash surfaces it
+
+        recovered = recover_service(tmp_path / "wal", _factory())
+        try:
+            assert recovered.batches_seen == len(batches)
+            assert_states_equal(recovered.state_dict(), _golden(batches))
+        finally:
+            recovered.close()
+
+    def test_recover_from_empty_directory_raises_missing_checkpoint(self, tmp_path):
+        with pytest.raises(MissingCheckpointError):
+            recover_service(tmp_path / "nothing-here", _factory())
+
+
+class TestReshard:
+    def test_reshard_checkpoints_and_truncates_before_rehoming(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        service = SamplerService(
+            _factory(), num_shards=4, rng=7, wal_dir=wal_dir
+        )
+        for batch in _batches(8):
+            service.ingest_batch(batch)
+        assert len(read_log_records(wal_dir / "commit.wal").records) == 8
+
+        service.reshard(6)
+
+        # Everything that was in the logs is now durable in the checkpoint;
+        # the logs were truncated and rebuilt for the new layout.
+        assert service.num_shards == 6
+        # Logs are deleted outright and recreated lazily on the next append.
+        assert not os.path.exists(wal_dir / "commit.wal")
+        _, watermark = load_service_delta(wal_dir / "checkpoint")
+        assert watermark == 8 - 1
+        assert service.stats()["durability"]["replay_lag_batches"] == 0
+
+        # The resharded service keeps logging under the new layout, and
+        # recovery reproduces it exactly.
+        for batch in _batches(4, start=8):
+            service.ingest_batch(batch)
+        live = service.state_dict()
+        service.close()
+        recovered = recover_service(wal_dir, _factory())
+        try:
+            assert_states_equal(recovered.state_dict(), live)
+        finally:
+            recovered.close()
+
+
+class TestLifecycleAndGuards:
+    def test_create_refuses_an_existing_deployment_directory(self, tmp_path):
+        service = SamplerService(_factory(), num_shards=2, rng=0, wal_dir=tmp_path / "wal")
+        service.ingest_batch(np.arange(10))
+        service.close()
+        with pytest.raises(WALError, match="recover_service"):
+            SamplerService(_factory(), num_shards=2, rng=0, wal_dir=tmp_path / "wal")
+
+    def test_paired_checkpoint_requires_a_wal(self):
+        service = SamplerService(_factory(), num_shards=2, rng=0)
+        with pytest.raises(ValueError, match="wal_dir"):
+            service.checkpoint()
+
+    def test_explicit_directory_checkpoint_leaves_the_wal_untouched(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        service = SamplerService(_factory(), num_shards=4, rng=7, wal_dir=wal_dir)
+        batches = _batches(5)
+        for batch in batches:
+            service.ingest_batch(batch)
+        service.checkpoint(tmp_path / "elsewhere")
+        # The side checkpoint is complete and loadable, but the paired
+        # log/watermark pair still owns recovery: nothing was truncated.
+        state, watermark = load_service_delta(tmp_path / "elsewhere")
+        assert watermark == len(batches) - 1
+        restored = SamplerService.from_state_dict(state, _factory())
+        assert restored.batches_seen == len(batches)
+        assert len(read_log_records(wal_dir / "commit.wal").records) == len(batches)
+        assert service.stats()["durability"]["checkpoint_watermark"] == -1
+        service.close()
+
+    def test_flush_makes_the_log_readable_midstream(self, tmp_path):
+        wal_dir = tmp_path / "wal"
+        service = SamplerService(_factory(), num_shards=4, rng=7, wal_dir=wal_dir)
+        for batch in _batches(3):
+            service.ingest_batch(batch)
+        service.flush()
+        scan = read_log_records(wal_dir / "commit.wal")
+        assert [record.seq for record in scan.records] == [0, 1, 2]
+        service.close()
+
+    @pytest.mark.parametrize("fsync", ["os", "always", "none"])
+    def test_every_fsync_policy_recovers_after_clean_close(self, tmp_path, fsync):
+        batches = _batches(6)
+        service = SamplerService(
+            _factory(),
+            num_shards=4,
+            rng=7,
+            wal_dir=tmp_path / "wal",
+            wal_fsync=fsync,
+        )
+        for index, batch in enumerate(batches):
+            service.ingest_batch(batch)
+            if index == 2:
+                service.checkpoint()
+        service.close()
+        recovered = recover_service(tmp_path / "wal", _factory(), fsync=fsync)
+        try:
+            assert_states_equal(recovered.state_dict(), _golden(batches))
+        finally:
+            recovered.close()
+
+
+class TestKeysThroughRecovery:
+    def test_explicit_keys_round_trip_and_taint_survives(self, tmp_path):
+        batches = _batches(6, size=80)
+        keys = [batch % 17 for batch in batches]
+        golden_service = SamplerService(_factory(), num_shards=4, rng=7)
+        for batch, key in zip(batches, keys):
+            golden_service.ingest_batch(batch, keys=key)
+        golden = golden_service.state_dict()
+
+        service = SamplerService(
+            _factory(), num_shards=4, rng=7, wal_dir=tmp_path / "wal"
+        )
+        for batch, key in zip(batches, keys):
+            service.ingest_batch(batch, keys=key)
+        service.close()
+        recovered = recover_service(tmp_path / "wal", _factory())
+        try:
+            assert_states_equal(recovered.state_dict(), golden)
+            # The explicit-keys taint rides the log: without a key_fn the
+            # recovered service must still refuse to reshard.
+            with pytest.raises(Exception, match="[Kk]ey"):
+                recovered.reshard(8)
+        finally:
+            recovered.close()
+
+    def test_string_payloads_round_trip_through_recovery(self, tmp_path):
+        rng = np.random.default_rng(9)
+        batches = [
+            np.array([f"item-{value}" for value in rng.integers(0, 1000, size=60)])
+            for _ in range(5)
+        ]
+        golden_service = SamplerService(_factory(), num_shards=4, rng=7)
+        for batch in batches:
+            golden_service.ingest_batch(batch)
+        golden = golden_service.state_dict()
+
+        service = SamplerService(
+            _factory(), num_shards=4, rng=7, wal_dir=tmp_path / "wal"
+        )
+        for batch in batches:
+            service.ingest_batch(batch)
+        service.close()
+        recovered = recover_service(tmp_path / "wal", _factory())
+        try:
+            assert_states_equal(recovered.state_dict(), golden)
+        finally:
+            recovered.close()
+
+
+class TestObservability:
+    def test_durability_block_reports_the_truth(self, tmp_path):
+        bare = SamplerService(_factory(), num_shards=2, rng=0)
+        assert bare.stats()["durability"] == {"wal_enabled": False}
+        assert bare.acked_batches == bare.batches_seen == 0
+
+        service = SamplerService(
+            _factory(), num_shards=4, rng=7, wal_dir=tmp_path / "wal", wal_fsync="os"
+        )
+        for batch in _batches(5):
+            service.ingest_batch(batch)
+        durability = service.stats()["durability"]
+        assert durability["wal_enabled"] is True
+        assert durability["wal_dir"] == str(tmp_path / "wal")
+        assert durability["fsync"] == "os"
+        assert durability["checkpoint_watermark"] == -1
+        assert durability["replay_lag_batches"] == 5 - 1 - -1
+        assert durability["acked_batches"] == 5
+        service.checkpoint()
+        durability = service.stats()["durability"]
+        assert durability["checkpoint_watermark"] == 4
+        assert durability["replay_lag_batches"] == 0
+        assert service.wal_dir == str(tmp_path / "wal")
+        service.close()
