@@ -1,0 +1,162 @@
+"""Routing-contract fingerprint: hash the normative encoding functions.
+
+``repro.service.routing`` defines the *normative* key→shard encoding that
+checkpoints depend on: restoring an N-shard checkpoint as M shards replays
+every key through ``shard_ids_for_keys``, so any change to the encoding
+silently strands previously-routed state. The module guards itself with
+``ROUTING_VERSION``; this rule makes the guard mechanical by hashing a
+normalized AST dump of the normative functions and comparing it against the
+fingerprint recorded for the declared version in
+:mod:`repro.analysis.fingerprints`.
+
+Normalization strips docstrings and source locations, so comments, blank
+lines and doc edits never trip the rule — only behavioral edits to the
+function bodies do.
+
+Bump procedure (also in ``docs/CONTRACTS.md``): when the encoding must
+change, (1) increment ``ROUTING_VERSION`` in ``src/repro/service/routing.py``,
+(2) run ``python tools/repro_lint.py --print-routing-fingerprint`` and add
+the printed entry to ``ROUTING_FINGERPRINTS``, and (3) update the golden in
+``tests/service/test_routing_fingerprint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Iterator
+
+from repro.analysis.fingerprints import NORMATIVE_FUNCTIONS, ROUTING_FINGERPRINTS
+from repro.analysis.framework import Finding, Rule, SourceModule
+
+__all__ = [
+    "RoutingFingerprintRule",
+    "routing_fingerprint_from_source",
+    "compute_routing_fingerprint",
+    "routing_version_from_source",
+]
+
+ROUTING_MODULE = "repro.service.routing"
+
+_BUMP_PROCEDURE = (
+    "if the encoding change is intentional, bump ROUTING_VERSION in "
+    "src/repro/service/routing.py, record the new fingerprint printed by "
+    "'python tools/repro_lint.py --print-routing-fingerprint' in "
+    "src/repro/analysis/fingerprints.py, and update the golden in "
+    "tests/service/test_routing_fingerprint.py (see docs/CONTRACTS.md)"
+)
+
+
+def _strip_docstring(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+    if (
+        fn.body
+        and isinstance(fn.body[0], ast.Expr)
+        and isinstance(fn.body[0].value, ast.Constant)
+        and isinstance(fn.body[0].value.value, str)
+    ):
+        fn.body = fn.body[1:] or [ast.Pass()]
+
+
+def routing_fingerprint_from_source(source: str) -> str:
+    """SHA-256 over the normalized ASTs of the normative functions.
+
+    Raises ``ValueError`` if any normative function is missing — a removed
+    or renamed encoding function is itself a contract change.
+    """
+    tree = ast.parse(source)
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    digest = hashlib.sha256()
+    for name in NORMATIVE_FUNCTIONS:
+        fn = functions.get(name)
+        if fn is None:
+            raise ValueError(f"normative routing function {name!r} is missing")
+        _strip_docstring(fn)
+        fn.decorator_list = []  # cache decorators (lru_cache sizes) are not normative
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(ast.dump(fn, include_attributes=False).encode("utf-8"))
+        digest.update(b"\x01")
+    return f"sha256:{digest.hexdigest()}"
+
+
+def routing_version_from_source(source: str) -> int | None:
+    """Statically read ``ROUTING_VERSION = <int>`` from routing source."""
+    tree = ast.parse(source)
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "ROUTING_VERSION"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                return value.value
+    return None
+
+
+def compute_routing_fingerprint(path: str | None = None) -> tuple[int | None, str]:
+    """(declared version, fingerprint) for a routing module on disk.
+
+    With no ``path``, locates the installed :mod:`repro.service.routing`.
+    """
+    if path is None:
+        import repro.service.routing as routing_module
+
+        path = routing_module.__file__
+        assert path is not None
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return routing_version_from_source(source), routing_fingerprint_from_source(source)
+
+
+class RoutingFingerprintRule(Rule):
+    id = "routing-fingerprint"
+    description = (
+        "the normative key-encoding functions in service/routing.py must not "
+        "change without a ROUTING_VERSION bump"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return module.name == ROUTING_MODULE
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        version = routing_version_from_source(module.source)
+        if version is None:
+            yield self.finding(
+                module,
+                1,
+                "routing module declares no integer ROUTING_VERSION",
+                _BUMP_PROCEDURE,
+            )
+            return
+        try:
+            fingerprint = routing_fingerprint_from_source(module.source)
+        except ValueError as error:
+            yield self.finding(module, 1, str(error), _BUMP_PROCEDURE)
+            return
+        recorded = ROUTING_FINGERPRINTS.get(version)
+        if recorded is None:
+            yield self.finding(
+                module,
+                1,
+                f"ROUTING_VERSION={version} has no recorded fingerprint",
+                _BUMP_PROCEDURE,
+            )
+        elif recorded != fingerprint:
+            yield self.finding(
+                module,
+                1,
+                f"normative routing functions changed but ROUTING_VERSION is "
+                f"still {version} (recorded {recorded}, computed {fingerprint})",
+                _BUMP_PROCEDURE,
+            )

@@ -1,0 +1,34 @@
+"""Recorded golden fingerprints for the routing contract, per version.
+
+``ROUTING_FINGERPRINTS[v]`` is the SHA-256 (see
+:func:`repro.analysis.fingerprint.routing_fingerprint_from_source`) of the
+normative key-encoding functions as they stood when ``ROUTING_VERSION`` was
+``v``. The lint fails when the functions change while the version stays —
+that is the point: a routing change without a version bump silently breaks
+restoring old checkpoints under a different shard count.
+
+Never edit an existing entry. To change the encoding, bump
+``ROUTING_VERSION`` and *add* a new entry (procedure in
+``docs/CONTRACTS.md`` and in the rule's fix hint).
+"""
+
+from __future__ import annotations
+
+__all__ = ["NORMATIVE_FUNCTIONS", "ROUTING_FINGERPRINTS"]
+
+#: The functions whose behavior defines the key→shard encoding. Removing or
+#: renaming one is itself a contract change.
+NORMATIVE_FUNCTIONS: tuple[str, ...] = (
+    "_splitmix64_array",
+    "_shards_from_hashes",
+    "_splitmix64_scalar",
+    "_blake2b_bytes_hash",
+    "stable_hash",
+    "_string_array_shard_ids",
+    "shard_ids_for_keys",
+    "split_by_shard",
+)
+
+ROUTING_FINGERPRINTS: dict[int, str] = {
+    1: "sha256:044ce8d50d17676c343bd6c2127c5848691270877dab9579cf01018ec285644a",
+}

@@ -1,0 +1,330 @@
+"""Rule framework for the contract lint: findings, waivers, the runner.
+
+A :class:`Rule` inspects one :class:`SourceModule` (path + source + parsed
+AST) and yields :class:`Finding` objects. The runner applies inline waivers:
+
+``# repro-lint: ignore[rule-id] -- reason``
+
+on the flagged line (or the line directly above it) suppresses findings for
+the named rule — or every rule with ``ignore[*]`` — but only when a reason
+is given after ``--``. A waiver without a reason is itself reported as an
+error: the whole point of a waiver is the recorded justification.
+
+Module names are derived from the path's last ``repro`` directory component
+(``.../repro/core/rtbs.py`` → ``repro.core.rtbs``), so rules scoped to
+packages such as :mod:`repro.core` apply equally to the real tree and to
+test fixture trees that mimic its layout.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "Waiver",
+    "SourceModule",
+    "Rule",
+    "LintReport",
+    "load_source_module",
+    "module_name_for",
+    "iter_python_files",
+    "run_lint",
+]
+
+SEVERITIES = ("error", "warning")
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[(?P<rules>[^\]]+)\]" r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or waiver problem) at a source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    waived: bool = False
+    waiver_reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        if self.waived:
+            out["waived"] = True
+            out["waiver_reason"] = self.waiver_reason
+        return out
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.severity}[{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    fix: {self.hint}"
+        return text
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """An inline ``# repro-lint: ignore[...]`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rules or rule_id in self.rules
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file handed to every rule."""
+
+    path: Path
+    name: str
+    source: str
+    tree: ast.Module
+    waivers: dict[int, Waiver] = field(default_factory=dict)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module lives under any of the dotted ``prefixes``."""
+        return any(
+            self.name == prefix or self.name.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    @property
+    def basename(self) -> str:
+        return self.name.rsplit(".", 1)[-1]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id`, :attr:`description` and :attr:`severity`,
+    restrict themselves via :meth:`applies_to`, and yield findings from
+    :meth:`check`. Use :meth:`finding` to stamp the id/severity/path.
+    """
+
+    id: str = "rule"
+    description: str = ""
+    severity: str = "error"
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return True
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node_or_line: ast.AST | int, message: str, hint: str = ""
+    ) -> Finding:
+        line = (
+            node_or_line
+            if isinstance(node_or_line, int)
+            else getattr(node_or_line, "lineno", 0)
+        )
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=str(module.path),
+            line=int(line),
+            message=message,
+            hint=hint,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    waived: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        by_rule: dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "format_version": 1,
+            "files_checked": self.files_checked,
+            "summary": {
+                "findings": len(self.findings),
+                "errors": len(self.errors),
+                "waived": len(self.waived),
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "waived": [f.to_dict() for f in self.waived],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"repro-lint: {len(self.findings)} finding(s) in "
+            f"{self.files_checked} file(s), {len(self.waived)} waived"
+        )
+        return "\n".join(lines)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the last ``repro`` component of ``path``.
+
+    Files outside any ``repro`` directory get their bare stem, which keeps
+    them out of every package-scoped rule.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    prefix = parts[:-1]
+    try:
+        anchor = len(prefix) - 1 - prefix[::-1].index("repro")
+    except ValueError:
+        return stem
+    dotted = parts[anchor:-1]
+    if stem != "__init__":
+        dotted = dotted + [stem]
+    return ".".join(dotted)
+
+
+def parse_waivers(source: str) -> dict[int, Waiver]:
+    waivers: dict[int, Waiver] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        waivers[lineno] = Waiver(line=lineno, rules=rules, reason=reason)
+    return waivers
+
+
+def load_source_module(path: Path) -> SourceModule:
+    """Parse ``path``; raises ``SyntaxError`` on unparsable source."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return SourceModule(
+        path=path,
+        name=module_name_for(path),
+        source=source,
+        tree=tree,
+        waivers=parse_waivers(source),
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _apply_waivers(
+    module: SourceModule, raw_findings: Iterable[Finding], report: LintReport
+) -> None:
+    used_waivers: set[int] = set()
+    for finding in raw_findings:
+        waiver = None
+        for candidate_line in (finding.line, finding.line - 1):
+            candidate = module.waivers.get(candidate_line)
+            if candidate is not None and candidate.covers(finding.rule):
+                waiver = candidate
+                break
+        if waiver is None:
+            report.findings.append(finding)
+            continue
+        used_waivers.add(waiver.line)
+        if not waiver.reason:
+            report.findings.append(
+                Finding(
+                    rule="waiver",
+                    severity="error",
+                    path=str(module.path),
+                    line=waiver.line,
+                    message=(
+                        f"waiver for rule '{finding.rule}' has no reason; write "
+                        "'# repro-lint: ignore[rule] -- why this is safe'"
+                    ),
+                )
+            )
+        else:
+            report.waived.append(
+                replace(finding, waived=True, waiver_reason=waiver.reason)
+            )
+
+
+def run_lint(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule] | None = None,
+    *,
+    rule_ids: Sequence[str] | None = None,
+) -> LintReport:
+    """Run ``rules`` (default: the full contract suite) over every ``*.py`` file under ``paths``."""
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    if rule_ids is not None:
+        wanted = set(rule_ids)
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.id in wanted]
+    report = LintReport()
+    for path in iter_python_files(Path(p) for p in paths):
+        report.files_checked += 1
+        try:
+            module = load_source_module(path)
+        except SyntaxError as error:
+            report.findings.append(
+                Finding(
+                    rule="parse-error",
+                    severity="error",
+                    path=str(path),
+                    line=int(error.lineno or 0),
+                    message=f"could not parse file: {error.msg}",
+                )
+            )
+            continue
+        raw: list[Finding] = []
+        for rule in rules:
+            if rule.applies_to(module):
+                raw.extend(rule.check(module))
+        raw.sort(key=lambda f: (f.line, f.rule))
+        _apply_waivers(module, raw, report)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    report.waived.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

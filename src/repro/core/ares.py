@@ -100,7 +100,7 @@ class AResSampler(Sampler):
     def reshard_items(self) -> np.ndarray:
         return self._items
 
-    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict[int, dict[str, Any]]:
         """Route (key, payload) pairs; each piece carries its landmark."""
         destinations = np.asarray(destinations, dtype=np.int64)
         return {

@@ -23,7 +23,7 @@ Two ingestion entry points exist:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, ClassVar, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -120,6 +120,14 @@ class Sampler:
         after every batch. Experiments use this to plot sample-size
         trajectories (Figure 1).
     """
+
+    #: Attributes *derived* from config in ``__init__`` and therefore
+    #: deliberately absent from ``state_dict()`` — restore rebuilds them.
+    #: The state-dict contract lint trusts this list instead of flagging them.
+    _STATE_DICT_EXEMPT: ClassVar[frozenset[str]] = frozenset()
+    #: Attributes serialized under *different* ``state_dict()`` key names:
+    #: maps attribute name to the tuple of keys that together capture it.
+    _STATE_DICT_KEYS: ClassVar[Mapping[str, tuple[str, ...]]] = {}
 
     def __init__(
         self,

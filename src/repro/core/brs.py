@@ -10,7 +10,7 @@ one-item-at-a-time reservoir algorithm over the whole batch.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -75,7 +75,7 @@ class BatchedReservoir(Sampler):
     def reshard_items(self) -> np.ndarray:
         return as_item_array(self._sample)
 
-    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict[int, dict[str, Any]]:
         """Route retained items; apportion ``items_seen`` by largest remainder.
 
         The stream counter splits proportionally to each destination's
@@ -126,7 +126,7 @@ class BatchedReservoir(Sampler):
         self._sample = sample
         self._items_seen = int(sum(piece["items_seen"] for piece in pieces))
 
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
         batch_size = len(items)
         if batch_size == 0:
             return

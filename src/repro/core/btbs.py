@@ -13,7 +13,7 @@ independent control of the sample size: the equilibrium size is
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -26,6 +26,8 @@ __all__ = ["BTBS"]
 
 class BTBS(Sampler):
     """Bernoulli time-biased sampler with retention probability ``e^{-lambda}``."""
+
+    _STATE_DICT_EXEMPT = frozenset({"retention_probability"})  # derived from lambda_
 
     def __init__(
         self,
@@ -67,7 +69,7 @@ class BTBS(Sampler):
     def reshard_items(self) -> np.ndarray:
         return as_item_array(self._sample)
 
-    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict[int, dict[str, Any]]:
         destinations = np.asarray(destinations, dtype=np.int64)
         return {
             int(destination): {
@@ -83,7 +85,7 @@ class BTBS(Sampler):
         """Concatenate routed items in source order (B-TBS has no size bound)."""
         self._sample = [item for piece in pieces for item in piece["items"]]
 
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
         retention = math.exp(-self.lambda_ * elapsed)
         keep = binomial(self._rng, len(self._sample), retention)
         self._sample = sample_without_replacement(self._rng, self._sample, keep)

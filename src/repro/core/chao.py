@@ -85,6 +85,9 @@ class BatchedChao(Sampler):
         self._stream_weight: float = float(len(initial))
         self._overweight: list[tuple[Any, float]] = []
 
+    # (item, weight) pairs are serialized as two parallel key arrays.
+    _STATE_DICT_KEYS = {"_overweight": ("overweight_items", "overweight_weights")}
+
     # ------------------------------------------------------------------
     # Sampler interface
     # ------------------------------------------------------------------
@@ -142,7 +145,7 @@ class BatchedChao(Sampler):
             as_item_array([item for item, _ in self._overweight]),
         )
 
-    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict[int, dict[str, Any]]:
         """Route ordinary and overweight items; apportion the stream weight.
 
         ``W`` (the normalizer of Chao's inclusion probabilities) splits
@@ -156,9 +159,9 @@ class BatchedChao(Sampler):
         ordinary_dest = destinations[:ordinary_count]
         overweight_dest = destinations[ordinary_count:]
 
-        pieces: dict[int, dict] = {}
+        pieces: dict[int, dict[str, Any]] = {}
 
-        def piece(destination: int) -> dict:
+        def piece(destination: int) -> dict[str, Any]:
             return pieces.setdefault(
                 int(destination),
                 {"sample": [], "stream_weight": 0.0, "overweight": []},

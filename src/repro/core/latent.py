@@ -358,20 +358,21 @@ class LatentSample:
                 f"{len(full_destinations)} destinations for "
                 f"{len(self._full)} full items"
             )
-        if self.has_partial and partial_destination is None:
-            raise ValueError("a partial item is stored but has no destination")
         pieces: dict[int, LatentSample] = {}
         for destination in np.unique(full_destinations):
             idx = np.flatnonzero(full_destinations == destination)
             pieces[int(destination)] = LatentSample(
                 self._full.take(idx), _Items.empty(), float(len(idx))
             )
-        if self.has_partial and self.fraction > 0.0:
-            destination = int(partial_destination)
-            base = pieces.get(destination, LatentSample.empty())
-            pieces[destination] = LatentSample(
-                base._full, self._partial.copy(), base.weight + self.fraction
-            )
+        if self.has_partial:
+            if partial_destination is None:
+                raise ValueError("a partial item is stored but has no destination")
+            if self.fraction > 0.0:
+                target = int(partial_destination)
+                base = pieces.get(target, LatentSample.empty())
+                pieces[target] = LatentSample(
+                    base._full, self._partial.copy(), base.weight + self.fraction
+                )
         for piece in pieces.values():
             piece.check_invariants()
         return pieces
@@ -444,8 +445,11 @@ def downsample(
     u = rng.random()
 
     if floor_cprime == 0:
-        # No full items are retained; only a partial item survives.
-        if u > (frac_c / weight if frac_c > 0.0 else 0.0):
+        # No full items are retained; only a partial item survives. With no
+        # current partial (frac_c == 0) a full item *must* become the partial:
+        # gating that on ``u > 0`` would, on the measure-zero draw u == 0.0,
+        # emit a sample with positive fractional weight and no partial item.
+        if frac_c <= 0.0 or u > frac_c / weight:
             full, partial = _swap1(rng, full, partial)
         full = _Items.empty()
     elif floor_cprime == floor_c:

@@ -59,7 +59,7 @@ def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
-def generator_state(rng: np.random.Generator) -> dict:
+def generator_state(rng: np.random.Generator) -> dict[str, Any]:
     """The bit-generator state of ``rng`` as a JSON-able mapping.
 
     Together with :func:`generator_from_state` this gives samplers and the
@@ -69,7 +69,7 @@ def generator_state(rng: np.random.Generator) -> dict:
     return rng.bit_generator.state
 
 
-def generator_from_state(state: dict) -> np.random.Generator:
+def generator_from_state(state: dict[str, Any]) -> np.random.Generator:
     """Rebuild a :class:`numpy.random.Generator` from :func:`generator_state`.
 
     The bit-generator class is resolved by name from :mod:`numpy.random`

@@ -169,7 +169,7 @@ class RTBS(Sampler):
             self._latent.full_array, self._latent._partial.payloads
         )
 
-    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict[int, dict[str, Any]]:
         """Split the latent sample (and ``W_t``) by destination.
 
         Each destination's piece carries a valid latent fragment plus its

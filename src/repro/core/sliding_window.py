@@ -16,7 +16,7 @@ robustness weakness the temporally-biased samplers are designed to avoid.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class SlidingWindow(Sampler):
     def _restore_payload(self, payload: dict[str, Any]) -> None:
         self._window = deque(payload["window"], maxlen=self.n)
 
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
         self._window.extend(items)
 
 
@@ -70,6 +70,9 @@ class TimeBasedSlidingWindow(Sampler):
             raise ValueError(f"window length must be positive, got {window}")
         self.window = float(window)
         self._entries: deque[tuple[float, Any]] = deque()
+
+    # (time, item) entries are serialized as two parallel key arrays.
+    _STATE_DICT_KEYS = {"_entries": ("entry_times", "entry_items")}
 
     def sample_items(self) -> list[Any]:
         return [item for _, item in self._entries]
@@ -97,7 +100,7 @@ class TimeBasedSlidingWindow(Sampler):
 
         return as_item_array([item for _, item in self._entries])
 
-    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict[int, dict[str, Any]]:
         destinations = np.asarray(destinations, dtype=np.int64)
         return {
             int(destination): {
@@ -123,7 +126,7 @@ class TimeBasedSlidingWindow(Sampler):
         order = np.argsort(times, kind="stable")
         self._entries = deque(entries[int(index)] for index in order)
 
-    def _process_batch(self, items: list[Any], elapsed: float) -> None:
+    def _process_batch(self, items: Sequence[Any] | np.ndarray, elapsed: float) -> None:
         arrival_time = self._time
         for item in items:
             self._entries.append((arrival_time, item))

@@ -101,6 +101,9 @@ class TTBS(Sampler):
         self.acceptance_probability = min(1.0, required / mean_batch_size)
         self._sample = as_item_array(initial_items, copy=True)
 
+    # Both probabilities are derived from (n, lambda_, mean_batch_size).
+    _STATE_DICT_EXEMPT = frozenset({"retention_probability", "acceptance_probability"})
+
     # ------------------------------------------------------------------
     # Sampler interface
     # ------------------------------------------------------------------
@@ -147,7 +150,7 @@ class TTBS(Sampler):
     def reshard_items(self) -> np.ndarray:
         return self._sample
 
-    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict:
+    def reshard_split(self, destinations: np.ndarray, num_parts: int) -> dict[int, dict[str, Any]]:
         """Route each retained item to its destination; no aggregates to split."""
         destinations = np.asarray(destinations, dtype=np.int64)
         return {

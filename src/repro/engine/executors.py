@@ -277,16 +277,16 @@ def get_executor(spec: "Executor | str | None") -> Executor:
             f"executor spec must be an Executor, a string, or None; "
             f"got {type(spec).__name__}"
         )
-    name, _, workers_part = spec.partition(":")
+    name, separator, workers_part = spec.partition(":")
     max_workers: int | None = None
-    if workers_part:
+    if separator:
         try:
             max_workers = int(workers_part)
         except ValueError:
             raise ValueError(f"invalid worker count in executor spec {spec!r}") from None
     name = name.strip().lower()
     if name == "serial":
-        if workers_part:
+        if separator:
             raise ValueError("the serial executor takes no worker count")
         return SerialExecutor()
     if name == "thread":

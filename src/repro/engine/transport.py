@@ -169,6 +169,7 @@ def _worker_main(conn: Connection, worker_index: int) -> None:
                 result = fn(task)
             else:  # pragma: no cover - protocol error
                 raise EngineError(f"unknown transport message kind {kind!r}")
+        # repro-lint: ignore[error-swallowing] -- worker loop catch-all: every failure is forwarded to the driver as a structured nack and re-raised there as RemoteTaskError; the worker must survive arbitrary task exceptions
         except BaseException as error:  # noqa: BLE001 - forwarded to the driver
             payload = (type(error).__name__, str(error), traceback.format_exc())
             try:
@@ -238,7 +239,7 @@ class _WorkerHandle:
         pid = self.process.pid
         return WorkerCrashError(self.index, pid, sorted(self.resident_keys, key=repr), detail)
 
-    def send(self, message: tuple) -> None:
+    def send(self, message: tuple[Any, ...]) -> None:
         try:
             self.conn.send(message)
         except (OSError, BrokenPipeError, ValueError) as error:
@@ -283,7 +284,7 @@ class _WorkerHandle:
 
     def submit(
         self,
-        message_tail: tuple,
+        message_tail: tuple[Any, ...],
         kind: str,
         ring_bytes: int = 0,
         on_result: Callable[[Any], None] | None = None,
@@ -646,10 +647,11 @@ class ShardWorkerPool:
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
+        # repro-lint: ignore[error-swallowing] -- __del__ runs during interpreter teardown where pipes/shm may already be gone; raising from a finalizer would only print an unraisable-exception warning
         except Exception:
             pass
 
 
-def _snapshot_resident(residents: dict, key: Any, snapshot_fn: Callable[[Any], Any]) -> Any:
+def _snapshot_resident(residents: dict[Any, Any], key: Any, snapshot_fn: Callable[[Any], Any]) -> Any:
     """Worker-side helper behind :meth:`ShardWorkerPool.snapshot`."""
     return snapshot_fn(residents[key])

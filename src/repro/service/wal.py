@@ -210,7 +210,13 @@ def _decode_payload(encoding: int, body: bytes, offset: int, where: str) -> np.n
         raise ValueError(f"unknown payload encoding {encoding}")
     except WALError:
         raise
-    except Exception as error:
+    except (ValueError, TypeError, KeyError, IndexError, struct.error, OverflowError) as error:
+        # The expected decode failures for a torn/corrupt record body:
+        # struct.error (truncated header fields), ValueError (bad dtype
+        # string, frombuffer size mismatch, json.JSONDecodeError, malformed
+        # .npy), UnicodeDecodeError (ValueError subclass), TypeError/KeyError
+        # (json payload shape), IndexError/OverflowError (bad offsets).
+        # Anything else — MemoryError, OSError, a bug — must propagate.
         raise WALError(f"{where}: undecodable payload array ({error})") from error
 
 

@@ -1,0 +1,18 @@
+"""Fixture: a conforming WAL-scoped module — zero findings expected."""
+
+import json
+
+import numpy as np
+
+
+def save_payload(path, array):
+    np.save(path, array, allow_pickle=False)
+
+
+def load_payload(path):
+    return np.load(path, allow_pickle=False)
+
+
+def write_manifest(path, manifest):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)

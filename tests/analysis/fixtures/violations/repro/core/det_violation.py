@@ -1,0 +1,24 @@
+"""Fixture: every determinism violation the lint must catch.
+
+Never imported — parsed only. The ``repro/core`` path components put it in
+the determinism rule's scope.
+"""
+
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+
+def ambient_randomness():
+    np.random.seed(42)  # legacy global-state API
+    value = np.random.rand()  # legacy global-state API
+    jitter = random.random()  # stdlib random call
+    rng = np.random.default_rng()  # unseeded
+    rng2 = np.random.default_rng(seed=None)  # unseeded via keyword
+    stamp = time.time()  # wall clock
+    when = datetime.now()  # wall clock
+    token = uuid.uuid4()  # nondeterministic id
+    return value, jitter, rng, rng2, stamp, when, token

@@ -1,0 +1,18 @@
+"""Fixture: a sampler whose state_dict() misses an assigned attribute."""
+
+
+class LeakySampler:
+    def __init__(self, n):
+        self.n = n
+        self._sample = []
+        self._running_total = 0.0  # never serialized: the rule must flag it
+
+    def add(self, items):
+        self._sample = list(items)[: self.n]
+        self._running_total += float(len(items))
+
+    def _config_state(self):
+        return {"n": self.n}
+
+    def _payload_state(self):
+        return {"sample": list(self._sample)}

@@ -1,0 +1,11 @@
+"""Fixture: set-iteration hazards the iter-order rule must catch."""
+
+
+def dispatch(shards):
+    order = []
+    for shard in {2, 0, 1}:  # set literal iteration
+        order.append(shard)
+    listed = list(set(shards))  # materializing a set() call
+    nested = [x for x in {s for s in shards}]  # comprehension over a set comp
+    merged = [k for k in set(shards).union({9})]  # set-method result
+    return order, listed, nested, merged

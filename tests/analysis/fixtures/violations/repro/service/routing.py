@@ -1,0 +1,36 @@
+"""Fixture: all normative names present but with *changed* bodies while
+``ROUTING_VERSION`` still claims 1 — the fingerprint rule must fail."""
+
+ROUTING_VERSION = 1
+
+
+def _splitmix64_array(values):
+    return values
+
+
+def _shards_from_hashes(hashes, num_shards):
+    return hashes % num_shards
+
+
+def _splitmix64_scalar(value):
+    return value
+
+
+def _blake2b_bytes_hash(data):
+    return 0
+
+
+def stable_hash(key):
+    return 0
+
+
+def _string_array_shard_ids(keys, num_shards):
+    return keys
+
+
+def shard_ids_for_keys(keys, num_shards):
+    return keys
+
+
+def split_by_shard(keys, num_shards):
+    return {}

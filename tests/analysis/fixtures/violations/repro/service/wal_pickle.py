@@ -1,0 +1,12 @@
+"""Fixture: pickle-trust violations in a WAL-scoped module name."""
+
+import pickle
+
+import numpy as np
+
+
+def load_payload(path):
+    with open(path, "rb") as handle:
+        meta = pickle.load(handle)
+    data = np.load(path, allow_pickle=True)
+    return meta, data

@@ -1,0 +1,12 @@
+"""Fixture: waiver handling — one reasoned waiver, one missing its reason."""
+
+import numpy as np
+
+
+def reseed():
+    return np.random.default_rng()  # repro-lint: ignore[determinism] -- fixture: entropy wanted here, reason recorded
+
+
+def reseed_without_reason():
+    # repro-lint: ignore[determinism]
+    return np.random.default_rng()

@@ -1,0 +1,76 @@
+"""The importing completeness checker: passes on every registered sampler,
+catches a deliberately leaky one."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.statedict import (
+    DEFAULT_CONFIGS,
+    check_registered_samplers,
+    check_sampler_class,
+)
+from repro.core import SAMPLER_TYPES, Sampler
+
+
+class TestRegisteredSamplers:
+    def test_every_registered_sampler_has_a_canonical_config(self) -> None:
+        assert set(DEFAULT_CONFIGS) == set(SAMPLER_TYPES)
+
+    def test_every_registered_sampler_round_trips_faithfully(self) -> None:
+        problems = check_registered_samplers()
+        assert problems == []
+
+
+class ForgetfulReservoir(Sampler):
+    """Keeps at most ``n`` items but never snapshots ``_items_dropped`` —
+    and ``_items_dropped`` drives an (artificial) sampling decision, so the
+    trajectory diverges after restore."""
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(rng=rng, record_history=record_history)
+        self.n = int(n)
+        self._sample: list[Any] = []
+        self._items_dropped = 0
+
+    def sample_items(self) -> list[Any]:
+        return list(self._sample)
+
+    def _process_batch(self, items, elapsed) -> None:
+        for item in items:
+            # The parity of the forgotten counter decides acceptance: any
+            # restore that loses it walks a different trajectory.
+            if len(self._sample) < self.n and self._items_dropped % 2 == 0:
+                self._sample.append(item)
+            else:
+                self._items_dropped += 1
+
+    def _config_state(self) -> dict[str, Any]:
+        return {"n": self.n}
+
+    def _payload_state(self) -> dict[str, Any]:
+        return {"sample": list(self._sample)}  # _items_dropped forgotten
+
+    def _restore_payload(self, payload: dict[str, Any]) -> None:
+        self._sample = list(payload["sample"])
+
+
+class TestLeakDetection:
+    def test_checker_flags_unsnapshotted_attribute(self) -> None:
+        problems = check_sampler_class(ForgetfulReservoir, {"n": 3})
+        assert problems
+        assert any("_items_dropped" in problem for problem in problems)
+
+    def test_checker_reports_unknown_config_instead_of_guessing(self) -> None:
+        problems = check_sampler_class(ForgetfulReservoir)
+        assert problems == [
+            "ForgetfulReservoir: no canonical config known; pass config= "
+            "explicitly"
+        ]

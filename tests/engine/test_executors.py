@@ -123,6 +123,16 @@ class TestGetExecutor:
         with pytest.raises(ValueError, match="max_workers"):
             ProcessPoolExecutor(-1)
 
+    def test_rejects_trailing_colon_with_empty_worker_count(self):
+        # Regression: "thread:"/"serial:" used to be silently accepted
+        # because the empty worker field is falsy.
+        with pytest.raises(ValueError, match="worker count"):
+            get_executor("thread:")
+        with pytest.raises(ValueError, match="worker count"):
+            get_executor("serial:")
+        with pytest.raises(ValueError, match="worker count"):
+            get_executor("process:")
+
 
 class TestShardTasks:
     def test_ingest_shard_state_round_trips_exactly(self):

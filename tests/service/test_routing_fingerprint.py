@@ -1,0 +1,98 @@
+"""Golden fingerprint for the ``ROUTING_VERSION = 1`` encoding contract.
+
+The recorded hash below is the normalized-AST fingerprint of the normative
+key-encoding functions as they stand at ``ROUTING_VERSION = 1``. If this
+test fails, the key→shard encoding changed: restoring checkpoints written
+before the change would route keys differently. Either revert the edit, or
+follow the bump procedure — increment ``ROUTING_VERSION`` in
+``src/repro/service/routing.py``, record the fingerprint printed by
+``python tools/repro_lint.py --print-routing-fingerprint`` in
+``src/repro/analysis/fingerprints.py``, and update ``GOLDEN_V1`` →
+``GOLDEN_V<new>`` here (see docs/CONTRACTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro.service.routing as routing
+from repro.analysis import (
+    NORMATIVE_FUNCTIONS,
+    ROUTING_FINGERPRINTS,
+    default_rules,
+    routing_fingerprint_from_source,
+    run_lint,
+)
+from repro.analysis.fingerprint import routing_version_from_source
+
+GOLDEN_V1 = "sha256:044ce8d50d17676c343bd6c2127c5848691270877dab9579cf01018ec285644a"
+
+ROUTING_PATH = Path(routing.__file__)
+
+
+def routing_source() -> str:
+    return ROUTING_PATH.read_text(encoding="utf-8")
+
+
+class TestGoldenFingerprint:
+    def test_version_one_fingerprint_matches_golden(self) -> None:
+        assert routing.ROUTING_VERSION == 1
+        assert routing_fingerprint_from_source(routing_source()) == GOLDEN_V1
+
+    def test_recorded_fingerprint_table_matches_golden(self) -> None:
+        assert ROUTING_FINGERPRINTS[1] == GOLDEN_V1
+
+    def test_every_normative_function_exists(self) -> None:
+        for name in NORMATIVE_FUNCTIONS:
+            assert callable(getattr(routing, name)), name
+
+
+class TestFingerprintSensitivity:
+    def test_editing_a_normative_function_without_bump_fails(self, tmp_path) -> None:
+        # Flip a constant inside stable_hash's body: a behavioral edit.
+        source = routing_source()
+        assert "0x9E3779B97F4A7C15" in source
+        edited = source.replace("0x9E3779B97F4A7C15", "0x9E3779B97F4A7C16", 1)
+        tree = tmp_path / "repro" / "service"
+        tree.mkdir(parents=True)
+        (tree / "routing.py").write_text(edited, encoding="utf-8")
+
+        report = run_lint([tmp_path], default_rules(), rule_ids=["routing-fingerprint"])
+        [finding] = report.findings
+        assert finding.rule == "routing-fingerprint"
+        assert "ROUTING_VERSION is still 1" in finding.message
+        # The error must explain the bump procedure.
+        assert "bump ROUTING_VERSION" in finding.hint
+        assert "--print-routing-fingerprint" in finding.hint
+        assert "fingerprints.py" in finding.hint
+
+    def test_docstring_and_comment_edits_do_not_trip_the_rule(self, tmp_path) -> None:
+        source = routing_source()
+        edited = source + "\n# trailing comment only\n"
+        tree = tmp_path / "repro" / "service"
+        tree.mkdir(parents=True)
+        (tree / "routing.py").write_text(edited, encoding="utf-8")
+
+        report = run_lint([tmp_path], default_rules(), rule_ids=["routing-fingerprint"])
+        assert report.findings == []
+        assert routing_fingerprint_from_source(edited) == GOLDEN_V1
+
+    def test_version_bump_without_recorded_fingerprint_is_flagged(self, tmp_path) -> None:
+        source = routing_source().replace("ROUTING_VERSION = 1", "ROUTING_VERSION = 99", 1)
+        assert routing_version_from_source(source) == 99
+        tree = tmp_path / "repro" / "service"
+        tree.mkdir(parents=True)
+        (tree / "routing.py").write_text(source, encoding="utf-8")
+
+        report = run_lint([tmp_path], default_rules(), rule_ids=["routing-fingerprint"])
+        [finding] = report.findings
+        assert "no recorded fingerprint" in finding.message
+
+    def test_removing_a_normative_function_is_a_contract_change(self) -> None:
+        source = routing_source().replace("def stable_hash", "def renamed_hash", 1)
+        try:
+            routing_fingerprint_from_source(source)
+        except ValueError as error:
+            assert "stable_hash" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError for missing function")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Contract lint CLI — run the :mod:`repro.analysis` suite over source trees.
+
+Usage::
+
+    python tools/repro_lint.py src/                 # human-readable report
+    python tools/repro_lint.py --format=json src/   # CI artifact
+    python tools/repro_lint.py --rule determinism src/repro/core
+    python tools/repro_lint.py --import-check src/  # + dynamic state_dict check
+    python tools/repro_lint.py --print-routing-fingerprint
+
+Exit status is 0 when no findings survive waivers, 1 otherwise, 2 on usage
+errors. See docs/CONTRACTS.md for the contract catalogue and waiver policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path and (_SRC / "repro").is_dir():
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis import (  # noqa: E402 - after the sys.path bootstrap
+    Finding,
+    compute_routing_fingerprint,
+    default_rules,
+    run_lint,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    rules = default_rules()
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("paths", nargs="*", default=[], help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rule_ids",
+        metavar="RULE",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--import-check",
+        action="store_true",
+        help="also import repro.core and round-trip every registered sampler "
+        "through state_dict() (the dynamic completeness checker)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    parser.add_argument(
+        "--print-routing-fingerprint",
+        action="store_true",
+        help="print the current routing fingerprint entry for "
+        "src/repro/analysis/fingerprints.py and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id:20s} {rule.description}")
+        return 0
+
+    if args.print_routing_fingerprint:
+        version, fingerprint = compute_routing_fingerprint()
+        print(f"    {version}: \"{fingerprint}\",")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: python tools/repro_lint.py src/)")
+
+    try:
+        report = run_lint(args.paths, rules, rule_ids=args.rule_ids)
+    except ValueError as error:
+        parser.error(str(error))
+
+    if args.import_check:
+        from repro.analysis.statedict import check_registered_samplers
+
+        for problem in check_registered_samplers():
+            report.findings.append(
+                Finding(
+                    rule="state-dict",
+                    severity="error",
+                    path="<import-check>",
+                    line=0,
+                    message=problem,
+                    hint="extend _payload_state()/_config_state() until the "
+                    "round-trip is faithful",
+                )
+            )
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
