@@ -27,8 +27,19 @@ NORMATIVE_FUNCTIONS: tuple[str, ...] = (
     "_string_array_shard_ids",
     "shard_ids_for_keys",
     "split_by_shard",
+    # Added with the version-2 encoding (vectorized FNV-1a string hashing
+    # and the fused routing pass). Version dispatch itself is normative:
+    # which encoding a version selects is part of the contract.
+    "_check_version",
+    "_fnv1a64_units_scalar",
+    "_string_array_hashes_v2",
+    "split_order",
+    "route_batch",
 )
 
 ROUTING_FINGERPRINTS: dict[int, str] = {
+    # Computed over the version-1 source with the version-1 normative list
+    # (the first eight names above); kept as the historical record.
     1: "sha256:044ce8d50d17676c343bd6c2127c5848691270877dab9579cf01018ec285644a",
+    2: "sha256:4158c25e5226e5f57ab3e89bf128cbd62bd0f27799153c9f6358ad0adce6930c",
 }

@@ -164,6 +164,22 @@ class AResSampler(Sampler):
         # Guard against log(0); the key ordering is unaffected.
         batch_keys = np.log(np.maximum(draws, 1e-300)) / weight
 
+        if len(self._keys) >= self.n:
+            # Saturated reservoir: an arriving key below the current minimum
+            # loses every comparison in the union and can never displace a
+            # resident, so drop those items before the O(n + b) selection.
+            # Draws were already consumed for the whole batch (one uniform
+            # per item, in arrival order), so the RNG stream — and with it
+            # the retained *contents* — are unchanged; in the steady state
+            # where most arrivals lose, the concat + argpartition then runs
+            # over a fraction of the batch.
+            alive = batch_keys >= self._keys.min()
+            if not alive.all():
+                batch_keys = batch_keys[alive]
+                batch = batch[alive]
+                if not len(batch_keys):
+                    return
+
         keys = np.concatenate([self._keys, batch_keys])
         payloads = concat_items(self._items, batch)
         if len(keys) > self.n:

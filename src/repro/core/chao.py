@@ -229,14 +229,19 @@ class BatchedChao(Sampler):
         if start >= len(items):
             return
 
-        # Fast path: with no overweight items pinned and the first remaining
-        # item already non-overweight (n / (W + 1) <= 1), the whole rest of
-        # the batch stays non-overweight because W only grows within a batch.
-        if not self._overweight and self._stream_weight + 1.0 >= self.n:
-            self._bulk_insert(as_item_array(items)[start:])
-        else:
-            for index in range(start, len(items)):
-                self._insert_into_full_reservoir(items[index])
+        # Fast path: with no overweight items pinned and the next item
+        # already non-overweight (n / (W + 1) <= 1), the whole rest of the
+        # batch stays non-overweight because W only grows within a batch —
+        # so the remainder vectorizes. The per-item loop runs only while
+        # overweight bookkeeping (Algorithm 7) is genuinely order-dependent
+        # and hands the rest of the batch to the vectorized path the moment
+        # the fast-path condition starts to hold, instead of committing the
+        # whole batch to the scalar loop up front.
+        for index in range(start, len(items)):
+            if not self._overweight and self._stream_weight + 1.0 >= self.n:
+                self._bulk_insert(as_item_array(items)[index:])
+                return
+            self._insert_into_full_reservoir(items[index])
 
     def _bulk_insert(self, batch: np.ndarray) -> None:
         """Vectorized Algorithm 6 inner loop for the non-overweight saturated case.

@@ -49,6 +49,7 @@ from repro.engine.shards import (
     merge_samples,
     restore_sampler,
     service_ingest_frame,
+    service_ingest_routed,
     snapshot_sampler,
 )
 from repro.engine.transport import ShardWorkerPool
@@ -73,6 +74,7 @@ __all__ = [
     "restore_sampler",
     "snapshot_sampler",
     "service_ingest_frame",
+    "service_ingest_routed",
     "ShardWorkerPool",
     "EngineError",
     "WorkerCrashError",

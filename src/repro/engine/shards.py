@@ -15,6 +15,7 @@ shipping state would be pure overhead.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterable, Sequence
 
 import numpy as np
@@ -30,6 +31,7 @@ __all__ = [
     "restore_sampler",
     "snapshot_sampler",
     "service_ingest_frame",
+    "service_ingest_routed",
 ]
 
 #: One shard's work unit: ``(sampler_or_state, batches, times)``. ``times``
@@ -121,6 +123,45 @@ def service_ingest_frame(
         sub_batch = payload[selection]
         residents[("svc", service_id, shard_id)].process_stream([sub_batch], times=[time])
         counts[int(shard_id)] = int(len(selection))
+    return counts
+
+
+def service_ingest_routed(
+    residents: dict[Any, Any],
+    payload: np.ndarray,
+    time: float,
+    service_id: int,
+    shard_sizes: Sequence[tuple[int, int]],
+    profile: bool = False,
+) -> dict[int, int] | tuple[dict[int, int], float]:
+    """Worker-side ingest of one pre-routed frame (the fused transport path).
+
+    The driver hashes and buckets the batch once, then scatters *only this
+    worker's items* into the ring, grouped by shard in ascending shard
+    order; ``shard_sizes`` lists ``(shard_id, count)`` in that same order,
+    so each shard's sub-batch is a zero-copy slice of the frame. Unlike
+    :func:`service_ingest_frame` there is no worker-side hashing and no
+    per-shard selection scan — the worker just walks the slices. Sub-batch
+    contents and ingestion order are exactly those of the serial path, so
+    trajectories stay bit-identical.
+
+    Returns ``{shard_id: item_count}`` (the driver tracks shard activation
+    from the counts without blocking the pipeline); with ``profile=True``
+    the per-frame ingest wall time rides along for the service's
+    phase-breakdown hook.
+    """
+    begin = perf_counter() if profile else 0.0
+    counts: dict[int, int] = {}
+    offset = 0
+    for shard_id, count in shard_sizes:
+        sub_batch = payload[offset : offset + count]
+        offset += count
+        residents[("svc", service_id, shard_id)].process_stream(
+            [sub_batch], times=[time]
+        )
+        counts[int(shard_id)] = int(count)
+    if profile:
+        return counts, perf_counter() - begin
     return counts
 
 

@@ -17,8 +17,14 @@ the ring and the command is in the pipe; the worker acknowledges each frame
 after processing it, and acknowledgements both release ring space
 (backpressure: a full ring blocks the driver until the worker catches up)
 and deliver small results (per-shard ingest counts, new partition sizes)
-to driver-side callbacks. ``drain()`` is the barrier; reads (samples,
-checkpoints, stats) drain first, so observable state is always exact.
+to driver-side callbacks. Each ring is **double-buffered**: the driver fills
+one half while the worker reads the other, and flipping halves waits only
+for the other half's acknowledgements — driver-side routing of the next
+batch overlaps worker-side ingest of the previous one. ``drain()`` is the
+barrier; reads (samples, checkpoints, stats) drain first, so observable
+state is always exact. ``apply``'s ``scatters`` parameter gathers selected
+rows of a source array *directly into the ring* (one fused pass), which is
+how the service scatters per-shard sub-batches without intermediate copies.
 
 Protocol summary (all control messages are pickled over a duplex pipe; bulk
 arrays ride the ring):
@@ -193,7 +199,7 @@ def _worker_main(conn: Connection, worker_index: int) -> None:
 # driver side
 # ----------------------------------------------------------------------
 class _PendingEntry:
-    __slots__ = ("ring_bytes", "on_result", "sink", "tag")
+    __slots__ = ("ring_bytes", "on_result", "sink", "tag", "ring_half")
 
     def __init__(
         self,
@@ -201,11 +207,13 @@ class _PendingEntry:
         on_result: Callable[[Any], None] | None = None,
         sink: tuple[list, int] | None = None,
         tag: int | None = None,
+        ring_half: int | None = None,
     ) -> None:
         self.ring_bytes = ring_bytes
         self.on_result = on_result
         self.sink = sink
         self.tag = tag
+        self.ring_half = ring_half
 
 
 class _WorkerHandle:
@@ -227,12 +235,19 @@ class _WorkerHandle:
         self._seq = itertools.count()
         self.pending: dict[int, _PendingEntry] = {}
         self.resident_keys: set[Any] = set()
-        # Ring state (created lazily on the first array frame).
+        # Ring state (created lazily on the first array frame). The ring is
+        # split into two halves, double-buffered: the driver writes frames
+        # into the active half while the worker is still reading frames out
+        # of the other, and flipping halves only waits for the *other*
+        # half's acknowledgements — so driver-side hashing/scatter of batch
+        # k+1 overlaps worker ingest of batch k.
         self.segment: shared_memory.SharedMemory | None = None
         self.segment_id = 0
         self.capacity = 0
         self.head = 0
         self.used = 0
+        self.active_half = 0
+        self.half_pending = [0, 0]
 
     # -- low-level messaging ------------------------------------------
     def crash(self, detail: str = "") -> WorkerCrashError:
@@ -256,6 +271,10 @@ class _WorkerHandle:
         _, seq, ok, payload = message
         entry = self.pending.pop(seq)
         self.used -= entry.ring_bytes
+        if entry.ring_half is not None:
+            # Ring space is reclaimed whether the command succeeded or not —
+            # the worker is done reading the frame either way.
+            self.half_pending[entry.ring_half] -= 1
         if not ok:
             exc_type, exc_message, tb = payload
             raise RemoteTaskError(self.index, exc_type, exc_message, tb)
@@ -290,12 +309,15 @@ class _WorkerHandle:
         on_result: Callable[[Any], None] | None = None,
         sink: tuple[list, int] | None = None,
         tag: int | None = None,
+        ring_half: int | None = None,
     ) -> int:
         """Send one command, registering its pending acknowledgement."""
         while len(self.pending) >= _MAX_PENDING:
             self._receive_ack(blocking=True)
         seq = self.next_seq()
-        self.pending[seq] = _PendingEntry(ring_bytes, on_result, sink, tag)
+        self.pending[seq] = _PendingEntry(ring_bytes, on_result, sink, tag, ring_half)
+        if ring_half is not None:
+            self.half_pending[ring_half] += 1
         self.send((kind, seq, *message_tail))
         return seq
 
@@ -328,49 +350,90 @@ class _WorkerHandle:
         self.capacity = capacity
         self.head = 0
         self.used = 0
+        self.active_half = 0
+        self.half_pending = [0, 0]
 
-    def allocate(self, nbytes: int) -> int:
-        """Reserve ``nbytes`` of contiguous ring space; return its offset.
+    def allocate(self, nbytes: int) -> tuple[int, int]:
+        """Reserve ``nbytes`` of contiguous ring space; return (offset, half).
 
-        Blocks (processing acknowledgements) while the ring is full. A frame
-        larger than the whole ring grows the segment — waiting for in-flight
-        frames first, since frames never span segments.
+        The ring is double-buffered: frames go into the active half, and
+        when it fills the driver flips to the other half — waiting only for
+        *that* half's outstanding acknowledgements, so writes into one half
+        overlap the worker's reads from the other. A frame larger than half
+        the ring grows the segment (draining first, since frames never span
+        segments).
         """
-        if self.segment is None or nbytes > self.capacity:
+        if self.segment is None or nbytes > self.capacity // 2:
             self.drain()
             capacity = max(self.pool.ring_bytes, 1 << max(16, (2 * nbytes - 1).bit_length()))
             self._install_segment(capacity)
-        if self.head + nbytes > self.capacity:
-            # Full-barrier wraparound: wait out the in-flight frames, then
-            # start writing from the beginning again. Simple, and with a
-            # ring many frames deep the barrier is rare.
-            self.drain()
-            self.head = 0
+        half_capacity = self.capacity // 2
+        base = self.active_half * half_capacity
+        if self.head + nbytes > base + half_capacity:
+            # Half-barrier wraparound: the other half may only be rewritten
+            # once every frame written there has been acknowledged — the
+            # ack proves the worker is done reading it (frames are
+            # acknowledged strictly after the task consuming them returns).
+            other = 1 - self.active_half
+            while self.half_pending[other]:
+                self._receive_ack(blocking=True)
+            self.active_half = other
+            self.head = other * half_capacity
         offset = self.head
         self.head += nbytes
         self.used += nbytes
-        return offset
+        return offset, self.active_half
 
-    def write_arrays(self, arrays: dict[str, np.ndarray]) -> tuple[list[tuple], int]:
-        """Copy arrays into the ring; return (frame descriptors, bytes used)."""
-        total = sum(_aligned(array.nbytes) for array in arrays.values())
-        offset = self.allocate(total)
+    def write_frame(
+        self,
+        arrays: dict[str, np.ndarray],
+        scatters: dict[str, tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> tuple[list[tuple], int, int]:
+        """Copy arrays into the ring; return (frame descriptors, bytes, half).
+
+        ``arrays`` entries are copied wholesale. ``scatters`` entries are
+        ``(source, indices)`` pairs gathered *directly into the ring*
+        (``np.take(..., out=ring_view)``) — the fused scatter path: no
+        intermediate per-worker copy materializes on the driver side.
+        """
+        contiguous = {name: np.ascontiguousarray(a) for name, a in arrays.items()}
+        scatters = scatters or {}
+        total = sum(_aligned(array.nbytes) for array in contiguous.values())
+        scatter_shapes: dict[str, tuple[int, ...]] = {}
+        for name, (source, indices) in scatters.items():
+            shape = (len(indices),) + source.shape[1:]
+            scatter_shapes[name] = shape
+            total += _aligned(
+                source.dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            )
+        offset, half = self.allocate(total)
         frames: list[tuple] = []
         assert self.segment is not None
-        for name, array in arrays.items():
-            contiguous = np.ascontiguousarray(array)
+        for name, array in contiguous.items():
             destination = np.ndarray(
-                contiguous.shape,
-                dtype=contiguous.dtype,
+                array.shape,
+                dtype=array.dtype,
                 buffer=self.segment.buf,
                 offset=offset,
             )
-            destination[...] = contiguous
+            destination[...] = array
             frames.append(
-                (name, self.segment_id, offset, contiguous.dtype.str, contiguous.shape)
+                (name, self.segment_id, offset, array.dtype.str, array.shape)
             )
-            offset += _aligned(contiguous.nbytes)
-        return frames, total
+            offset += _aligned(array.nbytes)
+        for name, (source, indices) in scatters.items():
+            destination = np.ndarray(
+                scatter_shapes[name],
+                dtype=source.dtype,
+                buffer=self.segment.buf,
+                offset=offset,
+            )
+            np.take(source, indices, axis=0, out=destination)
+            frames.append(
+                (name, self.segment_id, offset, source.dtype.str, scatter_shapes[name])
+            )
+            offset += _aligned(destination.nbytes)
+        return frames, total, half
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -495,16 +558,20 @@ class ShardWorkerPool:
         sync: bool = False,
         on_result: Callable[[Any], None] | None = None,
         tag: int | None = None,
+        scatters: dict[str, tuple[np.ndarray, np.ndarray]] | None = None,
     ) -> Any:
         """Run ``fn(residents, **kwargs)`` on one worker.
 
         ``arrays`` entries with fixed-width dtypes travel through the
         shared-memory ring (one memcpy in, zero-copy views out); object-dtype
-        arrays and everything in ``kwargs`` are pickled over the pipe. With
-        ``sync=False`` (the pipelined default) the call returns immediately
-        and ``on_result`` (if given) receives the task's return value when
-        its acknowledgement is drained; with ``sync=True`` the result is
-        returned directly.
+        arrays and everything in ``kwargs`` are pickled over the pipe.
+        ``scatters`` entries are ``(source, indices)`` pairs: the selected
+        rows are gathered straight into the ring in one pass (the fused
+        ingest path), falling back to a pickled driver-side gather for
+        object dtypes. With ``sync=False`` (the pipelined default) the call
+        returns immediately and ``on_result`` (if given) receives the
+        task's return value when its acknowledgement is drained; with
+        ``sync=True`` the result is returned directly.
 
         ``tag`` enrolls the command in the pool's acknowledgement watermark
         (:meth:`acked_through`): several commands may share one tag (a batch
@@ -518,15 +585,25 @@ class ShardWorkerPool:
         kwargs = dict(kwargs or {})
         frames: list[tuple] = []
         ring_bytes = 0
+        ring_half: int | None = None
+        ring_arrays: dict[str, np.ndarray] = {}
+        ring_scatters: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         if arrays:
-            ring_arrays: dict[str, np.ndarray] = {}
             for name, value in arrays.items():
                 if _ring_eligible(value):
                     ring_arrays[name] = value
                 else:
                     kwargs[name] = value
-            if ring_arrays:
-                frames, ring_bytes = handle.write_arrays(ring_arrays)
+        if scatters:
+            for name, (source, indices) in scatters.items():
+                if _ring_eligible(source) and len(indices):
+                    ring_scatters[name] = (source, indices)
+                else:
+                    kwargs[name] = np.take(source, indices, axis=0)
+        if ring_arrays or ring_scatters:
+            frames, ring_bytes, ring_half = handle.write_frame(
+                ring_arrays, ring_scatters
+            )
         if tag is not None:
             tag = int(tag)
             if self._last_tag is not None and tag < self._last_tag:
@@ -542,6 +619,7 @@ class ShardWorkerPool:
             ring_bytes=ring_bytes,
             on_result=on_result,
             tag=tag,
+            ring_half=ring_half,
         )
         if sync:
             return handle.wait_for(seq)

@@ -37,11 +37,15 @@ Shard ingestion fans out through a pluggable :mod:`repro.engine` executor:
   (:mod:`repro.engine.transport`): shard samplers live *resident* in the
   worker processes — their state crosses the boundary once on attach and
   again only on checkpoint/read/close — while each arriving batch is
-  broadcast through per-worker shared-memory rings and routed worker-side.
-  Ingestion is pipelined: ``ingest`` returns once the frames are enqueued,
-  and any read (samples, stats, checkpoints) drains the pipeline first, so
-  observable state is always exact. A dead worker raises
-  :class:`~repro.engine.errors.WorkerCrashError` naming the worker.
+  hashed and shard-bucketed once driver-side
+  (:func:`~repro.service.routing.route_batch`) and each worker's items
+  are scattered straight into its double-buffered shared-memory ring
+  (no intermediate per-shard copies). Ingestion is pipelined: ``ingest``
+  returns once the frames are enqueued — routing of batch *k+1* overlaps
+  worker ingest of batch *k* — and any read (samples, stats, checkpoints)
+  drains the pipeline first, so observable state is always exact. A dead
+  worker raises :class:`~repro.engine.errors.WorkerCrashError` naming the
+  worker.
 
 Shards are statistically independent with private RNG streams, so every
 backend produces bit-identical samples and checkpoints for a fixed seed.
@@ -51,6 +55,7 @@ from __future__ import annotations
 
 import itertools
 import os
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -71,10 +76,17 @@ from repro.engine import (
     ingest_shard_inplace,
     ingest_shard_state,
     restore_sampler,
-    service_ingest_frame,
+    service_ingest_routed,
     snapshot_sampler,
 )
-from repro.service.routing import ROUTING_VERSION, shard_ids_for_keys, split_by_shard
+from repro.service.routing import (
+    ROUTING_VERSION,
+    SUPPORTED_ROUTING_VERSIONS,
+    RoutedBatch,
+    shard_ids_for_keys,
+    split_by_shard,
+    split_order,
+)
 from repro.service.wal import WriteAheadLog
 
 __all__ = ["SamplerService"]
@@ -169,6 +181,11 @@ class SamplerService:
         self.key_fn = key_fn
         self._executor = get_executor(executor)
         self._rng = ensure_rng(rng)
+        #: The key-encoding version this service's shard layout was computed
+        #: under. New services always use the current contract; a restore
+        #: pins the version its checkpoint recorded so retained items keep
+        #: their affinity, and :meth:`reshard` re-homes onto the current one.
+        self._routing_version = int(ROUTING_VERSION)
         # Reserve every shard's RNG stream up front: shard k's stream is a
         # deterministic function of the master seed alone, never of which
         # shards happened to receive data first.
@@ -228,6 +245,15 @@ class SamplerService:
         #: ``_dirty``, which tracks transport-sync staleness and is cleared
         #: by every read; this set is cleared only by :meth:`checkpoint`.
         self._ckpt_dirty: set[int] = set()
+        #: Opt-in phase-breakdown profiling (``REPRO_SERVICE_PROFILE=1``):
+        #: wall time accumulated per ingest phase (hash/split/wal/dispatch/
+        #: worker_ingest/ack), reported by :meth:`stats`. ``perf_counter``
+        #: deltas only — never part of the statistical trajectory.
+        self._profile_enabled = os.environ.get(
+            "REPRO_SERVICE_PROFILE", ""
+        ) not in ("", "0")
+        self._profile_times: dict[str, float] = {}
+        self._profile_batches = 0
 
     # ------------------------------------------------------------------
     # queries
@@ -241,6 +267,17 @@ class SamplerService:
     def batches_seen(self) -> int:
         """Number of batches ingested by the service."""
         return self._batches_seen
+
+    @property
+    def routing_version(self) -> int:
+        """The key-encoding version the shard layout routes under.
+
+        Equals :data:`~repro.service.routing.ROUTING_VERSION` for services
+        built fresh; a service restored from an older checkpoint keeps the
+        version the checkpoint recorded (exact per-key hashing fallback)
+        until a :meth:`reshard` re-homes it onto the current encoding.
+        """
+        return self._routing_version
 
     @property
     def active_shards(self) -> list[int]:
@@ -335,10 +372,11 @@ class SamplerService:
                 replay_lag_batches=self._batches_seen - 1 - self._wal_watermark,
                 acked_batches=self.acked_batches,
             )
-        return {
+        snapshot: dict[str, Any] = {
             "num_shards": self.num_shards,
             "active_shards": len(shards),
             "executor": self._executor.name,
+            "routing_version": self._routing_version,
             "batches_seen": self._batches_seen,
             "time": self._time,
             "total_items": total_items,
@@ -347,6 +385,15 @@ class SamplerService:
             "durability": durability,
             "shards": shards,
         }
+        if self._profile_enabled:
+            snapshot["profile"] = {
+                "batches": self._profile_batches,
+                "seconds": {
+                    phase: self._profile_times[phase]
+                    for phase in sorted(self._profile_times)
+                },
+            }
+        return snapshot
 
     @property
     def total_weight(self) -> float:
@@ -399,26 +446,31 @@ class SamplerService:
         shard_ids = sorted(pending)
         if not shard_ids:
             return
+        begin = perf_counter() if self._profile_enabled else 0.0
         self._ckpt_dirty.update(shard_ids)
         shards = [self._get_or_create_shard(shard_id) for shard_id in shard_ids]
-        if self._executor.ships_state:
+        try:
+            if self._executor.ships_state:
+                tasks = [
+                    (shard.state_dict(), *pending[shard_id])
+                    for shard_id, shard in zip(shard_ids, shards)
+                ]
+                new_states = self._executor.map_partitions(
+                    ingest_shard_state, tasks, description="ingest shard sub-streams"
+                )
+                for shard_id, state in zip(shard_ids, new_states):
+                    self._shards[shard_id] = Sampler.from_state_dict(state)
+                return
             tasks = [
-                (shard.state_dict(), *pending[shard_id])
+                (shard, *pending[shard_id])
                 for shard_id, shard in zip(shard_ids, shards)
             ]
-            new_states = self._executor.map_partitions(
-                ingest_shard_state, tasks, description="ingest shard sub-streams"
+            self._executor.map_partitions(
+                ingest_shard_inplace, tasks, description="ingest shard sub-streams"
             )
-            for shard_id, state in zip(shard_ids, new_states):
-                self._shards[shard_id] = Sampler.from_state_dict(state)
-            return
-        tasks = [
-            (shard, *pending[shard_id])
-            for shard_id, shard in zip(shard_ids, shards)
-        ]
-        self._executor.map_partitions(
-            ingest_shard_inplace, tasks, description="ingest shard sub-streams"
-        )
+        finally:
+            if self._profile_enabled:
+                self._note_phase("dispatch", perf_counter() - begin)
 
     def ingest_batch(
         self,
@@ -440,14 +492,17 @@ class SamplerService:
         """
         batch = as_item_array(items)
         if self._executor.provides_transport:
-            frame = self._frame_parts(batch, keys)
+            routed_frame = self._route_frame(batch, keys)
             time = self._advance_time(time)
-            self._wal_log_frame(frame, batch, time)
-            if not len(batch):
+            self._wal_log_routed(routed_frame, batch, time)
+            if routed_frame is None:
                 return {}
             counts: dict[int, int] = {}
-            self._dispatch_frame(frame, time, counts_sink=counts)
+            self._dispatch_routed(batch, routed_frame, time, counts_sink=counts)
+            begin = perf_counter() if self._profile_enabled else 0.0
             self._executor.transport.drain()
+            if self._profile_enabled:
+                self._note_phase("ack", perf_counter() - begin)
             return dict(sorted(counts.items()))
         routed = self._route(batch, keys)
         time = self._advance_time(time)
@@ -503,12 +558,14 @@ class SamplerService:
         to O(``window`` × batch size) — a generator of a million batches
         streams through, it is never materialized whole.
 
-        On the transport (process) backend each batch becomes one pipelined
-        shared-memory frame per worker, routed worker-side; ``window`` is
-        not needed (buffered memory is bounded by the ring capacity, which
-        doubles as backpressure) and the call returns as soon as the frames
-        are enqueued. Call :meth:`flush` — or any read — to wait for the
-        workers to catch up.
+        On the transport (process) backend each batch is hashed and
+        shard-bucketed once driver-side, then each worker's items are
+        scattered straight into its double-buffered shared-memory ring as
+        one pipelined frame; ``window`` is not needed (buffered memory is
+        bounded by the ring capacity, which doubles as backpressure) and
+        the call returns as soon as the frames are enqueued — routing of
+        the next batch overlaps worker ingest of the previous one. Call
+        :meth:`flush` — or any read — to wait for the workers to catch up.
 
         If a batch fails mid-stream (bad keys, non-increasing time), every
         batch before it is flushed to the shards and the error is raised;
@@ -565,11 +622,11 @@ class SamplerService:
                         ) from None
                 items = as_item_array(batch)
                 if use_transport:
-                    frame = self._frame_parts(items, batch_keys)
+                    routed_frame = self._route_frame(items, batch_keys)
                     time = self._advance_time(time)
-                    self._wal_log_frame(frame, items, time)
-                    if len(items):
-                        self._dispatch_frame(frame, time)
+                    self._wal_log_routed(routed_frame, items, time)
+                    if routed_frame is not None:
+                        self._dispatch_routed(items, routed_frame, time)
                     continue
                 routed = self._route(items, batch_keys)
                 time = self._advance_time(time)
@@ -610,24 +667,40 @@ class SamplerService:
         """Append one routed batch to the WAL (after the clock advanced)."""
         if self._wal is None:
             return
+        begin = perf_counter() if self._profile_enabled else 0.0
         self._wal.append_batch(
             self._batches_seen - 1, time, routed, bool(self._explicit_keys_used)
         )
+        if self._profile_enabled:
+            self._note_phase("wal", perf_counter() - begin)
 
-    def _wal_log_frame(
-        self, frame: dict[str, np.ndarray], batch: np.ndarray, time: float
+    def _wal_log_routed(
+        self, routed_batch: RoutedBatch | None, batch: np.ndarray, time: float
     ) -> None:
-        """Append one transport frame's batch to the WAL.
+        """Append one transport batch to the WAL from its fused routing result.
 
-        WAL-enabled frames always carry driver-computed ``shard_ids`` (see
-        :meth:`_frame_parts`), so the logged per-shard sub-batches are
-        exactly the partitions the workers will ingest — same items, same
-        within-shard order — which is what makes log replay through
-        ``process_stream`` bit-identical to the live run.
+        The routed permutation already encodes the per-shard partitions —
+        one gather re-materializes them as exactly the contiguous
+        sub-batches the workers will ingest (same items, same within-shard
+        order), which is what makes log replay through ``process_stream``
+        bit-identical to the live run. No re-hash and no second radix
+        pass: the WAL rides the single routing pass the dispatch uses.
         """
         if self._wal is None:
             return
-        routed = split_by_shard(frame["shard_ids"], batch) if len(batch) else []
+        if routed_batch is None:
+            self._wal_log([], time)
+            return
+        begin = perf_counter() if self._profile_enabled else 0.0
+        gathered = batch[routed_batch.order]
+        offsets = routed_batch.offsets
+        routed = [
+            (shard_id, gathered[offsets[shard_id] : offsets[shard_id + 1]])
+            for shard_id in range(self.num_shards)
+            if routed_batch.counts[shard_id]
+        ]
+        if self._profile_enabled:
+            self._note_phase("wal", perf_counter() - begin)
         self._wal_log(routed, time)
 
     @property
@@ -705,56 +778,46 @@ class SamplerService:
     # ------------------------------------------------------------------
     # transport (process backend) dispatch
     # ------------------------------------------------------------------
-    def _frame_parts(self, batch: np.ndarray, keys: Sequence[Any] | np.ndarray | None) -> dict[str, np.ndarray]:
-        """Split one batch into the arrays of a broadcast frame.
+    def _note_phase(self, phase: str, seconds: float) -> None:
+        """Accumulate one profiled phase's wall time (profiling enabled only)."""
+        self._profile_times[phase] = self._profile_times.get(phase, 0.0) + seconds
 
-        Returns the ``arrays`` mapping for
-        :func:`~repro.engine.shards.service_ingest_frame`: always the
-        payload, plus either nothing (workers route on the payload itself),
-        a ``keys`` array (workers hash it), or precomputed ``shard_ids``
-        when routing needs driver-side code (``key_fn`` callables,
-        per-item fallback hashing). Raises on malformed keys *before* the
-        caller advances the service clock.
+    def _route_frame(
+        self, batch: np.ndarray, keys: Sequence[Any] | np.ndarray | None
+    ) -> RoutedBatch | None:
+        """Hash and shard-bucket one batch for the fused transport path.
+
+        One driver-side pass produces everything every downstream stage
+        needs — the shard ids, the shard-grouping permutation, and the
+        per-shard counts and offsets — so the WAL and the per-worker ring
+        scatters reuse the same routing result instead of re-touching (or
+        re-hashing) the batch. Raises on malformed keys *before* the
+        caller advances the service clock; returns ``None`` for an empty
+        batch.
         """
         keys = self._coerce_keys(keys, batch)
         explicit = keys is not None
-        frame: dict[str, np.ndarray] = {"payload": batch}
+        if not len(batch):
+            return None
         if keys is None:
             if self.key_fn is not None:
                 keys = [self.key_fn(item) for item in batch]
             else:
-                # Route on the payload itself: numeric/string arrays hash
-                # worker-side, anything else is hashed here once.
-                if not (isinstance(batch, np.ndarray) and not batch.dtype.hasobject):
-                    frame["shard_ids"] = shard_ids_for_keys(batch, self.num_shards)
-                return self._force_shard_ids(frame, batch)
-        if isinstance(keys, np.ndarray) and keys.ndim == 1 and not keys.dtype.hasobject:
-            frame["keys"] = keys
-        else:
-            frame["shard_ids"] = shard_ids_for_keys(keys, self.num_shards)
-        if explicit and len(batch):
-            # As in _route: recorded only once the keys made it into a
-            # routable frame, never for a rejected batch.
+                keys = batch
+        profile = self._profile_enabled
+        begin = perf_counter() if profile else 0.0
+        shard_ids = shard_ids_for_keys(keys, self.num_shards, self._routing_version)
+        if profile:
+            self._note_phase("hash", perf_counter() - begin)
+            begin = perf_counter()
+        order, counts, offsets = split_order(shard_ids, self.num_shards)
+        if profile:
+            self._note_phase("split", perf_counter() - begin)
+        if explicit:
+            # As in _route: recorded only once the keys actually routed
+            # items, never for a rejected batch.
             self._explicit_keys_used = True
-        return self._force_shard_ids(frame, batch)
-
-    def _force_shard_ids(
-        self, frame: dict[str, np.ndarray], batch: np.ndarray
-    ) -> dict[str, np.ndarray]:
-        """Ensure a WAL-enabled frame carries driver-computed ``shard_ids``.
-
-        The WAL logs each batch as its per-shard sub-batches, so routing
-        must be known driver-side *before* dispatch. The worker
-        short-circuits its own hashing when ``shard_ids`` is present, and
-        both sides use the same stable hash, so the partition — and thus
-        the trajectory — is unchanged; the WAL merely pre-pays the hashing
-        the worker would have done.
-        """
-        if self._wal is not None and len(batch) and "shard_ids" not in frame:
-            frame["shard_ids"] = shard_ids_for_keys(
-                frame.get("keys", batch), self.num_shards
-            )
-        return frame
+        return RoutedBatch(shard_ids, order, counts, offsets)
 
     def _shard_key(self, shard_id: int) -> tuple:
         return ("svc", self._service_id, shard_id)
@@ -763,8 +826,8 @@ class SamplerService:
         """Make every shard's sampler resident in the worker pool.
 
         Existing shards ship their current snapshots; shards with no data
-        yet are built by the factory now (routing happens worker-side, so
-        any shard may receive items at any moment) — but they only count as
+        yet are built by the factory now (any shard may receive items the
+        moment the next batch is routed) — but they only count as
         *active*, and only appear in checkpoints, once a worker reports
         items for them. The factory receives a generator carrying shard
         ``k``'s reserved stream state, exactly as the lazily-creating serial
@@ -819,43 +882,88 @@ class SamplerService:
                 # into the reserved stream, as serial's lazy creation would.
                 self._shard_rngs[shard_id] = standby_rng
 
-    def _dispatch_frame(
+    def _dispatch_routed(
         self,
-        frame: dict[str, np.ndarray],
+        batch: np.ndarray,
+        routed_batch: RoutedBatch,
         time: float,
         counts_sink: dict[int, int] | None = None,
     ) -> None:
-        """Broadcast one batch frame to every shard-owning worker (pipelined)."""
+        """Scatter one routed batch into per-worker ring frames (pipelined).
+
+        Each worker receives exactly its shards' items, gathered straight
+        from the batch into its double-buffered shared-memory ring by the
+        transport's scatter path (no intermediate per-shard copies
+        materialize driver-side), plus the ``(shard_id, count)`` slice map
+        — the worker just walks contiguous slices, it never re-hashes.
+        Sub-batch contents and within-shard order match the serial path
+        exactly, so trajectories stay bit-identical.
+        """
         if not self._transport_attached:
             self._attach_all_shards()
         pool = self._executor.transport
-        kwargs = {
-            "time": float(time),
-            "num_shards": self.num_shards,
-            "service_id": self._service_id,
-        }
+        profile = self._profile_enabled
+        order = routed_batch.order
+        counts = routed_batch.counts
+        offsets = routed_batch.offsets
 
-        def on_result(counts: dict[int, int]) -> None:
-            self._note_counts(counts)
+        def on_result(result: Any) -> None:
+            if profile:
+                counts_by_shard, seconds = result
+                self._note_phase("worker_ingest", seconds)
+            else:
+                counts_by_shard = result
+            self._note_counts(counts_by_shard)
             if counts_sink is not None:
                 counts_sink.update(
-                    (int(shard_id), int(count)) for shard_id, count in counts.items()
+                    (int(shard_id), int(count))
+                    for shard_id, count in counts_by_shard.items()
                 )
 
+        begin = perf_counter() if profile else 0.0
         # With a WAL, every command of this batch is tagged with the batch's
         # global sequence number, feeding the pool's acknowledgement
         # watermark (`acked_through`): after a worker crash, the watermark
-        # tells recovery exactly which pipelined batches never landed.
+        # tells recovery exactly which pipelined batches never landed. Only
+        # submitted commands feed the watermark, so workers that received
+        # no items are safely skipped.
         tag = self._batches_seen - 1 if self._wal is not None else None
-        for worker in range(min(pool.num_workers, self.num_shards)):
+        num_workers = pool.num_workers
+        for worker in range(min(num_workers, self.num_shards)):
+            owned = [
+                shard_id
+                for shard_id in range(worker, self.num_shards, num_workers)
+                if counts[shard_id]
+            ]
+            if not owned:
+                continue
+            if num_workers == 1:
+                # One worker owns every shard: the grouping permutation is
+                # the routed order itself (zero-count shards contribute
+                # nothing to it).
+                permutation = order
+            elif len(owned) == 1:
+                shard_id = owned[0]
+                permutation = order[offsets[shard_id] : offsets[shard_id + 1]]
+            else:
+                permutation = np.concatenate(
+                    [order[offsets[s] : offsets[s + 1]] for s in owned]
+                )
             pool.apply(
                 worker,
-                service_ingest_frame,
-                kwargs=kwargs,
-                arrays=frame,
+                service_ingest_routed,
+                kwargs={
+                    "time": float(time),
+                    "service_id": self._service_id,
+                    "shard_sizes": [(int(s), int(counts[s])) for s in owned],
+                    "profile": profile,
+                },
+                scatters={"payload": (batch, permutation)},
                 on_result=on_result,
                 tag=tag,
             )
+        if profile:
+            self._note_phase("dispatch", perf_counter() - begin)
 
     def _sync(self) -> None:
         """Pull authoritative resident shard state back to the driver.
@@ -915,8 +1023,17 @@ class SamplerService:
                     keys = [self.key_fn(item) for item in batch]
                 else:
                     keys = batch
-            shard_ids = shard_ids_for_keys(keys, self.num_shards)
+            profile = self._profile_enabled
+            begin = perf_counter() if profile else 0.0
+            shard_ids = shard_ids_for_keys(
+                keys, self.num_shards, self._routing_version
+            )
+            if profile:
+                self._note_phase("hash", perf_counter() - begin)
+                begin = perf_counter()
             routed = split_by_shard(shard_ids, batch)
+            if profile:
+                self._note_phase("split", perf_counter() - begin)
         else:
             routed = []
         if explicit and len(batch):
@@ -931,6 +1048,8 @@ class SamplerService:
             self._time, time, first_batch=self._batches_seen == 0
         )
         self._batches_seen += 1
+        if self._profile_enabled:
+            self._profile_batches += 1
         return self._time
 
     # ------------------------------------------------------------------
@@ -1067,7 +1186,13 @@ class SamplerService:
             return sampler
 
         def destinations_for(items: np.ndarray) -> np.ndarray:
-            return shard_ids_for_keys(self._recover_keys(items), new_count)
+            # Re-home under the *current* encoding, whatever version the
+            # service routed under before: every retained item's shard is
+            # recomputed from scratch, so a reshard doubles as the
+            # migration path off older key encodings.
+            return shard_ids_for_keys(
+                self._recover_keys(items), new_count, ROUTING_VERSION
+            )
 
         new_shards = reshard_samplers(
             {shard_id: self._shards[shard_id] for shard_id in sorted(self._activated)},
@@ -1077,6 +1202,7 @@ class SamplerService:
         )
 
         self.num_shards = new_count
+        self._routing_version = int(ROUTING_VERSION)
         self._shard_rngs = new_rngs
         self._shards = new_shards
         self._activated = set(new_shards)
@@ -1130,9 +1256,12 @@ class SamplerService:
             # The routing contract the shard layout was computed under, and
             # whether explicit keys were ever used — both are what a restore
             # with a different shard count needs to re-route safely. A
+            # service restored from an older checkpoint keeps routing under
+            # the version it recorded (until a reshard re-homes it), so the
+            # *instance* version is persisted, not the build's. A
             # pre-elastic restore's *unknown* (None) is preserved as null,
             # never laundered into a confident False.
-            "routing_version": ROUTING_VERSION,
+            "routing_version": self._routing_version,
             "explicit_keys_used": self._explicit_keys_used,
             "time": float(self._time),
             "batches_seen": int(self._batches_seen),
@@ -1243,7 +1372,13 @@ class SamplerService:
         shard its key hashes to under ``M``, with aggregate bookkeeping
         conserved. Snapshots record the routing contract they were built
         under (``routing_version``); pre-elastic snapshots without the
-        field are migrated as version-1 layouts (the encoding is unchanged).
+        field are migrated as version-1 layouts (version 1 was the only
+        encoding then). Any supported version restores with its exact
+        per-key hashing preserved — the service keeps routing new arrivals
+        under the recorded version so per-key affinity with retained items
+        holds — and a spot check verifies that retained items actually
+        route back to the shards holding them, rejecting snapshots whose
+        recorded version disagrees with the layout on disk.
         """
         version = state.get("format_version")
         if version != STATE_FORMAT_VERSION:
@@ -1251,16 +1386,19 @@ class SamplerService:
                 f"unsupported service state format {version!r}; "
                 f"this build reads version {STATE_FORMAT_VERSION}"
             )
-        # Old-layout snapshots (pre-elastic) carry no routing_version; the
-        # key encoding has been stable since version 1, so they migrate
-        # cleanly. A snapshot from a *different* encoding cannot: its
-        # key→shard map is not reproducible here.
-        routing_version = int(state.get("routing_version", ROUTING_VERSION))
-        if routing_version != ROUTING_VERSION:
+        # Old-layout snapshots (pre-elastic) carry no routing_version; they
+        # predate version 2, so they migrate as version-1 layouts. Every
+        # version in SUPPORTED_ROUTING_VERSIONS restores exactly (the build
+        # keeps the old per-key hashing alongside the current one); a
+        # snapshot from an *unknown* encoding cannot: its key→shard map is
+        # not reproducible here.
+        routing_version = int(state.get("routing_version", 1))
+        if routing_version not in SUPPORTED_ROUTING_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_ROUTING_VERSIONS)
             raise ValueError(
                 f"checkpoint was routed under key-encoding version "
-                f"{routing_version}, but this build implements version "
-                f"{ROUTING_VERSION}; its key->shard map cannot be reproduced"
+                f"{routing_version}, but this build implements versions "
+                f"{{{supported}}}; its key->shard map cannot be reproduced"
             )
         service = cls.__new__(cls)
         service._factory = sampler_factory
@@ -1298,7 +1436,53 @@ class SamplerService:
                 sampler_rng
             ) == generator_state(service._shard_rngs[shard_id]):
                 service._shard_rngs[shard_id] = sampler_rng
+        service._routing_version = routing_version
         service._init_transport_state()
+        service._verify_restored_routing()
         if num_shards is not None and int(num_shards) != service.num_shards:
             service.reshard(int(num_shards))
         return service
+
+    def _verify_restored_routing(self, probe_limit: int = 64) -> None:
+        """Spot-check that retained items route back to the shards holding them.
+
+        A checkpoint records the key-encoding version its layout was
+        computed under; if the recorded version disagrees with the layout
+        actually on disk (a hand-edited snapshot, a mis-tagged migration),
+        every later ingest would silently break per-key affinity — v1 and
+        v2 disagree on almost every string key. Re-route up to
+        ``probe_limit`` retained items per shard under the recorded
+        version and reject the restore on any mismatch. Skipped when keys
+        are not a function of the payload (explicit keys, or a pre-elastic
+        checkpoint that cannot rule them out): there is nothing to
+        recompute, and :meth:`reshard` already refuses those layouts.
+        """
+        if self._explicit_keys_used is not False:
+            return
+        for shard_id in sorted(self._shards):
+            items = self._shards[shard_id].sample_items()[:probe_limit]
+            if not len(items):
+                continue
+            keys = (
+                [self.key_fn(item) for item in items]
+                if self.key_fn is not None
+                else items
+            )
+            try:
+                destinations = shard_ids_for_keys(
+                    keys, self.num_shards, self._routing_version
+                )
+            except TypeError:
+                # Payloads that are not routable keys: the deployment must
+                # have routed through a key_fn this restore does not
+                # reproduce. Nothing to verify against.
+                return
+            if not bool(np.all(destinations == shard_id)):
+                raise ValueError(
+                    f"checkpoint integrity check failed: retained items of "
+                    f"shard {shard_id} do not route back to it under the "
+                    f"recorded key-encoding version {self._routing_version}; "
+                    "the snapshot's routing_version disagrees with its "
+                    "layout (tampered or mis-migrated snapshot), and "
+                    "restoring it would silently break per-key affinity"
+                )

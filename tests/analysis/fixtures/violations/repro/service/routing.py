@@ -34,3 +34,23 @@ def shard_ids_for_keys(keys, num_shards):
 
 def split_by_shard(keys, num_shards):
     return {}
+
+
+def _check_version(version):
+    return None
+
+
+def _fnv1a64_units_scalar(units):
+    return 0
+
+
+def _string_array_hashes_v2(keys):
+    return keys
+
+
+def split_order(shard_ids, num_shards):
+    return shard_ids
+
+
+def route_batch(keys, num_shards):
+    return keys

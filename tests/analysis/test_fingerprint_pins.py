@@ -1,0 +1,32 @@
+"""Pinned routing fingerprints, one per encoding version ever shipped.
+
+These constants are the analysis-side record of every key→shard encoding
+this repository has released. ``repro.analysis.fingerprints`` is the live
+table the lint enforces; this test pins each entry to a literal so that an
+edit to the table (accidental or otherwise) cannot pass review as a
+one-line change — history must match these constants byte for byte. A new
+encoding version *adds* a constant here; it never edits an existing one
+(see docs/CONTRACTS.md for the bump procedure).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ROUTING_FINGERPRINTS, compute_routing_fingerprint
+
+#: Version 1 — per-key BLAKE2b string hashing; computed with the
+#: version-1 normative function list over the version-1 source.
+PINNED_V1 = "sha256:044ce8d50d17676c343bd6c2127c5848691270877dab9579cf01018ec285644a"
+
+#: Version 2 — batch-vectorized FNV-1a/SplitMix64 string hashing and the
+#: fused ``route_batch`` pass, with version dispatch keeping v1 loadable.
+PINNED_V2 = "sha256:4158c25e5226e5f57ab3e89bf128cbd62bd0f27799153c9f6358ad0adce6930c"
+
+
+class TestPinnedFingerprints:
+    def test_recorded_table_matches_pins_exactly(self) -> None:
+        assert ROUTING_FINGERPRINTS == {1: PINNED_V1, 2: PINNED_V2}
+
+    def test_current_module_computes_the_latest_pin(self) -> None:
+        version, fingerprint = compute_routing_fingerprint()
+        assert version == 2
+        assert fingerprint == PINNED_V2

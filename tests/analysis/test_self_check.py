@@ -76,10 +76,15 @@ class TestCli:
             assert rule_id in result.stdout
 
     def test_cli_prints_recordable_fingerprint(self) -> None:
+        from repro.analysis import compute_routing_fingerprint
+
         result = run_cli("--print-routing-fingerprint")
         assert result.returncode == 0
         assert "sha256:" in result.stdout
-        version, fingerprint = next(iter(ROUTING_FINGERPRINTS.items()))
+        # The CLI prints the *current* module's (version, fingerprint) pair,
+        # which must be the latest recorded entry.
+        version, fingerprint = compute_routing_fingerprint()
+        assert version == max(ROUTING_FINGERPRINTS)
         assert str(version) in result.stdout
         assert fingerprint in result.stdout
 

@@ -18,6 +18,7 @@ from repro.engine import (
     WorkerCrashError,
     restore_sampler,
     service_ingest_frame,
+    service_ingest_routed,
     snapshot_sampler,
 )
 
@@ -265,3 +266,132 @@ class TestExecutorIntegration:
         assert second is not first
         assert second.run_tasks(_square, [4]) == [16]
         executor.shutdown()
+
+
+def _payload_list(residents, payload):
+    return np.asarray(payload).tolist()
+
+
+class TestScatterFrames:
+    """write_frame's scatter path: gather rows straight into the ring."""
+
+    def test_scatter_gathers_rows_into_the_ring(self, pool):
+        source = np.arange(100, dtype=np.int64) * 3
+        indices = np.array([5, 1, 7, 7, 42], dtype=np.int64)
+        result = pool.apply(
+            0, _payload_list, scatters={"payload": (source, indices)}, sync=True
+        )
+        assert result == source[indices].tolist()
+
+    def test_scatter_mixes_with_plain_arrays(self, pool):
+        source = np.linspace(0.0, 1.0, 50)
+        indices = np.arange(0, 50, 7)
+        result = pool.apply(
+            0,
+            _echo_arrays,
+            arrays={"extra": np.arange(4)},
+            scatters={"weights": (source, indices)},
+            sync=True,
+        )
+        assert result["extra"] == 6.0
+        assert result["weights"] == pytest.approx(float(source[indices].sum()))
+
+    def test_string_dtype_scatter_rides_the_ring(self, pool):
+        source = np.array(["alpha", "beta", "gamma"])
+        indices = np.array([2, 2, 0])
+        result = pool.apply(
+            0, _payload_list, scatters={"payload": (source, indices)}, sync=True
+        )
+        assert result == ["gamma", "gamma", "alpha"]
+
+    def test_object_dtype_scatter_falls_back_to_pickle(self, pool):
+        source = np.array(["a", "bb", None, 4], dtype=object)
+        indices = np.array([2, 0, 3])
+        result = pool.apply(
+            0, _payload_list, scatters={"payload": (source, indices)}, sync=True
+        )
+        assert result == [None, "a", 4]
+
+    def test_empty_scatter_selection(self, pool):
+        source = np.arange(10)
+        indices = np.empty(0, dtype=np.int64)
+        result = pool.apply(
+            0, _payload_list, scatters={"payload": (source, indices)}, sync=True
+        )
+        assert result == []
+
+
+class TestDoubleBuffering:
+    """The ring's two halves overlap driver writes with worker reads."""
+
+    def test_halves_alternate_under_pipelined_load(self):
+        with ShardWorkerPool(max_workers=1, ring_bytes=1 << 15) as pool:
+            handle = pool.workers[0]
+            halves = set()
+            results = []
+            expected = []
+            for index in range(40):
+                payload = np.full(512, index, dtype=np.int64)  # 4 KiB frames
+                expected.append(float(payload.sum()))
+                pool.apply(
+                    0,
+                    _echo_arrays,
+                    arrays={"x": payload},
+                    on_result=lambda r: results.append(r["x"]),
+                )
+                halves.add(handle.active_half)
+            pool.drain()
+            assert results == expected
+            # 16 KiB halves fill after four frames, so the driver must have
+            # flipped — and every flip waited only on the other half's acks.
+            assert halves == {0, 1}
+            assert handle.half_pending == [0, 0]
+
+    def test_oversized_frame_grows_segment_and_resets_halves(self):
+        with ShardWorkerPool(max_workers=1, ring_bytes=4096) as pool:
+            handle = pool.workers[0]
+            big = np.arange(10_000, dtype=np.int64)  # 80 KB > capacity // 2
+            result = pool.apply(0, _echo_arrays, arrays={"x": big}, sync=True)
+            assert result["x"] == float(big.sum())
+            assert handle.capacity >= 2 * big.nbytes
+            assert handle.half_pending == [0, 0]
+
+    def test_half_pending_reclaimed_after_failed_commands(self):
+        with ShardWorkerPool(max_workers=1, ring_bytes=1 << 16) as pool:
+            handle = pool.workers[0]
+            pool.apply(0, _boom, arrays={"x": np.arange(16)})
+            with pytest.raises(RemoteTaskError, match="boom"):
+                pool.drain()
+            # The worker finished reading the frame even though the command
+            # failed; its ring half must be reusable.
+            assert handle.half_pending == [0, 0]
+            result = pool.apply(
+                0, _echo_arrays, arrays={"x": np.arange(16)}, sync=True
+            )
+            assert result["x"] == float(np.arange(16).sum())
+
+
+class TestServiceIngestRouted:
+    """Worker-side ingest of pre-routed frames (the fused dispatch path)."""
+
+    def test_walks_preassembled_slices_bit_identically(self):
+        reference = {s: RTBS(n=20, lambda_=0.1, rng=s) for s in (0, 2)}
+        residents = {("svc", 7, s): RTBS(n=20, lambda_=0.1, rng=s) for s in (0, 2)}
+        payload = np.arange(50)
+        counts = service_ingest_routed(residents, payload, 1.0, 7, [(0, 30), (2, 20)])
+        assert counts == {0: 30, 2: 20}
+        reference[0].process_stream([payload[:30]], times=[1.0])
+        reference[2].process_stream([payload[30:]], times=[1.0])
+        for shard in (0, 2):
+            assert (
+                residents[("svc", 7, shard)].sample_items()
+                == reference[shard].sample_items()
+            )
+
+    def test_profile_reports_ingest_seconds(self):
+        residents = {("svc", 1, 0): RTBS(n=5, lambda_=0.1, rng=0)}
+        counts, seconds = service_ingest_routed(
+            residents, np.arange(3), 1.0, 1, [(0, 3)], profile=True
+        )
+        assert counts == {0: 3}
+        assert seconds >= 0.0

@@ -1,0 +1,67 @@
+"""The opt-in phase-breakdown profiling hook (``REPRO_SERVICE_PROFILE=1``).
+
+Profiling accumulates per-phase wall time (hash/split/wal/dispatch/
+worker_ingest/ack) across ingests and surfaces it through ``stats()``. It
+must stay strictly observational: timings ride alongside results, never
+through the RNG or the routed data, so trajectories are unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from tests.faults import assert_states_equal
+
+from repro.core import RTBS
+from repro.service import SamplerService
+
+
+def rtbs_factory(rng):
+    return RTBS(n=100, lambda_=0.1, rng=rng)
+
+
+class TestProfilingHook:
+    def test_disabled_by_default(self):
+        service = SamplerService(rtbs_factory, num_shards=4, rng=0)
+        service.ingest_batch(np.arange(200))
+        assert "profile" not in service.stats()
+
+    def test_in_process_phases_accumulate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PROFILE", "1")
+        service = SamplerService(rtbs_factory, num_shards=4, rng=0)
+        service.ingest_batch(np.arange(500))
+        service.ingest_batch(np.arange(500, 1000))
+        profile = service.stats()["profile"]
+        assert profile["batches"] == 2
+        for phase in ("hash", "split", "dispatch"):
+            assert profile["seconds"][phase] >= 0.0
+
+    def test_wal_phase_recorded(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SERVICE_PROFILE", "1")
+        service = SamplerService(
+            rtbs_factory, num_shards=2, rng=0, wal_dir=tmp_path / "wal"
+        )
+        try:
+            service.ingest_batch(np.arange(64))
+            assert service.stats()["profile"]["seconds"]["wal"] >= 0.0
+        finally:
+            service.close()
+
+    def test_transport_phases_include_worker_side_timing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_PROFILE", "1")
+        with SamplerService(
+            rtbs_factory, num_shards=4, rng=0, executor="process:1"
+        ) as service:
+            service.ingest_batch(np.arange(1000))
+            profile = service.stats()["profile"]
+            assert profile["batches"] == 1
+            for phase in ("hash", "split", "dispatch", "ack", "worker_ingest"):
+                assert phase in profile["seconds"], phase
+
+    def test_profiling_does_not_change_the_trajectory(self, monkeypatch):
+        plain = SamplerService(rtbs_factory, num_shards=4, rng=3)
+        plain.ingest_batch(np.arange(2000))
+        monkeypatch.setenv("REPRO_SERVICE_PROFILE", "1")
+        profiled = SamplerService(rtbs_factory, num_shards=4, rng=3)
+        profiled.ingest_batch(np.arange(2000))
+        assert_states_equal(profiled.state_dict(), plain.state_dict())

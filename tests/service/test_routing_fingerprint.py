@@ -1,14 +1,19 @@
-"""Golden fingerprint for the ``ROUTING_VERSION = 1`` encoding contract.
+"""Golden fingerprint for the ``ROUTING_VERSION = 2`` encoding contract.
 
 The recorded hash below is the normalized-AST fingerprint of the normative
-key-encoding functions as they stand at ``ROUTING_VERSION = 1``. If this
+key-encoding functions as they stand at ``ROUTING_VERSION = 2``. If this
 test fails, the key→shard encoding changed: restoring checkpoints written
 before the change would route keys differently. Either revert the edit, or
 follow the bump procedure — increment ``ROUTING_VERSION`` in
 ``src/repro/service/routing.py``, record the fingerprint printed by
 ``python tools/repro_lint.py --print-routing-fingerprint`` in
-``src/repro/analysis/fingerprints.py``, and update ``GOLDEN_V1`` →
+``src/repro/analysis/fingerprints.py``, and update ``GOLDEN_V2`` →
 ``GOLDEN_V<new>`` here (see docs/CONTRACTS.md).
+
+``GOLDEN_V1`` is the historical version-1 fingerprint — computed with the
+version-1 normative function list over the version-1 source — kept pinned so
+the recorded table can never silently rewrite history (version-1 checkpoints
+still restore through the retained v1 encoding).
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.analysis import (
 from repro.analysis.fingerprint import routing_version_from_source
 
 GOLDEN_V1 = "sha256:044ce8d50d17676c343bd6c2127c5848691270877dab9579cf01018ec285644a"
+GOLDEN_V2 = "sha256:4158c25e5226e5f57ab3e89bf128cbd62bd0f27799153c9f6358ad0adce6930c"
 
 ROUTING_PATH = Path(routing.__file__)
 
@@ -35,12 +41,17 @@ def routing_source() -> str:
 
 
 class TestGoldenFingerprint:
-    def test_version_one_fingerprint_matches_golden(self) -> None:
-        assert routing.ROUTING_VERSION == 1
-        assert routing_fingerprint_from_source(routing_source()) == GOLDEN_V1
+    def test_version_two_fingerprint_matches_golden(self) -> None:
+        assert routing.ROUTING_VERSION == 2
+        assert routing_fingerprint_from_source(routing_source()) == GOLDEN_V2
 
-    def test_recorded_fingerprint_table_matches_golden(self) -> None:
+    def test_recorded_fingerprint_table_matches_goldens(self) -> None:
+        assert ROUTING_FINGERPRINTS[2] == GOLDEN_V2
+        # Never edit an existing entry: the version-1 record is history.
         assert ROUTING_FINGERPRINTS[1] == GOLDEN_V1
+
+    def test_supported_versions_cover_the_recorded_table(self) -> None:
+        assert set(routing.SUPPORTED_ROUTING_VERSIONS) == set(ROUTING_FINGERPRINTS)
 
     def test_every_normative_function_exists(self) -> None:
         for name in NORMATIVE_FUNCTIONS:
@@ -49,7 +60,7 @@ class TestGoldenFingerprint:
 
 class TestFingerprintSensitivity:
     def test_editing_a_normative_function_without_bump_fails(self, tmp_path) -> None:
-        # Flip a constant inside stable_hash's body: a behavioral edit.
+        # Flip a constant inside the splitmix finalizer: a behavioral edit.
         source = routing_source()
         assert "0x9E3779B97F4A7C15" in source
         edited = source.replace("0x9E3779B97F4A7C15", "0x9E3779B97F4A7C16", 1)
@@ -60,7 +71,7 @@ class TestFingerprintSensitivity:
         report = run_lint([tmp_path], default_rules(), rule_ids=["routing-fingerprint"])
         [finding] = report.findings
         assert finding.rule == "routing-fingerprint"
-        assert "ROUTING_VERSION is still 1" in finding.message
+        assert "ROUTING_VERSION is still 2" in finding.message
         # The error must explain the bump procedure.
         assert "bump ROUTING_VERSION" in finding.hint
         assert "--print-routing-fingerprint" in finding.hint
@@ -75,10 +86,10 @@ class TestFingerprintSensitivity:
 
         report = run_lint([tmp_path], default_rules(), rule_ids=["routing-fingerprint"])
         assert report.findings == []
-        assert routing_fingerprint_from_source(edited) == GOLDEN_V1
+        assert routing_fingerprint_from_source(edited) == GOLDEN_V2
 
     def test_version_bump_without_recorded_fingerprint_is_flagged(self, tmp_path) -> None:
-        source = routing_source().replace("ROUTING_VERSION = 1", "ROUTING_VERSION = 99", 1)
+        source = routing_source().replace("ROUTING_VERSION = 2", "ROUTING_VERSION = 99", 1)
         assert routing_version_from_source(source) == 99
         tree = tmp_path / "repro" / "service"
         tree.mkdir(parents=True)
