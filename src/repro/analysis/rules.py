@@ -88,14 +88,23 @@ def _is_none(node: ast.expr | None) -> bool:
 class DeterminismRule(Rule):
     id = "determinism"
     description = (
-        "no ambient randomness (np.random.*, random.*), wall-clock identity "
-        "(time.time, datetime.now, uuid4) or unseeded default_rng() in the "
+        "no ambient randomness (np.random.*, random.*), wall-clock or "
+        "ambient-clock identity (time.time/time_ns/monotonic/monotonic_ns, "
+        "datetime.now, uuid4) or unseeded default_rng() in the "
         "deterministic packages"
     )
     _HINT = (
         "randomness must arrive as an np.random.Generator parameter or via "
-        "spawn_rngs(); derive times from batch timestamps, not the wall clock"
+        "spawn_rngs(); derive times from batch timestamps, not the wall "
+        "clock, and take liveness/timeout clocks as an injectable callable "
+        "(e.g. ReplicationConfig.clock), never ambient time"
     )
+
+    #: Ambient-clock readers banned outright. ``perf_counter`` stays
+    #: allowed: it only ever feeds profiling deltas, never identity or
+    #: control flow, and the failover path's timeout decisions must go
+    #: through an injected clock instead.
+    _BANNED_CLOCKS = ("time", "time_ns", "monotonic", "monotonic_ns")
 
     def applies_to(self, module: SourceModule) -> bool:
         return module.in_package(*DETERMINISTIC_PACKAGES)
@@ -146,9 +155,12 @@ class DeterminismRule(Rule):
                             default_rng_names.add(alias.asname or alias.name)
                 elif node.module == "time":
                     for alias in node.names:
-                        if alias.name == "time":
+                        if alias.name in self._BANNED_CLOCKS:
                             yield self.finding(
-                                module, node, "import of time.time (wall clock)", self._HINT
+                                module,
+                                node,
+                                f"import of time.{alias.name} (ambient clock)",
+                                self._HINT,
                             )
                 elif node.module == "datetime":
                     for alias in node.names:
@@ -190,9 +202,9 @@ class DeterminismRule(Rule):
                 yield self.finding(
                     module, node, f"call to stdlib random.{tail}()", self._HINT
                 )
-            elif len(chain) == 2 and head in time_names and tail == "time":
+            elif len(chain) == 2 and head in time_names and tail in self._BANNED_CLOCKS:
                 yield self.finding(
-                    module, node, "call to time.time() (wall clock)", self._HINT
+                    module, node, f"call to time.{tail}() (ambient clock)", self._HINT
                 )
             elif tail in ("now", "utcnow", "today") and len(chain) >= 2:
                 base = chain[-2]

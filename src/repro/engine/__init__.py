@@ -32,7 +32,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, TypeVar
 
-from repro.engine.errors import EngineError, RemoteTaskError, WorkerCrashError
+from repro.engine.errors import (
+    EngineError,
+    FailoverError,
+    RemoteTaskError,
+    WorkerCrashError,
+)
 from repro.engine.executors import (
     Executor,
     ProcessPoolExecutor,
@@ -79,6 +84,7 @@ __all__ = [
     "EngineError",
     "WorkerCrashError",
     "RemoteTaskError",
+    "FailoverError",
 ]
 
 

@@ -13,13 +13,18 @@ kinds:
 * :class:`RemoteTaskError` — a task function raised inside a worker. The
   worker itself is fine; the original exception's type, message and
   traceback text are carried along for debugging.
+* :class:`FailoverError` — a supervised failover (warm-standby promotion in
+  :mod:`repro.service.replication`) could not complete: no standby is
+  configured, the failover budget is exhausted, or the committed log tail
+  the standby needs is gone. When this is raised the service is back in the
+  offline-recovery regime: restore from the last checkpoint.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["EngineError", "WorkerCrashError", "RemoteTaskError"]
+__all__ = ["EngineError", "WorkerCrashError", "RemoteTaskError", "FailoverError"]
 
 
 class EngineError(RuntimeError):
@@ -48,6 +53,17 @@ class WorkerCrashError(EngineError):
                 f"; resident shard state lost for {self.resident_keys} — "
                 "restore the service from its last checkpoint"
             )
+        super().__init__(message)
+
+
+class FailoverError(EngineError):
+    """A warm-standby promotion was requested but could not complete."""
+
+    def __init__(self, detail: str, cause: EngineError | None = None) -> None:
+        self.cause = cause
+        message = f"failover failed: {detail}"
+        if cause is not None:
+            message += f" (triggered by: {cause})"
         super().__init__(message)
 
 

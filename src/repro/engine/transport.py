@@ -57,6 +57,15 @@ dead worker raises :class:`~repro.engine.errors.WorkerCrashError` naming the
 worker and the resident shard state lost with it; an exception inside a task
 raises :class:`~repro.engine.errors.RemoteTaskError` carrying the original
 traceback text.
+
+For supervised failover the pool also exposes passive health probes —
+:meth:`ShardWorkerPool.dead_workers` (process liveness, the driver-side
+mirror of the workers' own orphan watchdog) and
+:meth:`ShardWorkerPool.pending_commands` (submitted-but-unacknowledged
+commands, which together with :meth:`ShardWorkerPool.acked_through` lets a
+failure detector spot a wedged worker whose acknowledgements stopped
+moving). The probes never block and never touch the pipes, so a detector
+can run them between every dispatched batch.
 """
 
 from __future__ import annotations
@@ -650,6 +659,37 @@ class ShardWorkerPool:
         if self._tag_outstanding:
             return min(self._tag_outstanding) - 1
         return self._last_tag
+
+    # ------------------------------------------------------------------
+    # health probes (failure detection)
+    # ------------------------------------------------------------------
+    def dead_workers(self) -> list[int]:
+        """Indices of workers whose process is no longer alive.
+
+        A non-blocking liveness probe (one ``waitpid(WNOHANG)`` per worker):
+        a SIGKILLed, OOMed or segfaulted worker shows up here before its
+        broken pipe would surface as a :class:`WorkerCrashError` on the next
+        send/ack. Returns ``[]`` on a closed pool — close reaps every worker
+        deliberately, which is not a failure.
+        """
+        if self._closed:
+            return []
+        return [
+            handle.index for handle in self.workers if not handle.process.is_alive()
+        ]
+
+    def pending_commands(self) -> int:
+        """Total submitted-but-unacknowledged commands across all workers.
+
+        Together with :meth:`acked_through` this is the ack-staleness signal:
+        a pool whose pending count stays positive while the watermark stops
+        advancing has a wedged (or dead) worker.
+        """
+        return sum(len(handle.pending) for handle in self.workers)
+
+    def worker_pids(self) -> list[int | None]:
+        """The OS pid of each worker process, by worker index."""
+        return [handle.process.pid for handle in self.workers]
 
     def snapshot(self, key: Any, snapshot_fn: Callable[[Any], Any]) -> Any:
         """Synchronously snapshot one resident object (it stays resident)."""

@@ -22,7 +22,13 @@ a long-running service:
   write-ahead log (``wal_dir=`` on the service) records every batch before
   dispatch, delta checkpoints truncate it at their watermark, and
   :func:`recover_service` rebuilds a crashed service bit-identically —
-  last checkpoint plus log replay, on any executor backend.
+  last checkpoint plus log replay, on any executor backend;
+* :mod:`repro.service.replication` — warm-standby replicas over the same
+  log: :class:`ReplicationConfig` (``replication=`` on the service) keeps
+  a driver-side standby current by shipping committed WAL frames, and a
+  worker crash (or failed health probe) promotes it in place — pipelined
+  ingest resumes without dropping a batch, bit-identical to an
+  uninterrupted run.
 """
 
 from repro.service.checkpoint import (
@@ -43,8 +49,19 @@ from repro.service.routing import (
     split_by_shard,
     stable_hash,
 )
+from repro.service.replication import (
+    FailureDetector,
+    ReplicationConfig,
+    ShardReplicaSet,
+)
 from repro.service.service import SamplerService
-from repro.service.wal import WALError, WriteAheadLog, recover_service
+from repro.service.wal import (
+    LogShipper,
+    WALError,
+    WALLayoutError,
+    WriteAheadLog,
+    recover_service,
+)
 
 __all__ = [
     "SamplerService",
@@ -52,7 +69,12 @@ __all__ = [
     "CheckpointError",
     "MissingCheckpointError",
     "WALError",
+    "WALLayoutError",
     "WriteAheadLog",
+    "LogShipper",
+    "ReplicationConfig",
+    "ShardReplicaSet",
+    "FailureDetector",
     "recover_service",
     "shard_ids_for_keys",
     "split_by_shard",

@@ -72,12 +72,21 @@ from repro.core.resharding import reshard_samplers
 from repro.engine import (
     EngineError,
     Executor,
+    FailoverError,
+    WorkerCrashError,
     get_executor,
     ingest_shard_inplace,
     ingest_shard_state,
     restore_sampler,
     service_ingest_routed,
     snapshot_sampler,
+)
+from repro.service.replication import (
+    FailureDetector,
+    FailureVerdict,
+    ReplicationConfig,
+    ReplicationRuntime,
+    ShardReplicaSet,
 )
 from repro.service.routing import (
     ROUTING_VERSION,
@@ -152,6 +161,17 @@ class SamplerService:
         every batch — durable against power loss, at a large latency cost;
         ``"none"`` buffers in userspace until ``flush()``/checkpoint/close
         — fastest, replay lag bounded by the last flush.
+    replication:
+        Optional :class:`~repro.service.replication.ReplicationConfig`
+        enabling a warm standby: every shard gets a driver-side replica
+        kept current by shipping committed WAL frames, and a
+        :class:`~repro.engine.errors.WorkerCrashError` (or a failed health
+        probe) promotes the standby *in place* — the committed-but-unapplied
+        log tail is replayed, RNG streams are reconciled, and pipelined
+        ingest resumes on a fresh worker pool without dropping a batch;
+        post-failover trajectories are bit-identical to an uninterrupted
+        run. Requires ``wal_dir`` (the log is the shipping medium and the
+        promotion-safety argument rests on its commit watermark).
 
     Examples
     --------
@@ -173,9 +193,15 @@ class SamplerService:
         executor: Executor | str | None = None,
         wal_dir: str | os.PathLike | None = None,
         wal_fsync: str = "os",
+        replication: ReplicationConfig | None = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if replication is not None and wal_dir is None:
+            raise ValueError(
+                "replication requires a write-ahead log (the committed log is "
+                "what ships to the standby); pass wal_dir= as well"
+            )
         self._factory = sampler_factory
         self.num_shards = int(num_shards)
         self.key_fn = key_fn
@@ -211,6 +237,8 @@ class SamplerService:
             # memory until the first checkpoint; write one now so a crash
             # at any point — including before the first batch — recovers.
             self.checkpoint()
+        if replication is not None:
+            self._enable_replication(replication)
 
     def _init_transport_state(self) -> None:
         self._service_id = next(_SERVICE_IDS)
@@ -245,6 +273,9 @@ class SamplerService:
         #: ``_dirty``, which tracks transport-sync staleness and is cleared
         #: by every read; this set is cleared only by :meth:`checkpoint`.
         self._ckpt_dirty: set[int] = set()
+        #: Warm-standby replication state (config + replica + failure
+        #: detector), or ``None`` when replication is off.
+        self._replication: ReplicationRuntime | None = None
         #: Opt-in phase-breakdown profiling (``REPRO_SERVICE_PROFILE=1``):
         #: wall time accumulated per ingest phase (hash/split/wal/dispatch/
         #: worker_ingest/ack), reported by :meth:`stats`. ``perf_counter``
@@ -372,6 +403,22 @@ class SamplerService:
                 replay_lag_batches=self._batches_seen - 1 - self._wal_watermark,
                 acked_batches=self.acked_batches,
             )
+        rt = self._replication
+        durability["replication"] = (
+            None
+            if rt is None
+            else {
+                "standby_applied_seq": rt.replica.applied_seq,
+                "standby_lag_batches": rt.replica.lag(self._batches_seen - 1),
+                "ship_interval": rt.config.ship_interval,
+                "failovers": rt.failovers,
+                "failure_detection": (
+                    "liveness+ack-staleness"
+                    if rt.config.clock is not None
+                    else "liveness"
+                ),
+            }
+        )
         snapshot: dict[str, Any] = {
             "num_shards": self.num_shards,
             "active_shards": len(shards),
@@ -496,13 +543,17 @@ class SamplerService:
             time = self._advance_time(time)
             self._wal_log_routed(routed_frame, batch, time)
             if routed_frame is None:
+                self._replication_tick()
                 return {}
             counts: dict[int, int] = {}
-            self._dispatch_routed(batch, routed_frame, time, counts_sink=counts)
+            self._dispatch_routed_safely(
+                batch, routed_frame, time, counts_sink=counts
+            )
             begin = perf_counter() if self._profile_enabled else 0.0
-            self._executor.transport.drain()
+            self._drain_transport_safely()
             if self._profile_enabled:
                 self._note_phase("ack", perf_counter() - begin)
+            self._replication_tick()
             return dict(sorted(counts.items()))
         routed = self._route(batch, keys)
         time = self._advance_time(time)
@@ -513,6 +564,7 @@ class SamplerService:
             pending[shard_id] = ([sub_batch], [time])
             counts[shard_id] = len(sub_batch)
         self._dispatch(pending)
+        self._replication_tick()
         return counts
 
     def process_batch(
@@ -626,11 +678,13 @@ class SamplerService:
                     time = self._advance_time(time)
                     self._wal_log_routed(routed_frame, items, time)
                     if routed_frame is not None:
-                        self._dispatch_routed(items, routed_frame, time)
+                        self._dispatch_routed_safely(items, routed_frame, time)
+                    self._replication_tick()
                     continue
                 routed = self._route(items, batch_keys)
                 time = self._advance_time(time)
                 self._wal_log(routed, time)
+                self._replication_tick()
                 for shard_id, sub_batch in routed:
                     sub_batches, sub_times = pending.setdefault(shard_id, ([], []))
                     sub_batches.append(sub_batch)
@@ -656,7 +710,7 @@ class SamplerService:
         far durable under the configured policy.
         """
         if self._executor.provides_transport and self._transport_attached:
-            self._executor.transport.drain()
+            self._drain_transport_safely()
         if self._wal is not None:
             self._wal.flush()
 
@@ -773,6 +827,11 @@ class SamplerService:
         if paired:
             self._ckpt_dirty.clear()
             self._wal_watermark = watermark
+            if self._replication is not None:
+                # Truncation recycles the segments the standby ships from;
+                # the standby must hold every committed frame first, or a
+                # later promotion would find its log tail gone.
+                self._replication.replica.catch_up(watermark)
             self._wal.truncate(watermark)
 
     # ------------------------------------------------------------------
@@ -976,14 +1035,242 @@ class SamplerService:
         if not self._transport_attached:
             return
         pool = self._executor.transport
-        pool.drain()
-        for shard_id in sorted(self._dirty):
-            snapshot = pool.snapshot(self._shard_key(shard_id), snapshot_sampler)
-            sampler = Sampler.from_state_dict(snapshot)
-            self._shards[shard_id] = sampler
-            if self._retained_rng.get(shard_id):
-                self._shard_rngs[shard_id] = sampler._rng
+        try:
+            pool.drain()
+            for shard_id in sorted(self._dirty):
+                snapshot = pool.snapshot(
+                    self._shard_key(shard_id), snapshot_sampler
+                )
+                sampler = Sampler.from_state_dict(snapshot)
+                self._shards[shard_id] = sampler
+                if self._retained_rng.get(shard_id):
+                    self._shard_rngs[shard_id] = sampler._rng
+        except WorkerCrashError as error:
+            # A read found the pool dead. With a standby, promote: the
+            # replayed log tail covers everything the crashed workers held,
+            # so the read completes on the promoted samplers.
+            if self._replication is None:
+                raise
+            self._failover(error)
+            return
         self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # warm-standby replication & supervised failover
+    # ------------------------------------------------------------------
+    def _enable_replication(self, config: ReplicationConfig) -> None:
+        """Capture a warm standby of the current state and start supervising.
+
+        Called from the constructor (``replication=``) and by
+        :func:`~repro.service.wal.recover_service`. The standby is captured
+        at the current committed watermark, so from the next batch on it
+        trails the primary only by shipped-but-unapplied log frames.
+        """
+        if self._wal is None:
+            raise ValueError(
+                "replication requires a write-ahead log; construct the "
+                "service with wal_dir= (or recover one that has it)"
+            )
+        if self._replication is not None:
+            raise ValueError("replication is already enabled on this service")
+        self._sync()
+        replica = ShardReplicaSet.capture(self, self._wal, self._batches_seen - 1)
+        self._replication = ReplicationRuntime(
+            config=config,
+            replica=replica,
+            detector=FailureDetector(
+                clock=config.clock, ack_timeout=config.ack_timeout
+            ),
+        )
+
+    def _replication_tick(self) -> None:
+        """Per-batch replication upkeep: ship on cadence, probe the workers.
+
+        Runs *after* a batch is committed (and, on the transport backend,
+        dispatched) — never between commit and dispatch, where a promotion
+        would replay the batch into the standby and the still-pending
+        dispatch would then double-apply it.
+        """
+        rt = self._replication
+        if rt is None:
+            return
+        committed = self._batches_seen - 1
+        if rt.replica.lag(committed) >= rt.config.ship_interval:
+            rt.replica.catch_up(committed)
+        if self._transport_attached:
+            verdict = rt.detector.check(self._executor.transport)
+            if verdict.failed:
+                self._failover(self._verdict_error(verdict))
+
+    def _verdict_error(self, verdict: FailureVerdict) -> WorkerCrashError:
+        """Materialize a failure-detector verdict as the error that caused it."""
+        pool = self._executor.transport
+        if verdict.dead_workers:
+            index = verdict.dead_workers[0]
+            return WorkerCrashError(
+                index,
+                pool.worker_pids()[index],
+                detail="liveness probe found the worker process dead",
+            )
+        for handle in pool.workers:
+            if handle.pending:
+                return WorkerCrashError(
+                    handle.index,
+                    handle.process.pid,
+                    detail="acknowledgements stalled past the failure "
+                    "detector's timeout",
+                )
+        return WorkerCrashError(
+            0, None, detail="acknowledgements stalled past the timeout"
+        )
+
+    def _dispatch_routed_safely(
+        self,
+        batch: np.ndarray,
+        routed_batch: RoutedBatch,
+        time: float,
+        counts_sink: dict[int, int] | None = None,
+    ) -> None:
+        """Dispatch one routed batch, failing over on a worker crash.
+
+        The batch was WAL-committed before this call, so when the pool dies
+        mid-dispatch the promotion's log replay delivers it to the standby —
+        the dispatch is simply abandoned, and the per-shard counts come
+        from the routing result instead of worker acknowledgements.
+        """
+        try:
+            self._dispatch_routed(batch, routed_batch, time, counts_sink=counts_sink)
+        except WorkerCrashError as error:
+            if self._replication is None:
+                raise
+            self._failover(error)
+            if counts_sink is not None:
+                counts = routed_batch.counts
+                counts_sink.clear()
+                counts_sink.update(
+                    (shard_id, int(counts[shard_id]))
+                    for shard_id in range(self.num_shards)
+                    if counts[shard_id]
+                )
+
+    def _drain_transport_safely(self) -> None:
+        """Drain the pipeline, failing over instead of raising when possible."""
+        if not self._transport_attached:
+            return
+        try:
+            self._executor.transport.drain()
+        except WorkerCrashError as error:
+            if self._replication is None:
+                raise
+            self._failover(error)
+
+    def _failover(self, error: WorkerCrashError | None) -> None:
+        """Promote the warm standby over the (dead or condemned) worker pool.
+
+        The safety argument: every batch the driver ever observed as
+        ingested was committed to the WAL *before* dispatch, so the standby
+        — caught up through the last committed sequence number — is
+        bit-identical to an uninterrupted run through that batch. Worker
+        state is therefore never salvaged: the pool is discarded wholesale,
+        whatever pipeline position it died at, and no batch is dropped or
+        double-applied regardless of when the failure was detected.
+        """
+        rt = self._replication
+        if rt is None:
+            raise FailoverError(
+                "no warm standby is configured; construct the service with "
+                "replication=ReplicationConfig(...)",
+                cause=error,
+            )
+        if (
+            rt.config.max_failovers is not None
+            and rt.failovers >= rt.config.max_failovers
+        ):
+            raise FailoverError(
+                f"failover budget exhausted ({rt.failovers} of "
+                f"{rt.config.max_failovers} used); a repeating crash at this "
+                "rate suggests a poisoned batch or a sick host — recover "
+                "offline and investigate",
+                cause=error,
+            )
+        # 1. Condemn the pool. Surviving workers hold shards at
+        # indeterminate pipeline positions; none of that state is salvaged
+        # — the log is the authority. shutdown() leaves the executor
+        # usable: the next dispatch lazily respawns a fresh pool and
+        # re-attaches the promoted shards.
+        self._transport_attached = False
+        self._dirty.clear()
+        self._retained_rng = {}
+        self._standby_states = {}
+        self._standby_rngs = {}
+        self._executor.shutdown()
+        # 2. Catch the standby up through the last committed batch, then
+        # promote its samplers and reserved RNG streams in place.
+        committed = self._batches_seen - 1
+        rt.replica.catch_up(committed)
+        samplers, rngs = rt.replica.promote()
+        self._shards = samplers
+        self._activated = set(samplers)
+        for shard_id in sorted(rngs):
+            self._shard_rngs[shard_id] = rngs[shard_id]
+        # Every promoted shard must land in the next delta checkpoint: the
+        # paired checkpoint's shard files describe the pre-failover sync
+        # points, and only dirty shards are rewritten.
+        self._ckpt_dirty.update(self._activated)
+        rt.failovers += 1
+        rt.events.append(
+            f"failover {rt.failovers} at batch {committed}: "
+            + (str(error) if error is not None else "operator-forced promotion")
+        )
+        rt.detector.reset()
+        # 3. Respawn a fresh standby behind the new primaries.
+        assert self._wal is not None  # replication requires a WAL
+        rt.replica = ShardReplicaSet.capture(self, self._wal, committed)
+
+    def failover(self) -> None:
+        """Promote the warm standby now (operator-forced).
+
+        Runs the exact promotion the failure detector performs on a worker
+        crash: the current (possibly healthy) worker pool is discarded,
+        the standby replays the committed log tail, and the service
+        continues on the promoted samplers — bit-identically to never
+        having failed over, on any backend. Requires ``replication=``;
+        raises :class:`~repro.engine.errors.FailoverError` otherwise.
+        """
+        self._failover(None)
+
+    def check_health(self) -> dict[str, Any]:
+        """Probe the worker pool; with replication enabled, fail over on failure.
+
+        A passive, non-blocking endpoint for supervisors: reports worker
+        liveness and pipeline progress without draining anything. When the
+        failure detector condemns the pool and a standby is configured,
+        the promotion happens here and ``failed_over`` is reported
+        ``True``. In-process backends (and a detached pool) always report
+        healthy — there are no worker processes to lose.
+        """
+        report: dict[str, Any] = {
+            "backend": self._executor.name,
+            "failed_over": False,
+        }
+        if not (self._executor.provides_transport and self._transport_attached):
+            return report
+        pool = self._executor.transport
+        report.update(
+            workers=pool.num_workers,
+            worker_pids=pool.worker_pids(),
+            dead_workers=pool.dead_workers(),
+            pending_commands=pool.pending_commands(),
+            acked_batches=self.acked_batches,
+        )
+        rt = self._replication
+        if rt is None:
+            return report
+        verdict = rt.detector.check(pool)
+        if verdict.failed:
+            self._failover(self._verdict_error(verdict))
+            report["failed_over"] = True
+        return report
 
     def _coerce_keys(
         self, keys: Any, batch: np.ndarray
@@ -1166,7 +1453,15 @@ class SamplerService:
         if self._transport_attached:
             # Drain + detach: the driver's samplers become authoritative and
             # the next ingest re-attaches them under the new layout.
-            self._detach_all_shards()
+            try:
+                self._detach_all_shards()
+            except WorkerCrashError as error:
+                if self._replication is None:
+                    raise
+                # The checkpoint above already caught the standby up, so
+                # promotion loses nothing; the reshard proceeds on the
+                # promoted samplers.
+                self._failover(error)
         # Bring every active shard to the service clock so the split sees
         # fully decayed bookkeeping (idle shards decay by their whole gap).
         for shard_id in sorted(self._activated):
@@ -1218,6 +1513,14 @@ class SamplerService:
             self._wal.reset_layout(new_count)
             self._ckpt_dirty = set(new_shards)
             self.checkpoint()
+            if self._replication is not None:
+                # The old standby mirrors the old layout (and its shipper
+                # predates the segment swap); capture a fresh one from the
+                # re-homed, just-checkpointed state.
+                self._replication.replica = ShardReplicaSet.capture(
+                    self, self._wal, self._batches_seen - 1
+                )
+                self._replication.detector.reset()
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -1303,31 +1606,63 @@ class SamplerService:
         later ingest transparently re-attaches and respawns workers. (If
         several services share one executor, closing any of them releases
         the shared pool; close the services together.)
+
+        ``close`` is idempotent, including after a worker crash: a second
+        call finds the transport detached and the pool torn down, closes
+        the (already-closed) log handles again, and returns cleanly. With
+        replication enabled a crash discovered *here* promotes the standby
+        instead of raising — the service closes cleanly and stays
+        queryable, with every acked batch accounted for.
         """
+        failure: BaseException | None = None
         try:
             if self._transport_attached:
                 try:
                     self._detach_all_shards()
+                except WorkerCrashError as error:
+                    self._transport_attached = False
+                    if self._replication is not None:
+                        # Promote rather than raise: the committed log tail
+                        # holds every acked batch, so close completes with
+                        # the service still queryable and nothing lost.
+                        self._failover(error)
+                    else:
+                        # A worker died with work possibly still in flight.
+                        # Tear the pool down, then re-raise: close may be
+                        # the *first* drain after the crash, and swallowing
+                        # it would lose pipelined batches silently — under
+                        # a WAL those batches are on disk and
+                        # recover_service replays them. (The ``finally``
+                        # still closes the log handles, so the logs are
+                        # flushed and ready for recovery. ``__exit__``
+                        # suppresses the re-raise when another exception —
+                        # usually this same crash, surfaced on the ingest
+                        # path — is already propagating.)
+                        self._executor.shutdown()
+                        raise
                 except EngineError:
-                    # A worker died with work possibly still in flight. Tear
-                    # the pool down, then re-raise: close may be the *first*
-                    # drain after the crash, and swallowing it would lose
-                    # pipelined batches silently — under a WAL those batches
-                    # are on disk and recover_service replays them. (The
-                    # ``finally`` still closes the log handles, so the logs
-                    # are flushed and ready for recovery. ``__exit__``
-                    # suppresses the re-raise when another exception —
-                    # usually this same crash, surfaced on the ingest path —
-                    # is already propagating.)
+                    # Same teardown-then-reraise for non-crash engine
+                    # failures (a closed pool, a lost pipe outside a
+                    # worker death): nothing to promote over.
                     self._transport_attached = False
                     self._executor.shutdown()
                     raise
                 finally:
                     self._transport_attached = False
             self._executor.shutdown()
+        except BaseException as error:
+            failure = error
+            raise
         finally:
             if self._wal is not None:
-                self._wal.close()
+                try:
+                    self._wal.close()
+                except OSError:
+                    # The log handles are flushed per-batch; a secondary
+                    # close failure must not mask the crash already
+                    # propagating — that one names the actionable problem.
+                    if failure is None:
+                        raise
 
     def shutdown(self) -> None:
         """Alias of :meth:`close` (kept for backward compatibility)."""

@@ -58,6 +58,23 @@ of an interrupted append — ends replay at the last valid frame and is
 reported, not fatal. A CRC mismatch on a fully-present frame is *corruption*
 (bit rot, a partial copy) and raises :class:`WALError` naming the file and
 byte offset; no raw ``struct``/unpickling error ever escapes this module.
+A directory whose *segment set* is inconsistent — checkpoint manifest
+present but log segments missing, stray segments from a different layout,
+shard records without a commit log — raises :class:`WALLayoutError` on
+:meth:`WriteAheadLog.attach` instead of silently recovering less than was
+committed.
+
+Log shipping
+------------
+
+:class:`LogShipper` (``WriteAheadLog.open_shipper()``) is the replication
+feed: an incremental, byte-offset-based reader that returns the committed
+frames appended since its last poll, never reading past the caller's
+committed horizon, a segment terminator, or a torn tail. Truncation and
+layout changes bump the WAL's *shipping epoch*; the shipper notices, rewinds
+to the segment heads, and relies on the caller's applied watermark to skip
+frames it already delivered. :mod:`repro.service.replication` drives it to
+keep a warm standby bit-identical at every committed watermark.
 
 Fsync policy
 ------------
@@ -83,15 +100,28 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["WALError", "WriteAheadLog", "recover_service", "read_log_records"]
+__all__ = [
+    "WALError",
+    "WALLayoutError",
+    "WriteAheadLog",
+    "LogShipper",
+    "ShippedFrames",
+    "recover_service",
+    "read_log_records",
+]
 
 _MAGIC = b"REPROWAL"
 #: Format version of the on-disk log encoding; bumped only on changes that
 #: would misread persisted logs. Version 2 added the zero-frame terminator
 #: of recycled segments (version-1 logs, which simply end at EOF, still
 #: read fine; version-1 builds must refuse version-2 logs, whose stale
-#: bytes beyond the terminator they would misparse).
-WAL_FORMAT_VERSION = 2
+#: bytes beyond the terminator they would misparse). Version 3 changed no
+#: byte of the framing but made segment creation *eager*: a version-3
+#: directory always holds its complete segment set (commit log plus one log
+#: per shard), so :meth:`WriteAheadLog.attach` treats a missing segment as
+#: damage — in a version-2 directory it could merely mean the lazy creation
+#: never happened, and attach stays lenient there.
+WAL_FORMAT_VERSION = 3
 
 _KIND_COMMIT = 0
 _KIND_SHARD = 1
@@ -136,6 +166,18 @@ class WALError(RuntimeError):
     The message names the offending file (and byte offset, where one
     exists), so an operator can tell bit rot or a partial copy from a
     software bug without reading a stack trace.
+    """
+
+
+class WALLayoutError(WALError):
+    """A WAL directory's segment set does not match its checkpoint layout.
+
+    Raised by :meth:`WriteAheadLog.attach` when the directory holds a
+    checkpoint manifest but the log segments it implies are missing, belong
+    to a different ``num_shards`` layout, or hold shard records with no
+    commit log to vouch for them — the signatures of a partial copy, a
+    mixed-up directory, or an operator deleting ``*.wal`` files, none of
+    which recovery may paper over silently.
     """
 
 
@@ -346,9 +388,106 @@ def read_log_records(path: str | os.PathLike, strict: bool = False) -> LogScan:
     return scan
 
 
+def _scan_frames_from(
+    path: str, kind: int, offset: int, after_seq: int, through_seq: int
+) -> tuple[list[LogRecord], int]:
+    """Incrementally scan one log's frames starting at byte ``offset``.
+
+    The shipping primitive behind :class:`LogShipper`: decodes records with
+    ``after_seq < seq <= through_seq`` and returns them with the byte offset
+    the next scan should resume from. The cursor advances over skipped
+    (already-shipped) frames but stops — *without* advancing — at the
+    recycled-segment terminator, at a torn tail (an append may still be in
+    flight; the frame is re-examined next poll), and at the first frame
+    beyond ``through_seq`` (present on disk but not yet in the caller's
+    committed horizon). Payload bodies are only decoded for frames actually
+    shipped; a CRC mismatch on any fully-present frame raises
+    :class:`WALError` as usual.
+    """
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+    except FileNotFoundError:
+        return [], offset
+    records: list[LogRecord] = []
+    position = 0
+    while position < len(data):
+        if len(data) - position < _FRAME.size:
+            break  # in-flight or torn tail: retry from here next poll
+        length, crc = _FRAME.unpack_from(data, position)
+        if length == 0:
+            break  # recycled-segment terminator: logical end (for now)
+        body_start = position + _FRAME.size
+        if length > len(data) - body_start:
+            break  # torn tail
+        body = data[body_start : body_start + length]
+        where = f"{path} @ offset {offset + position}"
+        if zlib.crc32(body) != crc:
+            raise WALError(
+                f"{where}: CRC mismatch on a shipped frame; the log is "
+                "corrupt — restore from a replica or truncate at this offset"
+            )
+        try:
+            if kind == _KIND_COMMIT:
+                seq, time, flags = _COMMIT_BODY.unpack_from(body, 0)
+                payload_offset = None
+            else:
+                seq, time = _SHARD_BODY.unpack_from(body, 0)
+                flags = int(body[_SHARD_BODY.size])
+                payload_offset = _SHARD_BODY.size + 1
+        except (struct.error, IndexError) as error:
+            raise WALError(f"{where}: malformed record body ({error})") from error
+        if seq > through_seq:
+            break
+        end = body_start + length
+        if seq > after_seq:
+            payload = (
+                None
+                if payload_offset is None
+                else _decode_payload(flags, body, payload_offset, where)
+            )
+            records.append(
+                LogRecord(
+                    int(seq),
+                    float(time),
+                    int(flags),
+                    payload,
+                    offset + position,
+                    offset + end,
+                )
+            )
+        position = end
+    return records, offset + position
+
+
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
+def _shard_log_name(shard_id: int) -> str:
+    return f"shard-{shard_id:05d}.wal"
+
+
+def _parse_shard_log_name(name: str) -> int | None:
+    """The shard id a ``shard-<k>.wal`` filename names, or ``None``."""
+    if not (name.startswith("shard-") and name.endswith(".wal")):
+        return None
+    try:
+        return int(name[len("shard-") : -len(".wal")])
+    except ValueError:
+        return None
+
+
+def _replace_with_header(path: str, kind: int, shard_field: int) -> None:
+    """Atomically swap ``path`` for a fresh, empty (header-only) log file."""
+    temporary = path + ".tmp"
+    with open(temporary, "wb") as fh:
+        fh.write(_HEADER.pack(_MAGIC, WAL_FORMAT_VERSION, kind, shard_field))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(temporary, path)
+
+
 def _scan_logical_end(path: str) -> int:
     """Find the append position of an existing log without decoding bodies.
 
@@ -451,9 +590,15 @@ class _LogFile:
             os.fsync(self._fh.fileno())
 
     def close(self) -> None:
+        # Idempotent, and the handle is released even when the flush raises
+        # (ENOSPC, a revoked filesystem): a close that leaves the fd open
+        # would make the *next* close fail too, turning one I/O error into a
+        # stuck service.
         if self._fh is not None and not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+            try:
+                self._fh.flush()
+            finally:
+                self._fh.close()
 
     def rewrite_keeping(self, keep: Callable[[LogRecord], bool]) -> None:
         """Atomically rewrite the log retaining only records passing ``keep``.
@@ -547,12 +692,17 @@ class WriteAheadLog:
         self.directory = os.fspath(directory)
         self.num_shards = int(num_shards)
         self.fsync = fsync
+        #: Bumped whenever the byte layout of the segments changes under a
+        #: reader's feet (truncation, orphan drop, layout reset); a
+        #: :class:`LogShipper` whose epoch no longer matches rewinds its
+        #: cursors and dedupes by its caller's applied watermark.
+        self._shipping_epoch = 0
         self._commit = _LogFile(
             os.path.join(self.directory, _COMMIT_NAME), _KIND_COMMIT, self.num_shards
         )
         self._shards = {
             shard_id: _LogFile(
-                os.path.join(self.directory, f"shard-{shard_id:05d}.wal"),
+                os.path.join(self.directory, _shard_log_name(shard_id)),
                 _KIND_SHARD,
                 shard_id,
             )
@@ -571,48 +721,164 @@ class WriteAheadLog:
     ) -> "WriteAheadLog":
         """Start a fresh WAL directory for a brand-new service.
 
-        Refuses a directory that already holds a deployment — a commit log,
-        or a completed checkpoint manifest: silently appending a *new*
-        service's batches to an old deployment's logs would make its
-        recovery nonsense. Recover the old deployment with
+        Refuses a directory that already holds a deployment — a commit log
+        with committed records, or a completed checkpoint manifest: silently
+        appending a *new* service's batches to an old deployment's logs
+        would make its recovery nonsense. Recover the old deployment with
         :func:`recover_service`, or point the new service at an empty
         directory. Debris from a service that crashed *mid-construction*
-        (checkpoint sub-directories without a manifest, no commit log —
-        nothing was ever durable) does not count as a deployment: the
-        restarted constructor's initial checkpoint garbage-collects it.
+        (checkpoint sub-directories without a manifest, an empty eagerly
+        created commit log, orphan shard records — nothing was ever durable)
+        does not count as a deployment: it is deleted and recreated.
+
+        The full segment set (commit log plus one log per shard) is created
+        eagerly, header-only — the version-3 invariant that lets
+        :meth:`attach` treat a missing segment as damage.
         """
         directory = os.fspath(directory)
         os.makedirs(directory, exist_ok=True)
-        if os.path.exists(os.path.join(directory, _COMMIT_NAME)) or os.path.exists(
-            os.path.join(directory, _CHECKPOINT_NAME, "MANIFEST.json")
-        ):
+        if os.path.exists(os.path.join(directory, _CHECKPOINT_NAME, "MANIFEST.json")):
             raise WALError(
                 f"WAL directory {directory} already holds a deployment's logs; "
                 "recover it with repro.service.recover_service(...) or start "
                 "the new service in an empty directory"
             )
-        return cls(directory, num_shards, fsync=fsync)
+        commit_path = os.path.join(directory, _COMMIT_NAME)
+        if os.path.exists(commit_path) and read_log_records(commit_path).records:
+            raise WALError(
+                f"WAL directory {directory} already holds a deployment's logs; "
+                "recover it with repro.service.recover_service(...) or start "
+                "the new service in an empty directory"
+            )
+        # With no manifest and no committed batch, any log files present are
+        # debris of a constructor that crashed before anything was durable.
+        for name in sorted(os.listdir(directory)):
+            if name == _COMMIT_NAME or _parse_shard_log_name(name) is not None:
+                os.unlink(os.path.join(directory, name))
+        wal = cls(directory, num_shards, fsync=fsync)
+        wal._materialize_segments()
+        return wal
+
+    def _materialize_segments(self) -> None:
+        """Eagerly create every log file (header-only) for this layout."""
+        for log in (*self._shards.values(), self._commit):
+            log._open()
 
     @classmethod
     def attach(
         cls, directory: str | os.PathLike, num_shards: int, fsync: str = "os"
     ) -> "WriteAheadLog":
-        """Reopen an existing WAL directory for recovery + continued appends."""
+        """Reopen an existing WAL directory for recovery + continued appends.
+
+        Validates the directory's segment set against the ``num_shards``
+        layout the caller's checkpoint restores, raising
+        :class:`WALLayoutError` on every inconsistency that means committed
+        data could be silently lost:
+
+        * a stray ``shard-<k>.wal`` with ``k >= num_shards`` holding records
+          (a foreign layout's log mixed in);
+        * shard records present with no commit log to vouch for them (the
+          commit log was deleted or the copy was partial);
+        * a commit log naming a different shard count *and* holding records
+          (two deployments' files mixed together);
+        * a version-3 commit log (eager segment creation) with any of its
+          shard segments missing.
+
+        Benign crash artifacts are normalized, not fatal: an empty commit
+        log under a foreign-layout header — the signature of a crash inside
+        ``reshard``'s log reset — is atomically rewritten for the attaching
+        layout, and version-2 directories (lazy segment creation) keep their
+        lenient missing-segment semantics.
+        """
         directory = os.fspath(directory)
         commit_path = os.path.join(directory, _COMMIT_NAME)
+        shard_paths = {
+            shard_id: os.path.join(directory, _shard_log_name(shard_id))
+            for shard_id in range(num_shards)
+        }
+        for name in sorted(os.listdir(directory)):
+            stray_id = _parse_shard_log_name(name)
+            if stray_id is None or stray_id < num_shards:
+                continue
+            stray_path = os.path.join(directory, name)
+            if read_log_records(stray_path).records:
+                raise WALLayoutError(
+                    f"{stray_path} holds records for shard {stray_id}, but the "
+                    f"checkpoint restores only {num_shards} shards; the "
+                    "directory mixes deployments with different layouts"
+                )
+        commit_head = b""
         if os.path.exists(commit_path):
             with open(commit_path, "rb") as fh:
-                head = fh.read(_HEADER.size)
-            if len(head) == _HEADER.size:
-                magic, version, kind, logged_shards = _HEADER.unpack_from(head, 0)
-                if magic != _MAGIC:
-                    raise WALError(f"{commit_path}: not a repro WAL file")
-                if logged_shards != num_shards:
-                    raise WALError(
-                        f"{commit_path} was written by a {logged_shards}-shard "
-                        f"service, but the checkpoint restores {num_shards} "
-                        "shards; the directory mixes deployments"
+                commit_head = fh.read(_HEADER.size)
+        if len(commit_head) < _HEADER.size:
+            # No commit log (or one torn before its header landed): legal
+            # only while there is provably nothing to replay — a shard
+            # record with no commit to vouch for it means the commit log
+            # was deleted or the directory is a partial copy.
+            for shard_id, path in sorted(shard_paths.items()):
+                if os.path.exists(path) and read_log_records(path).records:
+                    raise WALLayoutError(
+                        f"{path} holds shard records but {commit_path} is "
+                        "missing; without the commit log their committed "
+                        "prefix is unknowable — restore the full WAL "
+                        "directory (the copy is partial or the commit log "
+                        "was deleted)"
                     )
+            return cls(directory, num_shards, fsync=fsync)
+        magic, version, kind, logged_shards = _HEADER.unpack_from(commit_head, 0)
+        if magic != _MAGIC:
+            raise WALError(f"{commit_path}: not a repro WAL file")
+        if kind != _KIND_COMMIT:
+            raise WALLayoutError(
+                f"{commit_path}: header names a shard log, not a commit log; "
+                "the directory's files were renamed or mixed up"
+            )
+        if logged_shards != num_shards:
+            if read_log_records(commit_path).records:
+                raise WALLayoutError(
+                    f"{commit_path} was written by a {logged_shards}-shard "
+                    f"service, but the checkpoint restores {num_shards} "
+                    "shards; the directory mixes deployments"
+                )
+            # Empty commit log under a foreign-layout header: the crash
+            # window of reshard's log reset (the new layout's segments were
+            # being swapped in when the process died). Nothing is
+            # replayable, so normalize the segment set to the attaching
+            # layout.
+            wal = cls(directory, num_shards, fsync=fsync)
+            wal.reset_layout(num_shards)
+            return wal
+        if version >= 3:
+            missing = sorted(
+                shard_id
+                for shard_id, path in shard_paths.items()
+                if not os.path.exists(path)
+            )
+            if missing:
+                raise WALLayoutError(
+                    f"{directory}: commit log present but shard segments "
+                    f"missing for shards {missing}; version-{version} "
+                    "directories hold their full segment set, so these were "
+                    "deleted or not copied — restore the full WAL directory"
+                )
+        for shard_id, path in sorted(shard_paths.items()):
+            if not os.path.exists(path):
+                continue
+            with open(path, "rb") as fh:
+                head = fh.read(_HEADER.size)
+            if len(head) < _HEADER.size:
+                continue  # torn before the header landed; rewritten on append
+            shard_magic, _, shard_kind, shard_field = _HEADER.unpack_from(head, 0)
+            if shard_magic != _MAGIC:
+                raise WALError(f"{path}: not a repro WAL file")
+            if shard_kind != _KIND_SHARD or shard_field != shard_id:
+                raise WALLayoutError(
+                    f"{path}: header names "
+                    f"{'commit log' if shard_kind == _KIND_COMMIT else f'shard {shard_field}'}, "
+                    f"not shard {shard_id}; the directory's files were "
+                    "renamed or mixed up"
+                )
         return cls(directory, num_shards, fsync=fsync)
 
     # -- appending -----------------------------------------------------
@@ -654,9 +920,22 @@ class WriteAheadLog:
             log.flush(fsync=self.fsync == "always")
 
     def close(self) -> None:
-        """Flush and close the log file handles (the logs stay on disk)."""
+        """Flush and close the log file handles (the logs stay on disk).
+
+        Idempotent, and every handle is attempted even when one fails: a
+        flush error on one segment (ENOSPC, a yanked filesystem) must not
+        leave the remaining handles open — the first failure is re-raised
+        after the sweep.
+        """
+        first_error: OSError | None = None
         for log in (*self._shards.values(), self._commit):
-            log.close()
+            try:
+                log.close()
+            except OSError as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
 
     # -- truncation / layout -------------------------------------------
     def truncate(self, watermark: int) -> None:
@@ -665,8 +944,11 @@ class WriteAheadLog:
         Called after a delta checkpoint lands: everything at or below the
         watermark is durable in the checkpoint, so the logs shrink back to
         the replay tail (usually nothing). Crash-safe: replay filters by the
-        manifest watermark regardless.
+        manifest watermark regardless. A replication caller must catch its
+        standby up *through* the watermark first — truncated frames are gone
+        from the shipping feed (the shipping epoch advances here).
         """
+        self._shipping_epoch += 1
         for log in (*self._shards.values(), self._commit):
             log.rewrite_keeping(lambda record: record.seq > watermark)
 
@@ -677,34 +959,54 @@ class WriteAheadLog:
         records; recovery discards them so the next live append (which reuses
         their sequence numbers) cannot produce an out-of-order log.
         """
+        self._shipping_epoch += 1
         for log in self._shards.values():
             log.rewrite_keeping(lambda record: record.seq <= last_committed)
 
     def reset_layout(self, num_shards: int) -> None:
-        """Replace the shard logs with a fresh, empty set for a new layout.
+        """Replace the logs with a fresh, empty set for a new layout.
 
-        Called by ``reshard`` *after* it has checkpointed (so the old logs
-        are already truncated to nothing): the per-shard logs are keyed by
-        the old layout's shard ids and would be nonsense under the new one.
+        Called by ``reshard`` *after* it has checkpointed (so the logs are
+        already truncated to nothing): the per-shard logs are keyed by the
+        old layout's shard ids and would be nonsense under the new one.
+        Every segment is swapped via tmp-file + ``os.replace`` and the
+        commit log is replaced *last*, so a crash at any point leaves a
+        directory :meth:`attach` accepts — either the old layout (its
+        manifest still current) or an empty foreign-layout set that attach
+        normalizes.
         """
         self.close()
-        for log in self._shards.values():
-            if os.path.exists(log.path):
-                os.unlink(log.path)
-        if os.path.exists(self._commit.path):
-            os.unlink(self._commit.path)
+        self._shipping_epoch += 1
         self.num_shards = int(num_shards)
+        for shard_id in range(self.num_shards):
+            _replace_with_header(
+                os.path.join(self.directory, _shard_log_name(shard_id)),
+                _KIND_SHARD,
+                shard_id,
+            )
+        _replace_with_header(
+            os.path.join(self.directory, _COMMIT_NAME), _KIND_COMMIT, self.num_shards
+        )
+        for name in sorted(os.listdir(self.directory)):
+            stray_id = _parse_shard_log_name(name)
+            if stray_id is not None and stray_id >= self.num_shards:
+                os.unlink(os.path.join(self.directory, name))
         self._commit = _LogFile(
             os.path.join(self.directory, _COMMIT_NAME), _KIND_COMMIT, self.num_shards
         )
         self._shards = {
             shard_id: _LogFile(
-                os.path.join(self.directory, f"shard-{shard_id:05d}.wal"),
+                os.path.join(self.directory, _shard_log_name(shard_id)),
                 _KIND_SHARD,
                 shard_id,
             )
             for shard_id in range(self.num_shards)
         }
+
+    # -- log shipping --------------------------------------------------
+    def open_shipper(self) -> "LogShipper":
+        """A fresh incremental reader of this WAL's committed frames."""
+        return LogShipper(self)
 
     # -- recovery ------------------------------------------------------
     def collect_replay(self, watermark: int) -> ReplayPlan:
@@ -775,12 +1077,94 @@ class WriteAheadLog:
         )
 
 
+@dataclass
+class ShippedFrames:
+    """One incremental shipment of committed WAL frames.
+
+    ``commits`` lists the commit records shipped, in sequence order;
+    ``per_shard`` maps each shard id to its shipped sub-batches and arrival
+    times, in batch order — exactly the shape ``process_stream`` replays.
+    """
+
+    commits: list[LogRecord]
+    per_shard: dict[int, tuple[list[np.ndarray], list[float]]]
+
+    @property
+    def batches(self) -> int:
+        return len(self.commits)
+
+
+#: Cursor key for the commit log in a shipper's offset table (shard logs use
+#: their non-negative shard ids).
+_COMMIT_CURSOR = -1
+
+
+class LogShipper:
+    """Incremental, byte-offset-based reader of committed frames.
+
+    The replication feed: each :meth:`poll` returns the frames appended
+    since the previous one, bounded by the caller's committed horizon.
+    Cursors are byte offsets into each segment, so a poll costs one
+    ``open`` + ``read`` of only the new bytes per log. The shipper stops —
+    without advancing — at segment terminators, torn tails (an interrupted
+    append is re-examined next poll once the frame is whole), and frames
+    beyond ``through_seq``. When the WAL's shipping epoch moves (truncation,
+    orphan drop, layout reset rewrote the segments) the cursors rewind to
+    the segment heads and ``after_seq`` dedupes frames already delivered.
+    """
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self._wal = wal
+        self._epoch = wal._shipping_epoch
+        self._offsets: dict[int, int] = {}
+
+    def poll(self, after_seq: int, through_seq: int) -> ShippedFrames:
+        """Ship every committed frame with ``after_seq < seq <= through_seq``.
+
+        ``after_seq`` is the caller's applied watermark (frames at or below
+        it were delivered by earlier polls); ``through_seq`` is the caller's
+        committed horizon — frames beyond it may already sit in the log
+        (an append races the caller's bookkeeping) and are left for a later
+        poll. The commit records come back alongside the shard frames so the
+        caller can verify the shipment is gap-free before applying it.
+        """
+        wal = self._wal
+        if wal._shipping_epoch != self._epoch:
+            self._offsets.clear()
+            self._epoch = wal._shipping_epoch
+        commits, next_offset = _scan_frames_from(
+            wal._commit.path,
+            _KIND_COMMIT,
+            self._offsets.get(_COMMIT_CURSOR, _HEADER.size),
+            after_seq,
+            through_seq,
+        )
+        self._offsets[_COMMIT_CURSOR] = next_offset
+        per_shard: dict[int, tuple[list[np.ndarray], list[float]]] = {}
+        for shard_id in range(wal.num_shards):
+            records, next_offset = _scan_frames_from(
+                wal._shards[shard_id].path,
+                _KIND_SHARD,
+                self._offsets.get(shard_id, _HEADER.size),
+                after_seq,
+                through_seq,
+            )
+            self._offsets[shard_id] = next_offset
+            if records:
+                per_shard[shard_id] = (
+                    [record.payload for record in records],  # type: ignore[misc]
+                    [record.time for record in records],
+                )
+        return ShippedFrames(commits=commits, per_shard=per_shard)
+
+
 def recover_service(
     wal_dir: str | os.PathLike,
     sampler_factory,
     key_fn=None,
     executor=None,
     fsync: str = "os",
+    replication=None,
 ):
     """Rebuild a WAL-enabled service after a crash: checkpoint + log replay.
 
@@ -794,9 +1178,15 @@ def recover_service(
 
     A torn log tail (crash mid-append) is tolerated: recovery stops at the
     last committed batch. Corruption below the tail raises
-    :class:`WALError`; a damaged checkpoint raises
+    :class:`WALError`; an inconsistent segment set (missing or foreign
+    segments under a live manifest) raises :class:`WALLayoutError`; a
+    damaged checkpoint raises
     :class:`~repro.service.checkpoint.CheckpointError` naming every
     missing or stale shard.
+
+    ``replication=`` (a :class:`~repro.service.replication.ReplicationConfig`)
+    re-enables warm-standby replication on the recovered service, exactly as
+    ``SamplerService(replication=...)`` would for a fresh one.
     """
     from repro.service.checkpoint import load_service_delta
     from repro.service.service import SamplerService
@@ -822,4 +1212,6 @@ def recover_service(
         wal.drop_uncommitted(plan.last_seq)
     service._wal = wal
     service._wal_watermark = watermark
+    if replication is not None:
+        service._enable_replication(replication)
     return service

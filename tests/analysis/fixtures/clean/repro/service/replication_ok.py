@@ -1,0 +1,16 @@
+"""Fixture: the conforming failover-path clock idioms.
+
+Never imported — parsed only. Elapsed-time decisions go through an
+*injected* clock callable; ``perf_counter`` stays allowed because it only
+feeds profiling deltas, never identity or control flow.
+"""
+
+from time import perf_counter
+from typing import Callable
+
+
+def staleness_probe(clock: Callable[[], float] | None, last_progress: float):
+    begin = perf_counter()  # profiling delta, allowed
+    if clock is None:
+        return False, perf_counter() - begin
+    return (clock() - last_progress) > 30.0, perf_counter() - begin

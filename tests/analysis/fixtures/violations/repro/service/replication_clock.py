@@ -1,0 +1,19 @@
+"""Fixture: ambient clocks sneaking into a failover path.
+
+Never imported — parsed only. The ``repro/service`` path components put it
+in the determinism rule's scope. Every way of reading ambient time that a
+failure detector might reach for must be flagged: heartbeat and timeout
+decisions have to go through an injectable clock.
+"""
+
+import time
+from time import monotonic, time_ns
+
+
+def staleness_probe(last_progress):
+    started = time.monotonic()  # ambient clock call
+    nanos = time.time_ns()  # ambient clock call
+    coarse = time.monotonic_ns()  # ambient clock call
+    fallback = monotonic()  # imported name is flagged at the import
+    stamp = time_ns()  # imported name is flagged at the import
+    return started - last_progress, nanos, coarse, fallback, stamp

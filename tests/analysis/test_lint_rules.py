@@ -40,6 +40,17 @@ class TestSeededViolations:
         assert all(f.severity == "error" for f in report.findings)
         assert all(f.hint for f in report.findings)
 
+    def test_determinism_rule_flags_every_ambient_clock_variant(self) -> None:
+        report = lint(VIOLATIONS / "repro" / "service" / "replication_clock.py")
+        messages = [f.message for f in report.findings]
+        assert all(f.rule == "determinism" for f in report.findings)
+        assert any("call to time.monotonic()" in m for m in messages)
+        assert any("call to time.monotonic_ns()" in m for m in messages)
+        assert any("call to time.time_ns()" in m for m in messages)
+        assert any("import of time.monotonic " in m for m in messages)
+        assert any("import of time.time_ns " in m for m in messages)
+        assert all("injectable" in f.hint for f in report.findings)
+
     def test_pickle_ban_fires_on_import_and_allow_pickle(self) -> None:
         report = lint(VIOLATIONS / "repro" / "service" / "wal_pickle.py")
         grouped = findings_by_rule(report)
@@ -96,7 +107,7 @@ class TestCleanFixtures:
         report = lint(CLEAN)
         assert report.findings == []
         assert report.exit_code == 0
-        assert report.files_checked == 3
+        assert report.files_checked == 4
 
     def test_scoping_files_outside_repro_are_ignored(self, tmp_path) -> None:
         rogue = tmp_path / "rogue.py"

@@ -219,6 +219,75 @@ def recover_and_finish(
     return service
 
 
+def install_worker_kill_hook(service: SamplerService, crash_index: int, worker: int = 0) -> list[str]:
+    """SIGKILL one of ``service``'s pool workers at the ``crash_index``-th failpoint.
+
+    The replication chaos harness: unlike :func:`install_crash_hook`, the
+    *driver stays alive* — a primary shard worker is the victim, so the run
+    exercises warm-standby promotion instead of offline recovery. Fires at
+    most once, and only while the transport pool is attached (failpoints
+    inside the constructor's initial checkpoint precede any worker; those
+    indices degenerate to crash-free runs, which the sweep still verifies).
+    Returns a list that receives the site name when the kill fires.
+    """
+    counter = itertools.count(1)
+    fired: list[str] = []
+
+    def hook(site: str) -> None:
+        if fired or next(counter) != crash_index:
+            return
+        if not service._transport_attached:
+            return
+        pool = service.executor.transport
+        handle = pool.workers[worker % pool.num_workers]
+        fired.append(site)
+        os.kill(handle.process.pid, signal.SIGKILL)
+
+    wal_module._FAULT_HOOK = hook
+    return fired
+
+
+def run_replicated_workload(
+    wal_dir: str,
+    backend: str = "process:2",
+    kill_at: int | None = None,
+    worker: int = 0,
+    ship_interval: int = 3,
+) -> tuple[dict, int]:
+    """The canonical workload on a replicated service, surviving one SIGKILL.
+
+    Runs the exact batch/checkpoint schedule of :func:`run_workload` on a
+    warm-standby service, optionally SIGKILLing one primary shard worker at
+    the ``kill_at``-th failpoint mid-pipeline. The stream must complete
+    *without manual recovery* — promotion is the service's job — and the
+    returned final ``state_dict`` must be bit-identical to
+    :func:`golden_state`. Returns ``(state_dict, failover_count)``.
+    """
+    from repro.service import ReplicationConfig
+
+    service = SamplerService(
+        make_factory(),
+        num_shards=NUM_SHARDS,
+        rng=SEED,
+        executor=backend,
+        wal_dir=wal_dir,
+        replication=ReplicationConfig(ship_interval=ship_interval),
+    )
+    try:
+        if kill_at is not None:
+            install_worker_kill_hook(service, kill_at, worker)
+        for index, batch in enumerate(workload_batches()):
+            service.ingest_batch(batch)
+            if (index + 1) % CKPT_EVERY == 0:
+                service.checkpoint()
+        state = service.state_dict()
+        failovers = service.stats()["durability"]["replication"]["failovers"]
+    finally:
+        wal_module._FAULT_HOOK = None
+        service.close()
+    return state, failovers
+
+
 def assert_states_equal(actual, expected, path: str = "") -> None:
     """Recursive bit-exact comparison of two ``state_dict`` trees."""
     assert type(actual) is type(expected) or (

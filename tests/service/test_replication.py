@@ -1,0 +1,490 @@
+"""Warm-standby replication: log shipping, failover, and the layout guards.
+
+Covers the replication module's three layers plus the two robustness
+satellites that ride with it:
+
+* :class:`~repro.service.wal.LogShipper` edge cases — torn final frames,
+  shipping across a ``truncate`` segment recycle, and a standby lagging
+  far behind the primary;
+* :class:`~repro.service.replication.ShardReplicaSet` bit-identity and
+  gap detection, and :class:`FailureDetector` verdicts under an injected
+  clock;
+* forced failover on every backend (serial and thread here; the process
+  backend's SIGKILL sweep lives in ``test_replication_chaos.py``);
+* ``close()`` idempotency after a worker crash (satellite: double-close
+  and masked-exception paths);
+* :class:`~repro.service.wal.WALLayoutError` on damaged or foreign
+  segment sets (satellite: manifest-without-segments and foreign
+  ``num_shards`` layouts fail with a named error).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RTBS
+from repro.core.base import Sampler
+from repro.engine import FailoverError, WorkerCrashError
+from repro.service import (
+    ReplicationConfig,
+    SamplerService,
+    ShardReplicaSet,
+    WALLayoutError,
+    WriteAheadLog,
+    recover_service,
+)
+from repro.service.replication import FailureDetector
+from repro.service.wal import read_log_records
+
+from tests.faults import assert_states_equal
+
+
+def _factory():
+    return lambda rng: RTBS(n=40, lambda_=0.15, rng=rng)
+
+
+def _batches(count: int, start: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(404)
+    out = [rng.integers(0, 50_000, size=60) for _ in range(start + count)]
+    return out[start:]
+
+
+def _routed(batch: np.ndarray, num_shards: int = 2) -> list:
+    return [
+        (shard_id, batch[shard_id::num_shards]) for shard_id in range(num_shards)
+    ]
+
+
+# ----------------------------------------------------------------------
+# LogShipper edge cases (satellite 3)
+# ----------------------------------------------------------------------
+class TestLogShipper:
+    def test_polls_ship_incrementally_and_respect_the_horizon(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", num_shards=2)
+        shipper = wal.open_shipper()
+        for seq in range(3):
+            wal.append_batch(
+                seq, float(seq + 1), _routed(np.arange(10) + seq), explicit_keys=False
+            )
+        # The horizon caps the shipment even though seq 2 is already on disk.
+        shipped = shipper.poll(-1, 1)
+        assert [r.seq for r in shipped.commits] == [0, 1]
+        assert set(shipped.per_shard) == {0, 1}
+        assert all(len(frames) == 2 for frames, _ in shipped.per_shard.values())
+        # The next poll picks up exactly the remainder — no re-delivery.
+        shipped = shipper.poll(1, 2)
+        assert [r.seq for r in shipped.commits] == [2]
+        assert all(len(frames) == 1 for frames, _ in shipped.per_shard.values())
+        wal.close()
+
+    def test_torn_final_frame_stops_without_advancing_then_resumes(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", num_shards=1)
+        shipper = wal.open_shipper()
+        wal.append_batch(0, 1.0, [(0, np.arange(20))], explicit_keys=False)
+        wal.append_batch(1, 2.0, [(0, np.arange(20, 40))], explicit_keys=False)
+        wal.flush()
+        path = os.path.join(wal.directory, "shard-00000.wal")
+        whole = open(path, "rb").read()
+        records = read_log_records(path).records
+        # Tear the final frame mid-body, as an interrupted append would.
+        cut = records[-1].start + 7
+        os.truncate(path, cut)
+        shipped = shipper.poll(-1, 1)
+        # The commit log vouches for both batches, but the torn shard frame
+        # is not shipped — and the cursor must NOT advance past it.
+        assert [r.seq for r in shipped.commits] == [0, 1]
+        (frames, times) = shipped.per_shard[0]
+        assert len(frames) == 1 and times == [1.0]
+        # The append completes (the missing bytes land); the next poll
+        # resumes from the un-advanced cursor and ships the whole frame.
+        with open(path, "r+b") as fh:
+            fh.seek(cut)
+            fh.write(whole[cut:])
+        shipped = shipper.poll(0, 1)
+        (frames, times) = shipped.per_shard[0]
+        assert len(frames) == 1 and times == [2.0]
+        assert frames[0].tolist() == list(range(20, 40))
+        wal.close()
+
+    def test_shipping_across_a_truncate_recycle_never_redelivers(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", num_shards=2)
+        shipper = wal.open_shipper()
+        for seq in range(4):
+            wal.append_batch(
+                seq, float(seq + 1), _routed(np.arange(8) * (seq + 1)), explicit_keys=False
+            )
+        assert shipper.poll(-1, 3).batches == 4
+        # Checkpoint-style recycle: everything applied so far leaves the log.
+        wal.truncate(3)
+        wal.append_batch(4, 5.0, _routed(np.arange(8) * 5), explicit_keys=False)
+        shipped = shipper.poll(3, 4)
+        # The cursors rewound to the recycled segment heads; after_seq
+        # dedupes, so exactly the new batch arrives — nothing re-delivered,
+        # nothing skipped.
+        assert [r.seq for r in shipped.commits] == [4]
+        for frames, times in shipped.per_shard.values():
+            assert len(frames) == 1 and times == [5.0]
+        wal.close()
+
+    def test_standby_lagging_many_batches_catches_up_in_one_poll(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", num_shards=2)
+        shipper = wal.open_shipper()
+        batches = _batches(100)
+        for seq, batch in enumerate(batches):
+            wal.append_batch(
+                seq, float(seq + 1), _routed(batch), explicit_keys=False
+            )
+        shipped = shipper.poll(-1, 99)
+        assert shipped.batches == 100
+        # Replaying the shipment reproduces a direct serial run bit for bit.
+        replica = RTBS(n=40, lambda_=0.15, rng=7)
+        frames, times = shipped.per_shard[0]
+        replica.process_stream(frames, times=times)
+        reference = RTBS(n=40, lambda_=0.15, rng=7)
+        reference.process_stream(
+            [b[0::2] for b in batches], times=[float(s + 1) for s in range(100)]
+        )
+        assert_states_equal(replica.state_dict(), reference.state_dict())
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# ShardReplicaSet
+# ----------------------------------------------------------------------
+class TestShardReplicaSet:
+    def test_standby_is_bit_identical_at_every_shipped_watermark(self, tmp_path):
+        service = SamplerService(
+            _factory(), num_shards=3, rng=11, wal_dir=tmp_path / "wal"
+        )
+        replica = ShardReplicaSet.capture(service, service._wal, -1)
+        for seq, batch in enumerate(_batches(12)):
+            service.ingest_batch(batch)
+            replica.catch_up(seq)
+            for shard_id in service.active_shards:
+                assert_states_equal(
+                    replica.samplers[shard_id].state_dict(),
+                    service.shard(shard_id).state_dict(),
+                )
+        service.close()
+
+    def test_catch_up_refuses_a_gap_in_the_committed_tail(self, tmp_path):
+        service = SamplerService(
+            _factory(), num_shards=2, rng=11, wal_dir=tmp_path / "wal"
+        )
+        for batch in _batches(5):
+            service.ingest_batch(batch)
+        # A replica captured at -1 that never applied anything, after the
+        # primary checkpointed and truncated, has lost its tail: promotion
+        # from it would silently drop batches, so it must refuse.
+        replica = ShardReplicaSet.capture(service, service._wal, -1)
+        replica.applied_seq = -1
+        service.checkpoint()
+        service.ingest_batch(_batches(1, start=5)[0])
+        with pytest.raises(FailoverError, match="truncat"):
+            replica.catch_up(service.batches_seen - 1)
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# FailureDetector
+# ----------------------------------------------------------------------
+class _FakePool:
+    def __init__(self):
+        self.dead: list[int] = []
+        self.acked: int | None = None
+        self.pending = 0
+
+    def dead_workers(self):
+        return list(self.dead)
+
+    def acked_through(self):
+        return self.acked
+
+    def pending_commands(self):
+        return self.pending
+
+
+class TestFailureDetector:
+    def test_liveness_probe_fires_without_any_clock(self):
+        pool = _FakePool()
+        detector = FailureDetector(clock=None)
+        assert not detector.check(pool).failed
+        pool.dead = [1]
+        verdict = detector.check(pool)
+        assert verdict.failed and verdict.dead_workers == (1,)
+
+    def test_ack_staleness_needs_the_injected_clock(self):
+        pool = _FakePool()
+        pool.pending = 3
+        assert not FailureDetector(clock=None).check(pool).failed
+
+    def test_stall_is_declared_only_after_the_timeout_without_progress(self):
+        now = iter([0.0, 1.0, 2.0, 25.0, 40.0]).__next__
+        detector = FailureDetector(clock=now, ack_timeout=30.0)
+        pool = _FakePool()
+        pool.pending, pool.acked = 2, 5
+        assert not detector.check(pool).failed  # t=0: baseline
+        assert not detector.check(pool).failed  # t=1: within timeout
+        pool.acked = 6
+        assert not detector.check(pool).failed  # t=2: watermark moved
+        assert not detector.check(pool).failed  # t=25: 23s since progress
+        verdict = detector.check(pool)  # t=40: 38s without progress
+        assert verdict.failed and verdict.stalled
+
+    def test_an_idle_pool_is_never_stalled(self):
+        now = iter([0.0, 1000.0, 2000.0]).__next__
+        detector = FailureDetector(clock=now, ack_timeout=1.0)
+        pool = _FakePool()
+        pool.acked = 9
+        for _ in range(3):
+            assert not detector.check(pool).failed
+
+
+# ----------------------------------------------------------------------
+# Forced failover on in-process backends
+# ----------------------------------------------------------------------
+class TestForcedFailover:
+    @pytest.mark.parametrize("backend", [None, "thread:2"], ids=["serial", "thread"])
+    @pytest.mark.parametrize("at_batch", [0, 4, 9])
+    def test_mid_stream_promotion_is_bit_identical(self, tmp_path, backend, at_batch):
+        batches = _batches(10)
+        reference = SamplerService(_factory(), num_shards=4, rng=3)
+        reference.ingest(batches)
+        golden = reference.state_dict()
+
+        service = SamplerService(
+            _factory(),
+            num_shards=4,
+            rng=3,
+            executor=backend,
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationConfig(ship_interval=3),
+        )
+        for index, batch in enumerate(batches):
+            service.ingest_batch(batch)
+            if index == at_batch:
+                service.failover()
+        assert service.stats()["durability"]["replication"]["failovers"] == 1
+        assert_states_equal(service.state_dict(), golden)
+        service.close()
+
+    def test_repeated_failovers_and_checkpoints_stay_exact(self, tmp_path):
+        batches = _batches(14)
+        reference = SamplerService(_factory(), num_shards=2, rng=5)
+        reference.ingest(batches)
+        golden = reference.state_dict()
+
+        service = SamplerService(
+            _factory(),
+            num_shards=2,
+            rng=5,
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationConfig(ship_interval=2),
+        )
+        for index, batch in enumerate(batches):
+            service.ingest_batch(batch)
+            if index % 5 == 4:
+                service.failover()
+            if index % 4 == 3:
+                service.checkpoint()
+        assert_states_equal(service.state_dict(), golden)
+        # The post-failover service still recovers offline from its WAL.
+        service.close()
+        recovered = recover_service(tmp_path / "wal", _factory())
+        try:
+            assert_states_equal(recovered.state_dict(), golden)
+        finally:
+            recovered.close()
+
+    def test_failover_without_replication_raises_the_named_error(self, tmp_path):
+        service = SamplerService(_factory(), num_shards=2, rng=0)
+        with pytest.raises(FailoverError, match="no warm standby"):
+            service.failover()
+
+    def test_replication_requires_a_wal(self):
+        with pytest.raises(ValueError, match="wal_dir"):
+            SamplerService(
+                _factory(),
+                num_shards=2,
+                rng=0,
+                replication=ReplicationConfig(),
+            )
+
+    def test_failover_budget_exhaustion_raises(self, tmp_path):
+        service = SamplerService(
+            _factory(),
+            num_shards=2,
+            rng=0,
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationConfig(max_failovers=1),
+        )
+        service.ingest_batch(np.arange(30))
+        service.failover()
+        with pytest.raises(FailoverError, match="budget exhausted"):
+            service.failover()
+        service.close()
+
+    def test_recover_service_re_enables_replication(self, tmp_path):
+        batches = _batches(8)
+        service = SamplerService(
+            _factory(), num_shards=2, rng=9, wal_dir=tmp_path / "wal"
+        )
+        for batch in batches[:5]:
+            service.ingest_batch(batch)
+        service.close()
+
+        recovered = recover_service(
+            tmp_path / "wal",
+            _factory(),
+            replication=ReplicationConfig(ship_interval=1),
+        )
+        for index, batch in enumerate(batches[5:]):
+            recovered.ingest_batch(batch)
+            if index == 1:
+                recovered.failover()
+        reference = SamplerService(_factory(), num_shards=2, rng=9)
+        reference.ingest(batches)
+        assert_states_equal(recovered.state_dict(), reference.state_dict())
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# close() idempotency after a worker crash (satellite 1)
+# ----------------------------------------------------------------------
+def _wait_for_death(pid: float, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return
+        time.sleep(0.01)
+
+
+class TestCloseAfterCrash:
+    def test_close_raises_once_then_is_idempotent(self, tmp_path):
+        service = SamplerService(
+            _factory(),
+            num_shards=2,
+            rng=0,
+            executor="process:2",
+            wal_dir=tmp_path / "wal",
+        )
+        service.ingest_batch(np.arange(50))
+        victim = service.executor.transport.workers[0].process.pid
+        os.kill(victim, signal.SIGKILL)
+        _wait_for_death(victim)
+        with pytest.raises(WorkerCrashError):
+            service.close()
+        # The first close already tore the pool down and closed the log;
+        # every further close is a clean no-op — no double-close error, no
+        # masked secondary failure.
+        service.close()
+        service.close()
+        # The logs were flushed before the handles closed: offline recovery
+        # still replays every committed batch.
+        recovered = recover_service(tmp_path / "wal", _factory())
+        assert recovered.batches_seen == 1
+        recovered.close()
+
+    def test_close_with_replication_promotes_instead_of_raising(self, tmp_path):
+        batches = _batches(6)
+        reference = SamplerService(_factory(), num_shards=2, rng=1)
+        reference.ingest(batches)
+        golden_items = reference.sample_items()
+
+        service = SamplerService(
+            _factory(),
+            num_shards=2,
+            rng=1,
+            executor="process:2",
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationConfig(ship_interval=2),
+        )
+        for batch in batches:
+            service.ingest_batch(batch)
+        victim = service.executor.transport.workers[1].process.pid
+        os.kill(victim, signal.SIGKILL)
+        _wait_for_death(victim)
+        service.close()  # promotes; must not raise
+        assert service.stats()["durability"]["replication"]["failovers"] == 1
+        # The promoted service remains fully queryable after close.
+        assert service.sample_items() == golden_items
+        service.close()
+
+    def test_context_manager_exit_after_crash_is_clean_with_replication(
+        self, tmp_path
+    ):
+        with SamplerService(
+            _factory(),
+            num_shards=2,
+            rng=1,
+            executor="process:2",
+            wal_dir=tmp_path / "wal",
+            replication=ReplicationConfig(),
+        ) as service:
+            service.ingest_batch(np.arange(40))
+            victim = service.executor.transport.workers[0].process.pid
+            os.kill(victim, signal.SIGKILL)
+            _wait_for_death(victim)
+        assert service.stats()["durability"]["replication"]["failovers"] == 1
+
+    def test_wal_close_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog.create(tmp_path / "wal", num_shards=2)
+        wal.append_batch(0, 1.0, _routed(np.arange(10)), explicit_keys=False)
+        wal.close()
+        wal.close()  # second close: no ValueError from closed handles
+
+
+# ----------------------------------------------------------------------
+# WALLayoutError on damaged / foreign segment sets (satellite 2)
+# ----------------------------------------------------------------------
+class TestLayoutGuards:
+    def _deployed(self, tmp_path, num_shards=2):
+        service = SamplerService(
+            _factory(), num_shards=num_shards, rng=0, wal_dir=tmp_path / "wal"
+        )
+        for batch in _batches(4):
+            service.ingest_batch(batch)
+        service.close()
+        return os.path.join(tmp_path, "wal")
+
+    def test_missing_shard_segments_under_a_live_manifest_refuse_attach(
+        self, tmp_path
+    ):
+        wal_dir = self._deployed(tmp_path)
+        os.unlink(os.path.join(wal_dir, "shard-00001.wal"))
+        with pytest.raises(WALLayoutError, match=r"missing for shards \[1\]"):
+            WriteAheadLog.attach(wal_dir, num_shards=2)
+
+    def test_recover_service_surfaces_the_layout_error(self, tmp_path):
+        wal_dir = self._deployed(tmp_path)
+        for shard_id in range(2):
+            os.unlink(os.path.join(wal_dir, f"shard-{shard_id:05d}.wal"))
+        with pytest.raises(WALLayoutError, match="segment"):
+            recover_service(wal_dir, _factory())
+
+    def test_foreign_shard_count_with_records_refuses_attach(self, tmp_path):
+        wal_dir = self._deployed(tmp_path)
+        with pytest.raises(WALLayoutError, match="2-shard service"):
+            WriteAheadLog.attach(wal_dir, num_shards=4)
+
+    def test_stray_foreign_segment_with_records_refuses_attach(self, tmp_path):
+        wal_dir = self._deployed(tmp_path, num_shards=2)
+        # A third shard's log from some other deployment lands in the dir.
+        stray = WriteAheadLog.create(tmp_path / "other", num_shards=3)
+        stray.append_batch(
+            0, 1.0, [(2, np.arange(5))], explicit_keys=False
+        )
+        stray.close()
+        os.replace(
+            os.path.join(stray.directory, "shard-00002.wal"),
+            os.path.join(wal_dir, "shard-00002.wal"),
+        )
+        with pytest.raises(WALLayoutError, match="shard-00002"):
+            WriteAheadLog.attach(wal_dir, num_shards=2)

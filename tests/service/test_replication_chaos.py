@@ -1,0 +1,96 @@
+"""Primary-kill chaos sweep: warm-standby promotion at any failpoint.
+
+The replication counterpart of ``test_wal_faults.py``: instead of
+SIGKILLing the *driver* and recovering offline, a primary shard worker of
+a replicated service is SIGKILLed at an injected failpoint mid-pipeline —
+mid-WAL-append, mid-flush, mid-truncation-rewrite. The driver must finish
+the stream *without manual recovery*: the failure detector (or the crash
+surfacing on dispatch/drain) promotes the warm standby, a fresh pool
+respawns, and the final ``state_dict`` is **bit-identical** to the
+uninterrupted golden run. Kill points come from fixed seeds (the CI
+matrix) across both workers; ``REPRO_FAULT_EXHAUSTIVE=1`` sweeps every
+failpoint of the workload instead.
+
+In-process backends have no worker processes to kill; their equivalent —
+forced promotion mid-stream via ``service.failover()`` — is swept in
+``test_replication.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from tests.faults import (
+    NUM_BATCHES,
+    assert_states_equal,
+    count_failpoints,
+    golden_state,
+    run_replicated_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return golden_state()
+
+
+@pytest.fixture(scope="module")
+def failpoint_sites(tmp_path_factory):
+    sites = count_failpoints(str(tmp_path_factory.mktemp("failpoint-count")))
+    assert len(sites) > 50, "workload passes through suspiciously few failpoints"
+    return sites
+
+
+def _run_case(tmp_path, golden, kill_at, worker):
+    state, failovers = run_replicated_workload(
+        str(tmp_path / "wal"), kill_at=kill_at, worker=worker
+    )
+    assert state["batches_seen"] == NUM_BATCHES
+    # At most one promotion: a single victim dies exactly once. Zero is
+    # legal only when the chosen failpoint precedes the first dispatch
+    # (no pool attached yet) — the run is then simply crash-free.
+    assert failovers in (0, 1)
+    assert_states_equal(state, golden)
+
+
+# Fixed CI seed matrix: each seed maps to one (failpoint, victim) pair via
+# its own RNG, so the sweep is stable run to run and machine to machine.
+SEED_MATRIX = [(worker, seed) for worker in (0, 1) for seed in (51, 52, 53)]
+
+
+@pytest.mark.parametrize(
+    "worker,seed",
+    SEED_MATRIX,
+    ids=[f"worker{worker}-seed{seed}" for worker, seed in SEED_MATRIX],
+)
+def test_worker_sigkill_at_random_failpoint_completes_bit_identically(
+    tmp_path, golden, failpoint_sites, worker, seed
+):
+    rng = np.random.default_rng(seed)
+    kill_at = int(rng.integers(1, len(failpoint_sites) + 1))
+    _run_case(tmp_path, golden, kill_at, worker)
+
+
+def test_kill_during_first_pipelined_batch(tmp_path, golden, failpoint_sites):
+    """The earliest attached-pool failpoint: the victim dies with the very
+    first batch still in flight; promotion replays the whole (tiny) log."""
+    _run_case(tmp_path, golden, kill_at=1, worker=0)
+
+
+def test_kill_near_stream_end(tmp_path, golden, failpoint_sites):
+    """Kill at the final failpoint: the standby's replay tail is longest."""
+    _run_case(tmp_path, golden, kill_at=len(failpoint_sites), worker=1)
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_FAULT_EXHAUSTIVE"),
+    reason="set REPRO_FAULT_EXHAUSTIVE=1 to sweep every failpoint (slow)",
+)
+def test_exhaustive_primary_kill_sweep(tmp_path, golden, failpoint_sites):
+    for kill_at in range(1, len(failpoint_sites) + 1):
+        case_dir = tmp_path / f"kill-{kill_at}"
+        case_dir.mkdir()
+        _run_case(case_dir, golden, kill_at, worker=kill_at % 2)

@@ -16,7 +16,7 @@ import struct
 import numpy as np
 import pytest
 
-from repro.service import WALError, WriteAheadLog
+from repro.service import WALError, WALLayoutError, WriteAheadLog
 from repro.service.wal import read_log_records
 
 
@@ -79,8 +79,9 @@ class TestRoundTrip:
         wal.append_batch(0, 1.0, [], explicit_keys=False)
         wal.flush()
         assert len(read_log_records(os.path.join(wal.directory, "commit.wal")).records) == 1
-        # No shard log was ever touched.
-        assert not os.path.exists(os.path.join(wal.directory, "shard-00000.wal"))
+        # No shard record was ever written: the segment (eagerly created
+        # with every other one at create()) holds only its header.
+        assert read_log_records(os.path.join(wal.directory, "shard-00000.wal")).records == []
 
 
 class TestTornTails:
@@ -247,14 +248,13 @@ class TestCollectReplay:
         with pytest.raises(WALError, match="jump"):
             attached.collect_replay(-1)
 
-    def test_shard_record_without_any_commit_raises(self, wal):
+    def test_shard_record_without_any_commit_refuses_attach(self, wal):
+        # A deleted (or never-copied) commit log must not silently orphan
+        # every shard record — their committed prefix is unknowable, so
+        # attach refuses with a named layout error instead of quietly
+        # dropping committed data as "uncommitted".
         wal.append_batch(0, 1.0, _routed(np.arange(10)), explicit_keys=False)
         wal.close()
         os.unlink(os.path.join(wal.directory, "commit.wal"))
-        attached = WriteAheadLog.attach(wal.directory, num_shards=2)
-        plan = attached.collect_replay(-1)
-        # With no commits at all, every shard record is an orphan of a
-        # batch that never became durable.
-        assert plan.last_seq == -1
-        assert plan.per_shard == {}
-        assert plan.orphaned_shards == [0, 1]
+        with pytest.raises(WALLayoutError, match="commit.wal is missing"):
+            WriteAheadLog.attach(wal.directory, num_shards=2)

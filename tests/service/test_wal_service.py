@@ -164,8 +164,13 @@ class TestReshard:
         # Everything that was in the logs is now durable in the checkpoint;
         # the logs were truncated and rebuilt for the new layout.
         assert service.num_shards == 6
-        # Logs are deleted outright and recreated lazily on the next append.
-        assert not os.path.exists(wal_dir / "commit.wal")
+        # Logs were atomically swapped for empty segments under the new
+        # layout (commit last, so no crash window leaves the commit log
+        # absent): every segment exists, none holds a record.
+        assert read_log_records(wal_dir / "commit.wal").records == []
+        for shard_id in range(6):
+            assert read_log_records(wal_dir / f"shard-{shard_id:05d}.wal").records == []
+        assert not os.path.exists(wal_dir / "shard-00006.wal")
         _, watermark = load_service_delta(wal_dir / "checkpoint")
         assert watermark == 8 - 1
         assert service.stats()["durability"]["replay_lag_batches"] == 0
@@ -297,7 +302,10 @@ class TestKeysThroughRecovery:
 class TestObservability:
     def test_durability_block_reports_the_truth(self, tmp_path):
         bare = SamplerService(_factory(), num_shards=2, rng=0)
-        assert bare.stats()["durability"] == {"wal_enabled": False}
+        assert bare.stats()["durability"] == {
+            "wal_enabled": False,
+            "replication": None,
+        }
         assert bare.acked_batches == bare.batches_seen == 0
 
         service = SamplerService(
