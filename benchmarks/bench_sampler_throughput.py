@@ -31,7 +31,10 @@ into the shared-memory rings without waiting — is no longer the recorded
 process point: under worker-side routing it timed one memcpy per batch and
 said nothing about ingest capability, and it stops being comparable at all
 once routing is fused driver-side. End-to-end sustained throughput is the
-number both designs can be honestly measured on.
+number both designs can be honestly measured on. A companion
+read-under-ingest point repeats the process measurement with a background
+thread polling snapshot-isolated ``stats()`` at ~100+ Hz, bounding what
+concurrent readers cost the ingest path.
 
 A fifth operating point measures string-keyed ingest: the vectorized
 column-wise FNV-1a/SplitMix64 routing path (``ROUTING_VERSION`` 2) against
@@ -338,6 +341,96 @@ def test_service_executor_backend_operating_points(throughput):
                 assert sample == reference_sample, (
                     f"backend {spec} diverged from the serial sample"
                 )
+
+
+def test_service_read_under_ingest_operating_point(throughput):
+    """Process-backed ingest with a background snapshot reader at ~100+ Hz.
+
+    A reader thread polls ``stats(max_staleness_batches=12)`` in a tight
+    ~1 ms-sleep loop while the driver streams 100k-item batches through the
+    worker pool. Snapshot cuts ride each worker's FIFO command pipe as
+    markers (no ``drain()`` barrier), and stale-tolerant reads are served
+    from the cached cut, so reads must not stall dispatch: the recorded
+    operating point feeds the CI ``compare_bench.py --relative`` gate,
+    whose budget is 15% overhead against the reader-free
+    ``service-8shards-process-batch100k`` point from the same run. In-run,
+    the test asserts read availability (>= 100 sustained reads/s) and the
+    purity contract (the final sample is identical to a reader-free run).
+    """
+    import threading
+
+    reference = SamplerService(
+        lambda rng: RTBS(n=_CAPACITY // _SERVICE_SHARDS, lambda_=_LAMBDA, rng=rng),
+        num_shards=_SERVICE_SHARDS,
+        rng=0,
+    )
+    reference.ingest(_large_batches(_BACKEND_WARMUP + _BACKEND_TIMED))
+
+    with get_executor("process") as executor:
+        service = SamplerService(
+            lambda rng: RTBS(n=_CAPACITY // _SERVICE_SHARDS, lambda_=_LAMBDA, rng=rng),
+            num_shards=_SERVICE_SHARDS,
+            rng=0,
+            executor=executor,
+        )
+        service.ingest(_large_batches(_BACKEND_WARMUP))
+        service.flush()
+
+        stop = threading.Event()
+        state = {"reads": 0}
+
+        def poll_stats():
+            while not stop.is_set():
+                stats = service.stats(max_staleness_batches=12)
+                assert stats["num_shards"] == _SERVICE_SHARDS
+                state["reads"] += 1
+                time.sleep(0.001)
+
+        reader = threading.Thread(target=poll_stats, daemon=True)
+        reader.start()
+        timed = _large_batches(_BACKEND_TIMED, start=_BACKEND_WARMUP * _LARGE_BATCH)
+        reads_begin = state["reads"]
+        begin = time.perf_counter()
+        try:
+            seconds_per_batch = float("inf")
+            for _ in range(3):  # best-of-rounds: the min rejects spikes
+                round_begin = time.perf_counter()
+                service.ingest(timed)
+                service.flush()
+                seconds_per_batch = min(
+                    seconds_per_batch,
+                    (time.perf_counter() - round_begin) / len(timed),
+                )
+        finally:
+            elapsed = time.perf_counter() - begin
+            reads = state["reads"] - reads_begin
+            stop.set()
+            reader.join(timeout=30)
+
+        items_per_second = _LARGE_BATCH / seconds_per_batch
+        reads_per_second = reads / elapsed
+        throughput(
+            f"service-{_SERVICE_SHARDS}shards-read-under-ingest-batch100k",
+            items_per_second,
+        )
+        print(
+            f"\nSamplerService ingest under readers [process]: "
+            f"{seconds_per_batch * 1e3:.3f} ms/batch "
+            f"({items_per_second:,.0f} items/s), "
+            f"{reads_per_second:,.0f} snapshot reads/s"
+        )
+        assert reads_per_second >= 100, (
+            f"snapshot read availability regressed: {reads_per_second:.0f} "
+            "reads/s under ingest (expected >= 100)"
+        )
+        # Readers must leave the trajectory untouched (ingest ran 3 rounds
+        # over the same timed batches; compare against the single-pass
+        # reference after replaying the extra rounds there too).
+        reference.ingest(timed)
+        reference.ingest(timed)
+        assert service.sample_items() == reference.sample_items(), (
+            "background readers perturbed the sample trajectory"
+        )
 
 
 def test_service_wal_durability_operating_point(throughput, tmp_path):

@@ -13,6 +13,10 @@ Each rule encodes one invariant from ``docs/CONTRACTS.md``:
   (iteration order feeds shard dispatch and state serialization).
 * :class:`StateDictRule` — every attribute a sampler assigns must be
   captured by ``state_dict()`` or explicitly declared derived/exempt.
+* :class:`PureReadRule` — methods documented as pure reads (``stats``,
+  ``sample_items``, ``shard``, ``shard_samples``, ``snapshot``,
+  ``snapshot_view``) must not drain the ingest pipeline, create shards, or
+  draw randomness.
 
 The routing-fingerprint rule lives in :mod:`repro.analysis.fingerprint`.
 """
@@ -31,6 +35,7 @@ __all__ = [
     "ErrorSwallowingRule",
     "IterOrderRule",
     "StateDictRule",
+    "PureReadRule",
     "ALL_RULES",
     "default_rules",
 ]
@@ -526,6 +531,113 @@ class StateDictRule(Rule):
                     yield element.value
 
 
+class PureReadRule(Rule):
+    id = "pure-read"
+    description = (
+        "methods documented as pure reads (stats, sample_items, shard, "
+        "shard_samples, snapshot, snapshot_view) must not drain the "
+        "pipeline, create shards, or draw randomness"
+    )
+    _HINT = (
+        "pure reads serve monitoring and snapshot capture: read from a "
+        "consistent cut (snapshot_view()/ServiceSnapshot) instead of "
+        "draining, raise KeyError for idle shards instead of creating "
+        "them, and pre-draw any randomness on the write path"
+    )
+
+    #: Method names bound by the pure-read contract wherever they appear on
+    #: a class in the deterministic packages.
+    _PURE_METHODS = frozenset(
+        {
+            "stats",
+            "sample_items",
+            "shard",
+            "shard_samples",
+            "snapshot",
+            "snapshot_view",
+        }
+    )
+
+    #: Forbidden callees (matched on the final attribute of a call chain)
+    #: and why each one breaks the contract.
+    _FORBIDDEN_CALLS = {
+        "drain": "drains the ingest pipeline (a blocking barrier)",
+        "_sync": "drains the pipeline to resynchronize driver state",
+        "_get_or_create_shard": "creates a shard as a read side effect",
+    }
+
+    #: Generator draw methods; a call whose chain tail is one of these and
+    #: whose receiver names an RNG counts as drawing randomness.
+    _RNG_DRAWS = frozenset(
+        {
+            "random",
+            "integers",
+            "choice",
+            "shuffle",
+            "permutation",
+            "normal",
+            "standard_normal",
+            "uniform",
+            "exponential",
+            "poisson",
+            "binomial",
+            "geometric",
+            "gamma",
+            "beta",
+            "bytes",
+        }
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return module.in_package(*DETERMINISTIC_PACKAGES)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt.name in self._PURE_METHODS
+                ):
+                    yield from self._check_method(module, node, stmt)
+
+    def _check_method(
+        self,
+        module: SourceModule,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted_chain(node.func)
+            if chain is None:
+                continue
+            tail = chain[-1]
+            if tail in self._FORBIDDEN_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"pure read {cls.name}.{method.name}() calls "
+                    f"{'.'.join(chain)}(), which "
+                    f"{self._FORBIDDEN_CALLS[tail]}",
+                    self._HINT,
+                )
+            elif (
+                tail in self._RNG_DRAWS
+                and len(chain) >= 2
+                and any("rng" in part.lower() for part in chain[:-1])
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"pure read {cls.name}.{method.name}() draws randomness "
+                    f"via {'.'.join(chain)}()",
+                    self._HINT,
+                )
+
+
 def default_rules() -> list[Rule]:
     """Fresh instances of every shipped rule."""
     return [
@@ -534,6 +646,7 @@ def default_rules() -> list[Rule]:
         ErrorSwallowingRule(),
         IterOrderRule(),
         StateDictRule(),
+        PureReadRule(),
         RoutingFingerprintRule(),
     ]
 

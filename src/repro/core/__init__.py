@@ -35,14 +35,19 @@ original scalar (per-item) R-TBS/T-TBS implementations as an executable
 specification for the equivalence tests and benchmarks.
 """
 
-from repro.core.base import Sampler, SamplerState
+from repro.core.base import Sampler, SamplerSnapshotView, SamplerState
 from repro.core.decay import (
     DecayFunction,
     ExponentialDecay,
     lambda_for_retention,
     lambda_for_survival,
 )
-from repro.core.latent import LatentSample, downsample, merge_latent_samples
+from repro.core.latent import (
+    FrozenLatentView,
+    LatentSample,
+    downsample,
+    merge_latent_samples,
+)
 from repro.core.resharding import apportion_integer, reshard_samplers
 from repro.core.rtbs import RTBS
 from repro.core.ttbs import TTBS
@@ -91,11 +96,13 @@ __all__ = [
     "as_item_array",
     "scalar_downsample",
     "Sampler",
+    "SamplerSnapshotView",
     "SamplerState",
     "DecayFunction",
     "ExponentialDecay",
     "lambda_for_retention",
     "lambda_for_survival",
+    "FrozenLatentView",
     "LatentSample",
     "downsample",
     "merge_latent_samples",

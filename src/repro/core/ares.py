@@ -26,8 +26,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.arrays import as_item_array, concat_items, empty_item_array
-from repro.core.base import Sampler
+from repro.core.arrays import as_item_array, concat_items, empty_item_array, readonly_view
+from repro.core.base import Sampler, SamplerSnapshotView
 
 __all__ = ["AResSampler"]
 
@@ -78,6 +78,27 @@ class AResSampler(Sampler):
 
     def _sample_size(self) -> int:
         return len(self._keys)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """An O(1) cut sharing the payload array as a read-only view.
+
+        Safe because every update (including landmark renormalization)
+        replaces ``_keys``/``_items`` with freshly built arrays.
+        """
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=float("nan"),
+            expected_size=float(len(self._keys)),
+            sample_size=len(self._keys),
+            capacity=self.n,
+            items=readonly_view(self._items) if include_items else None,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     def _config_state(self) -> dict[str, Any]:
         return {"n": self.n, "lambda_": self.lambda_}

@@ -19,7 +19,20 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["as_item_array", "empty_item_array", "concat_items"]
+__all__ = ["as_item_array", "empty_item_array", "concat_items", "readonly_view"]
+
+
+def readonly_view(array: np.ndarray) -> np.ndarray:
+    """A non-writeable view sharing ``array``'s buffer (the live array is unaffected).
+
+    The snapshot-view protocol hands these out: the underlying buffer is
+    shared zero-copy, and because the vectorized samplers replace their
+    arrays copy-on-write instead of writing in place, the view's contents
+    never change after it is taken.
+    """
+    view = array.view()
+    view.flags.writeable = False
+    return view
 
 
 def empty_item_array() -> np.ndarray:

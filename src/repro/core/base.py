@@ -31,6 +31,7 @@ from repro.core.random_utils import ensure_rng, generator_from_state, generator_
 
 __all__ = [
     "Sampler",
+    "SamplerSnapshotView",
     "SamplerState",
     "STATE_FORMAT_VERSION",
     "CHECKPOINT_MANIFEST_VERSION",
@@ -100,6 +101,65 @@ class SamplerState:
     total_weight: float = float("nan")
     expected_size: float = float("nan")
     extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SamplerSnapshotView:
+    """A read-only, isolated cut of one sampler's observable state.
+
+    Produced by :meth:`Sampler.snapshot_view`. The view is immutable and
+    never aliases *mutable* internal state: array-backed samplers share
+    their copy-on-write column arrays wrapped as non-writeable NumPy views
+    (O(1) to take); container-backed samplers copy their pointers into
+    tuples. Either way, later batches never change a taken view.
+
+    Attributes
+    ----------
+    epoch:
+        Version counter of the state the view captured (the latent-sample
+        epoch for CoW samplers, ``batches_seen`` otherwise).
+    time, batches_seen:
+        Clock and batch counter at the cut.
+    total_weight:
+        ``W_t`` at the cut (``nan`` for samplers without a weight notion).
+    expected_size:
+        Expected realized-sample size at the cut (``C_t`` for R-TBS).
+    sample_size:
+        Exact realized-sample size at the cut.
+    capacity:
+        The sampler's configured maximum sample size, if it has one.
+    items:
+        Realized sample payloads (read-only array or tuple), or ``None``
+        when the view was taken with ``include_items=False``.
+    weights:
+        Per-item arrival weights for the deterministically included (full)
+        items where the sampler tracks them (read-only array), else
+        ``None``.
+    state:
+        A full :meth:`Sampler.state_dict` snapshot when the view was taken
+        with ``include_state=True``, else ``None``.
+    """
+
+    epoch: int
+    time: float
+    batches_seen: int
+    total_weight: float
+    expected_size: float
+    sample_size: int
+    capacity: int | None = None
+    items: Any = None
+    weights: Any = None
+    state: dict[str, Any] | None = None
+
+    def items_list(self) -> list[Any]:
+        """The captured realized sample as a plain list."""
+        if self.items is None:
+            raise ValueError(
+                "view was taken with include_items=False and carries no items"
+            )
+        if isinstance(self.items, np.ndarray):
+            return self.items.tolist()
+        return list(self.items)
 
 
 class Sampler:
@@ -253,6 +313,48 @@ class Sampler:
     def sample_items(self) -> list[Any]:
         """Return the current realized sample ``S_t`` as a list."""
         raise NotImplementedError
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """A read-only, isolated cut ``(epoch, clock, W_t, items, weights)``.
+
+        Contract (the pure-read invariant, lint-enforced): taking a view
+        draws no randomness and mutates nothing, and the returned view stays
+        valid — bit-for-bit — no matter how many batches are ingested
+        afterwards.
+
+        This base implementation is the deep fallback: it materializes the
+        realized sample into a tuple (and, with ``include_state=True``, a
+        full :meth:`state_dict`), so every sampler gets correct isolation.
+        Array-backed samplers override it with O(1) copy-on-write views that
+        share their immutable column arrays instead of copying.
+
+        Parameters
+        ----------
+        include_items:
+            When false, skip capturing the realized sample — the view
+            carries only scalar bookkeeping, which is what high-frequency
+            stats polling needs.
+        include_state:
+            When true, also capture a full restorable :meth:`state_dict`
+            (used by snapshot-based checkpointing and replica capture).
+        """
+        items: tuple[Any, ...] | None = None
+        if include_items:
+            items = tuple(self.sample_items())
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=self.total_weight,
+            expected_size=self.expected_sample_size,
+            sample_size=len(items) if items is not None else self._sample_size(),
+            capacity=getattr(self, "n", None),
+            items=items,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     def __len__(self) -> int:
         return self._sample_size()

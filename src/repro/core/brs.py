@@ -15,7 +15,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.arrays import as_item_array
-from repro.core.base import Sampler
+from repro.core.base import Sampler, SamplerSnapshotView
 from repro.core.random_utils import (
     choose_indices,
     hypergeometric,
@@ -58,6 +58,31 @@ class BatchedReservoir(Sampler):
 
     def sample_items(self) -> list[Any]:
         return list(self._sample)
+
+    def _sample_size(self) -> int:
+        return len(self._sample)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """A cut copying the reservoir's item pointers into a tuple.
+
+        The reservoir list can be mutated in place (``UniformReservoir.add``
+        overwrites slots), so the view copies pointers rather than sharing
+        the container.
+        """
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=float(self._items_seen),
+            expected_size=float(len(self._sample)),
+            sample_size=len(self._sample),
+            capacity=self.n,
+            items=tuple(self._sample) if include_items else None,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     def _config_state(self) -> dict[str, Any]:
         return {"n": self.n}

@@ -18,7 +18,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.arrays import as_item_array
-from repro.core.base import Sampler
+from repro.core.base import Sampler, SamplerSnapshotView
 from repro.core.random_utils import binomial, sample_without_replacement
 
 __all__ = ["BTBS"]
@@ -45,6 +45,30 @@ class BTBS(Sampler):
 
     def sample_items(self) -> list[Any]:
         return list(self._sample)
+
+    def _sample_size(self) -> int:
+        return len(self._sample)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """A cut copying the sample's item pointers into a tuple.
+
+        ``_sample`` is a plain list extended in place, so the view cannot
+        share it; a tuple of pointers is the cheapest stable capture.
+        """
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=float("nan"),
+            expected_size=float(len(self._sample)),
+            sample_size=len(self._sample),
+            capacity=None,
+            items=tuple(self._sample) if include_items else None,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     def equilibrium_size(self, mean_batch_size: float) -> float:
         """Long-run expected sample size ``b / (1 - e^{-lambda})`` (Remark 1)."""

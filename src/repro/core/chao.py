@@ -35,7 +35,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.arrays import as_item_array
-from repro.core.base import Sampler
+from repro.core.base import Sampler, SamplerSnapshotView
 
 __all__ = ["BatchedChao"]
 
@@ -106,6 +106,31 @@ class BatchedChao(Sampler):
 
     def _sample_size(self) -> int:
         return len(self._sample) + len(self._overweight)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """A cut copying sample and pinned-item pointers into a tuple.
+
+        Both containers are mutated in place (``extend``/``pop``/slot
+        writes), so the view copies pointers rather than sharing them.
+        """
+        items: tuple[Any, ...] | None = None
+        if include_items:
+            items = tuple(self._sample) + tuple(item for item, _ in self._overweight)
+        size = len(self._sample) + len(self._overweight)
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=self._stream_weight + sum(w for _, w in self._overweight),
+            expected_size=float(size),
+            sample_size=size,
+            capacity=self.n,
+            items=items,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     # ------------------------------------------------------------------
     # snapshot / restore

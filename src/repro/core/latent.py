@@ -37,14 +37,15 @@ preserved for callers that want plain Python objects.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.arrays import as_item_array, concat_items, empty_item_array
+from repro.core.arrays import as_item_array, concat_items, empty_item_array, readonly_view
 from repro.core.random_utils import choose_indices, ensure_rng
 
-__all__ = ["LatentSample", "downsample", "merge_latent_samples"]
+__all__ = ["FrozenLatentView", "LatentSample", "downsample", "merge_latent_samples"]
 
 _WEIGHT_TOLERANCE = 1e-9
 
@@ -73,6 +74,58 @@ def _meta_array(values: Sequence[float] | np.ndarray | None, count: int, default
     if len(arr) != count:
         raise ValueError(f"metadata array has length {len(arr)}, expected {count}")
     return arr
+
+
+@dataclass(frozen=True)
+class FrozenLatentView:
+    """An immutable, array-backed view of a :class:`LatentSample` at one epoch.
+
+    :meth:`LatentSample.freeze` is O(1): every mutating operation on a latent
+    sample already produces *fresh* column arrays (copy-on-write at column
+    granularity — only the columns an operation touches are rebuilt), so a
+    frozen view can share the live columns safely. The shared columns are
+    wrapped in non-writeable NumPy views, and :attr:`epoch` records which
+    version of the sample the view captured: any subsequent mutation replaces
+    the columns on the live sample and bumps its epoch, leaving the frozen
+    view untouched.
+    """
+
+    epoch: int
+    weight: float
+    full_payloads: np.ndarray
+    full_weights: np.ndarray
+    full_timestamps: np.ndarray
+    partial_payloads: np.ndarray
+    partial_weights: np.ndarray
+    partial_timestamps: np.ndarray
+
+    @property
+    def full_count(self) -> int:
+        """Number of full items, i.e. ``floor(C)``."""
+        return len(self.full_payloads)
+
+    @property
+    def has_partial(self) -> bool:
+        """Whether the frozen sample holds a partial item."""
+        return len(self.partial_payloads) > 0
+
+    @property
+    def fraction(self) -> float:
+        """``frac(C)`` — the inclusion probability of the partial item."""
+        return _frac(self.weight)
+
+    def materialize(self, include_partial: bool) -> list[Any]:
+        """The realized sample as a list, given the partial item's coin flip."""
+        sample: list[Any] = self.full_payloads.tolist()
+        if include_partial and len(self.partial_payloads):
+            sample.append(self.partial_payloads[0])
+        return sample
+
+    def items_array(self, include_partial: bool) -> np.ndarray:
+        """The realized payloads as a read-only array (full items first)."""
+        if include_partial and len(self.partial_payloads):
+            return readonly_view(concat_items(self.full_payloads, self.partial_payloads))
+        return self.full_payloads
 
 
 class _Items:
@@ -139,9 +192,14 @@ class LatentSample:
         Optional parallel per-item metadata (arrival weight, default 1.0, and
         arrival timestamp, default 0.0). They travel with the payloads through
         every downsampling/eviction operation.
+
+    Mutating operations are copy-on-write: they build fresh column arrays for
+    the columns they touch and return a *new* latent sample whose
+    :attr:`epoch` is one past the source's, so a view taken with
+    :meth:`freeze` stays valid (and cheap) across later mutations.
     """
 
-    __slots__ = ("_full", "_partial", "weight")
+    __slots__ = ("_full", "_partial", "weight", "_epoch")
 
     def __init__(
         self,
@@ -163,6 +221,7 @@ class LatentSample:
             else _Items.build(partial, partial_weights, partial_timestamps)
         )
         self.weight = float(weight)
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # constructors and invariants
@@ -251,6 +310,11 @@ class LatentSample:
         """``frac(C)`` — the inclusion probability of the partial item."""
         return _frac(self.weight)
 
+    @property
+    def epoch(self) -> int:
+        """Version counter: bumped each time a mutating op derives a new sample."""
+        return self._epoch
+
     def items(self) -> list[Any]:
         """All stored items, full items first, then the partial item if any."""
         return self._full.payloads.tolist() + self._partial.payloads.tolist()
@@ -273,8 +337,28 @@ class LatentSample:
         return self.materialize(include)
 
     def copy(self) -> "LatentSample":
-        """Shallow copy (items shared, containers new)."""
-        return LatentSample(self._full.copy(), self._partial.copy(), self.weight)
+        """Shallow copy (items shared, containers new, same epoch — content is identical)."""
+        duplicate = LatentSample(self._full.copy(), self._partial.copy(), self.weight)
+        duplicate._epoch = self._epoch
+        return duplicate
+
+    def freeze(self) -> FrozenLatentView:
+        """An immutable view of the current version — O(1), no column copies.
+
+        The view shares the live column arrays (safe because mutations are
+        copy-on-write and never write in place) wrapped as non-writeable
+        NumPy views, tagged with the current :attr:`epoch`.
+        """
+        return FrozenLatentView(
+            epoch=self._epoch,
+            weight=self.weight,
+            full_payloads=readonly_view(self._full.payloads),
+            full_weights=readonly_view(self._full.weights),
+            full_timestamps=readonly_view(self._full.timestamps),
+            partial_payloads=readonly_view(self._partial.payloads),
+            partial_weights=readonly_view(self._partial.weights),
+            partial_timestamps=readonly_view(self._partial.timestamps),
+        )
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -329,9 +413,11 @@ class LatentSample:
             _meta_array(item_weights, len(arr), 1.0),
             np.full(len(arr), float(timestamp), dtype=np.float64),
         )
-        return LatentSample(
+        grown = LatentSample(
             self._full.concat(appended), self._partial.copy(), self.weight + len(arr)
         )
+        grown._epoch = self._epoch + 1
+        return grown
 
     # ------------------------------------------------------------------
     # resharding primitives
@@ -374,6 +460,7 @@ class LatentSample:
                     base._full, self._partial.copy(), base.weight + self.fraction
                 )
         for piece in pieces.values():
+            piece._epoch = self._epoch + 1
             piece.check_invariants()
         return pieces
 
@@ -470,6 +557,7 @@ def downsample(
         partial = _Items.empty()
 
     result = LatentSample(full, partial, float(target_weight))
+    result._epoch = latent._epoch + 1
     result.check_invariants()
     return result
 
@@ -532,5 +620,6 @@ def merge_latent_samples(
     if fraction == 0.0 and len(partial):
         partial = _Items.empty()
     merged = LatentSample(full, partial, float(len(full)) + fraction)
+    merged._epoch = max((piece._epoch for piece in pieces), default=0) + 1
     merged.check_invariants()
     return merged

@@ -43,7 +43,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.arrays import as_item_array, concat_items
-from repro.core.base import Sampler
+from repro.core.base import Sampler, SamplerSnapshotView
 from repro.core.latent import LatentSample, downsample, merge_latent_samples
 from repro.core.random_utils import choose_indices, stochastic_round
 
@@ -141,6 +141,36 @@ class RTBS(Sampler):
 
     def _sample_size(self) -> int:
         return self._latent.full_count + (1 if self._include_partial else 0)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """An O(1) copy-on-write cut sharing the latent sample's frozen columns.
+
+        ``items`` is the realized sample (full items, then the partial item
+        if this batch's coin included it) and ``weights`` are the arrival
+        weights of the full items, both as read-only views over the live
+        column arrays — no copies, and later batches replace the columns
+        rather than mutating them, so the cut stays stable.
+        """
+        frozen = self._latent.freeze()
+        items: np.ndarray | None = None
+        weights: np.ndarray | None = None
+        if include_items:
+            items = frozen.items_array(self._include_partial)
+            weights = frozen.full_weights
+        return SamplerSnapshotView(
+            epoch=frozen.epoch,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=self._total_weight,
+            expected_size=frozen.weight,
+            sample_size=frozen.full_count + (1 if self._include_partial else 0),
+            capacity=self.n,
+            items=items,
+            weights=weights,
+            state=self.state_dict() if include_state else None,
+        )
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -266,7 +296,7 @@ class RTBS(Sampler):
         if latent_target > _WEIGHT_EPSILON:
             self._latent = downsample(self._latent, latent_target, self._rng)
         else:
-            self._latent = LatentSample.empty()
+            self._latent = self._emptied()
         if new_weight <= _WEIGHT_EPSILON:
             new_weight = 0.0
 
@@ -298,7 +328,7 @@ class RTBS(Sampler):
                         self._rng, self._latent.full_count, self.n - accepted
                     )
                     insert_idx = choose_indices(self._rng, batch_size, accepted)
-                    self._latent = LatentSample(
+                    replaced = LatentSample(
                         full=concat_items(
                             self._latent.full_array[survivor_idx], batch[insert_idx]
                         ),
@@ -313,6 +343,8 @@ class RTBS(Sampler):
                             ]
                         ),
                     )
+                    replaced._epoch = self._latent.epoch + 1
+                    self._latent = replaced
             else:
                 # Underfull (post-reshard): fewer than n items are stored
                 # even though W >= n. Accept arrivals at the saturated rate
@@ -341,6 +373,12 @@ class RTBS(Sampler):
             if target > _WEIGHT_EPSILON:
                 self._latent = downsample(self._latent, target, self._rng)
             else:
-                self._latent = LatentSample.empty()
+                self._latent = self._emptied()
             self._latent = self._latent.with_appended_full(batch, timestamp=self._time)
         self._latent.check_invariants()
+
+    def _emptied(self) -> LatentSample:
+        """A fresh empty latent sample tagged as the successor of the current one."""
+        emptied = LatentSample.empty()
+        emptied._epoch = self._latent.epoch + 1
+        return emptied

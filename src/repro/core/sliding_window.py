@@ -20,7 +20,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.base import Sampler
+from repro.core.base import Sampler, SamplerSnapshotView
 
 __all__ = ["SlidingWindow", "TimeBasedSlidingWindow"]
 
@@ -42,6 +42,26 @@ class SlidingWindow(Sampler):
 
     def sample_items(self) -> list[Any]:
         return list(self._window)
+
+    def _sample_size(self) -> int:
+        return len(self._window)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """A cut copying the window's item pointers into a tuple (deque mutates in place)."""
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=float("nan"),
+            expected_size=float(len(self._window)),
+            sample_size=len(self._window),
+            capacity=self.n,
+            items=tuple(self._window) if include_items else None,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     def _config_state(self) -> dict[str, Any]:
         return {"n": self.n}
@@ -76,6 +96,26 @@ class TimeBasedSlidingWindow(Sampler):
 
     def sample_items(self) -> list[Any]:
         return [item for _, item in self._entries]
+
+    def _sample_size(self) -> int:
+        return len(self._entries)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """A cut copying the window's item pointers into a tuple (deque mutates in place)."""
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=float("nan"),
+            expected_size=float(len(self._entries)),
+            sample_size=len(self._entries),
+            capacity=None,
+            items=tuple(item for _, item in self._entries) if include_items else None,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     def _config_state(self) -> dict[str, Any]:
         return {"window": self.window}

@@ -23,8 +23,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.core.arrays import as_item_array, concat_items
-from repro.core.base import Sampler
+from repro.core.arrays import as_item_array, concat_items, readonly_view
+from repro.core.base import Sampler, SamplerSnapshotView
 from repro.core.random_utils import binomial, choose_indices
 
 __all__ = ["TTBS"]
@@ -112,6 +112,27 @@ class TTBS(Sampler):
 
     def _sample_size(self) -> int:
         return len(self._sample)
+
+    def snapshot_view(
+        self, include_items: bool = True, include_state: bool = False
+    ) -> SamplerSnapshotView:
+        """An O(1) cut sharing the sample array as a read-only view.
+
+        Safe because :meth:`_process_batch` replaces ``_sample`` with a
+        freshly built array (copy-on-write) instead of writing in place.
+        """
+        return SamplerSnapshotView(
+            epoch=self._batches_seen,
+            time=self._time,
+            batches_seen=self._batches_seen,
+            total_weight=float("nan"),
+            expected_size=float(len(self._sample)),
+            sample_size=len(self._sample),
+            capacity=self.n,
+            items=readonly_view(self._sample) if include_items else None,
+            weights=None,
+            state=self.state_dict() if include_state else None,
+        )
 
     @property
     def total_weight(self) -> float:

@@ -106,8 +106,10 @@ class DistributedTTBS:
         if self._virtual_mode:
             raise RuntimeError("sample items are not materialized in virtual mode")
         if self._resident:
+            # No drain barrier needed: pool.snapshot() rides each worker's
+            # FIFO command pipe, so it executes after every previously
+            # dispatched ttbs_update for that worker — a consistent cut.
             pool = self.cluster.backend.transport
-            pool.drain()
             items: list[Any] = []
             for worker in range(self.cluster.num_workers):
                 snapshot = pool.snapshot(self._worker_key(worker), snapshot_ttbs_worker)

@@ -55,6 +55,7 @@ from repro.engine.shards import (
     restore_sampler,
     service_ingest_frame,
     service_ingest_routed,
+    service_snapshot_views,
     snapshot_sampler,
 )
 from repro.engine.transport import ShardWorkerPool
@@ -80,6 +81,7 @@ __all__ = [
     "snapshot_sampler",
     "service_ingest_frame",
     "service_ingest_routed",
+    "service_snapshot_views",
     "ShardWorkerPool",
     "EngineError",
     "WorkerCrashError",

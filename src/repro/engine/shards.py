@@ -20,7 +20,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.base import Sampler
+from repro.core.base import Sampler, SamplerSnapshotView
 
 __all__ = [
     "ShardTask",
@@ -32,6 +32,7 @@ __all__ = [
     "snapshot_sampler",
     "service_ingest_frame",
     "service_ingest_routed",
+    "service_snapshot_views",
 ]
 
 #: One shard's work unit: ``(sampler_or_state, batches, times)``. ``times``
@@ -163,6 +164,47 @@ def service_ingest_routed(
     if profile:
         return counts, perf_counter() - begin
     return counts
+
+
+def service_snapshot_views(
+    residents: dict[Any, Any],
+    service_id: int,
+    include_items: bool = True,
+    include_state: bool = False,
+) -> dict[int, SamplerSnapshotView]:
+    """Worker-side snapshot marker: publish CoW cuts of this worker's shards.
+
+    The driver enqueues this function once per worker *behind* every batch
+    dispatched so far (FIFO command pipes), so by the time it runs each
+    resident shard has processed exactly the batches up to the driver's
+    committed watermark — the per-worker results therefore assemble into a
+    single consistent service-wide cut, with no ``drain()`` barrier and with
+    later batches free to queue up behind the marker.
+
+    All resident shards of the service are enumerated worker-side (not just
+    the ones the driver has seen acks for), so shards activated by still
+    unacknowledged batches are part of the cut. Shards that have ingested
+    nothing yet (pristine standbys) are skipped — they hold no sampled data
+    and are not part of the service's active set.
+
+    Returns ``{shard_id: view}``; views are pure data (read-only arrays or
+    tuples plus scalars) and cross the ack pipe without referencing live
+    worker state.
+    """
+    owned = sorted(
+        key[2]
+        for key in residents
+        if isinstance(key, tuple) and key[:2] == ("svc", service_id)
+    )
+    views: dict[int, SamplerSnapshotView] = {}
+    for shard_id in owned:
+        sampler = residents[("svc", service_id, shard_id)]
+        if sampler.batches_seen == 0:
+            continue
+        views[int(shard_id)] = sampler.snapshot_view(
+            include_items=include_items, include_state=include_state
+        )
+    return views
 
 
 def merge_samples(samples: Iterable[Sequence[Any]]) -> list[Any]:

@@ -698,6 +698,41 @@ class ShardWorkerPool:
         seq = handle.submit((_snapshot_resident, {"key": key, "snapshot_fn": snapshot_fn}, []), kind="apply")
         return handle.wait_for(seq)
 
+    def snapshot_async(
+        self, fn: Callable[..., Any], kwargs: dict[str, Any] | None = None
+    ) -> list[tuple[int, int]]:
+        """Enqueue a snapshot *marker* on every worker; no ``drain()`` barrier.
+
+        ``fn(residents, **kwargs)`` is a module-level callable that publishes
+        a cut of the worker's resident objects (e.g.
+        :func:`repro.engine.shards.service_snapshot_views`). The marker rides
+        each worker's FIFO command pipe as an ordinary pipelined apply, so it
+        executes *after* every command enqueued before it and *before* any
+        enqueued after — the per-worker results together form a consistent
+        cut at the enqueue point, streamed back as ordinary ack-side frames
+        while later commands keep flowing underneath.
+
+        Returns ``[(worker_index, seq), ...]`` markers; pass them to
+        :meth:`collect` to gather the per-worker results.
+        """
+        self._check_open()
+        markers: list[tuple[int, int]] = []
+        for handle in self.workers:
+            handle.poll_acks()
+            seq = handle.submit((fn, dict(kwargs or {}), []), kind="apply")
+            markers.append((handle.index, seq))
+        return markers
+
+    def collect(self, markers: list[tuple[int, int]]) -> list[Any]:
+        """Wait for :meth:`snapshot_async` markers only; return their results.
+
+        Not a barrier: each wait processes that worker's acknowledgements up
+        to its marker (delivering any pending ``on_result`` callbacks along
+        the way) and stops there — commands enqueued after a marker stay
+        pipelined and in flight.
+        """
+        return [self.workers[worker].wait_for(seq) for worker, seq in markers]
+
     def detach(self, key: Any, snapshot_fn: Callable[[Any], Any] | None = None) -> Any:
         """Remove a resident object; return its final snapshot when asked.
 

@@ -172,9 +172,22 @@ class ModelManager:
     def _maybe_retrain(self) -> None:
         if self._batches_processed % self.retrain_every != 0:
             return
-        sample = self.sampler.sample_items()
+        sample = self._training_sample()
         if len(sample) < self.min_train_size:
             return
         model = self.model_factory()
         model.fit_items(sample)
         self.model = model
+
+    def _training_sample(self) -> list[LabeledItem]:
+        """The current training sample, read through a snapshot when available.
+
+        A :class:`~repro.service.SamplerService` provider exposes
+        ``snapshot()`` — a consistent committed-watermark cut whose merged
+        items are mutually consistent across shards and whose capture never
+        drains the ingest pipeline; bare samplers are read directly.
+        """
+        snapshot = getattr(self.sampler, "snapshot", None)
+        if callable(snapshot):
+            return snapshot().sample_items()
+        return self.sampler.sample_items()

@@ -10,9 +10,11 @@ a long-running service:
   per-shard samplers with lazy creation, deterministic per-shard RNG
   streams, bulk ingest through the vectorized ``process_stream`` hot path
   fanned out over a pluggable :mod:`repro.engine` executor
-  (serial/thread/process), a ``stats()`` observability endpoint,
-  merged/per-shard sample queries, and elastic ``reshard()`` — the shard
-  layout scales live (or at restore time) without discarding the sample;
+  (serial/thread/process), snapshot-isolated reads (``snapshot()`` yields
+  a :class:`ServiceSnapshot` — a consistent committed-watermark cut served
+  without draining the pipeline; ``stats()`` and the sample queries read
+  from such cuts), and elastic ``reshard()`` — the shard layout scales
+  live (or at restore time) without discarding the sample;
 * :mod:`repro.service.checkpoint` — pickle-free directory checkpoints
   (JSON manifest + npz arrays) with exact, bit-identical restore of every
   sampler trajectory; damaged checkpoints raise :class:`CheckpointError`
@@ -54,7 +56,7 @@ from repro.service.replication import (
     ReplicationConfig,
     ShardReplicaSet,
 )
-from repro.service.service import SamplerService
+from repro.service.service import SamplerService, ServiceSnapshot
 from repro.service.wal import (
     LogShipper,
     WALError,
@@ -65,6 +67,7 @@ from repro.service.wal import (
 
 __all__ = [
     "SamplerService",
+    "ServiceSnapshot",
     "ROUTING_VERSION",
     "CheckpointError",
     "MissingCheckpointError",

@@ -42,10 +42,20 @@ Shard ingestion fans out through a pluggable :mod:`repro.engine` executor:
   are scattered straight into its double-buffered shared-memory ring
   (no intermediate per-shard copies). Ingestion is pipelined: ``ingest``
   returns once the frames are enqueued — routing of batch *k+1* overlaps
-  worker ingest of batch *k* — and any read (samples, stats, checkpoints)
-  drains the pipeline first, so observable state is always exact. A dead
-  worker raises :class:`~repro.engine.errors.WorkerCrashError` naming the
-  worker.
+  worker ingest of batch *k*. A dead worker raises
+  :class:`~repro.engine.errors.WorkerCrashError` naming the worker.
+
+Reads are **snapshot-isolated**: :meth:`SamplerService.snapshot` produces a
+:class:`ServiceSnapshot` — one immutable copy-on-write view per active shard
+(:meth:`~repro.core.base.Sampler.snapshot_view`), all cut at the same
+committed batch watermark. On the transport backend the cut is taken by
+enqueuing a snapshot marker into each worker's FIFO command pipe *behind*
+every batch dispatched so far, so the views assemble into a consistent
+service-wide cut without draining the pipeline — ingest of later batches
+proceeds underneath. ``stats()``, ``sample_items()``, ``shard_samples()``
+and ``checkpoint()`` all read from such cuts; none of them creates shards,
+draws randomness, or blocks dispatch (the *pure-read* contract, enforced by
+the ``pure-read`` lint rule).
 
 Shards are statistically independent with private RNG streams, so every
 backend produces bit-identical samples and checkpoints for a fixed seed.
@@ -55,13 +65,20 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.arrays import as_item_array
-from repro.core.base import STATE_FORMAT_VERSION, Sampler, validate_batch_time
+from repro.core.base import (
+    STATE_FORMAT_VERSION,
+    Sampler,
+    SamplerSnapshotView,
+    validate_batch_time,
+)
 from repro.core.random_utils import (
     ensure_rng,
     generator_from_state,
@@ -79,6 +96,7 @@ from repro.engine import (
     ingest_shard_state,
     restore_sampler,
     service_ingest_routed,
+    service_snapshot_views,
     snapshot_sampler,
 )
 from repro.service.replication import (
@@ -98,13 +116,95 @@ from repro.service.routing import (
 )
 from repro.service.wal import WriteAheadLog
 
-__all__ = ["SamplerService"]
+__all__ = ["SamplerService", "ServiceSnapshot"]
 
 SamplerFactory = Callable[[np.random.Generator], Sampler]
 
 #: Distinguishes the resident-shard keys of different services sharing one
 #: executor's worker pool.
 _SERVICE_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """An immutable, consistent cut of a :class:`SamplerService`.
+
+    Holds one copy-on-write :class:`~repro.core.base.SamplerSnapshotView`
+    per active shard, all taken at the same committed batch ``watermark``
+    (the global sequence number of the last batch the cut reflects). The
+    views share their backing arrays with the live samplers — taking a cut
+    copies scalars, never payloads — and stay valid bit-for-bit however far
+    ingestion advances afterwards.
+
+    Which tiers a cut carries is decided at capture time:
+    ``has_items``/``has_state`` report whether every view includes realized
+    items / a full restorable ``state_dict()`` (see
+    :meth:`SamplerService.snapshot`'s ``include_items``/``include_state``).
+    """
+
+    #: Global sequence number of the last batch this cut reflects
+    #: (``batches_seen - 1`` at capture).
+    watermark: int
+    #: Service clock at the watermark.
+    time: float
+    #: Shard-layout size at capture.
+    num_shards: int
+    #: Executor backend name at capture.
+    executor: str
+    #: Key-encoding version the layout routed under at capture.
+    routing_version: int
+    #: Per-shard copy-on-write views, keyed by shard id.
+    views: dict[int, SamplerSnapshotView] = field(default_factory=dict)
+
+    @property
+    def active_shards(self) -> list[int]:
+        """Ids of shards holding data at the watermark, ascending."""
+        return sorted(self.views)
+
+    @property
+    def has_items(self) -> bool:
+        """Whether every view carries realized items (``include_items``)."""
+        return all(view.items is not None for view in self.views.values())
+
+    @property
+    def has_state(self) -> bool:
+        """Whether every view carries a restorable state (``include_state``)."""
+        return all(view.state is not None for view in self.views.values())
+
+    @property
+    def total_items(self) -> int:
+        """Realized sample size across all shards at the watermark."""
+        return sum(view.sample_size for view in self.views.values())
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the shard cuts' ``W_t`` (``nan`` where any shard is weightless)."""
+        if not self.views:
+            return 0.0
+        return float(sum(view.total_weight for view in self.views.values()))
+
+    @property
+    def expected_sample_size(self) -> float:
+        """Sum of the shard cuts' expected sample sizes."""
+        return float(sum(view.expected_size for view in self.views.values()))
+
+    def sample_items(self) -> list[Any]:
+        """The merged realized sample at the watermark (ascending shard id)."""
+        merged: list[Any] = []
+        for shard_id in sorted(self.views):
+            merged.extend(self.views[shard_id].items_list())
+        return merged
+
+    def shard_samples(self) -> dict[int, list[Any]]:
+        """Per-shard realized samples at the watermark, keyed by shard id.
+
+        Mutually consistent by construction: every shard's list comes from
+        the same committed-watermark cut.
+        """
+        return {
+            shard_id: self.views[shard_id].items_list()
+            for shard_id in sorted(self.views)
+        }
 
 
 class SamplerService:
@@ -242,6 +342,16 @@ class SamplerService:
 
     def _init_transport_state(self) -> None:
         self._service_id = next(_SERVICE_IDS)
+        #: Serializes writes (ingest/checkpoint/reshard/close) against
+        #: snapshot capture. Reentrant so write paths may nest (reshard →
+        #: checkpoint → snapshot). Reads hold it only while *taking* a cut,
+        #: never while consuming one.
+        self._lock = threading.RLock()
+        #: The most recent cut, served to reads that tolerate staleness
+        #: (``snapshot(max_staleness_batches=...)``) without touching the
+        #: workers. Invalidated on reshard and failover; ordinary ingest
+        #: just ages it past its staleness bound.
+        self._snapshot_cache: ServiceSnapshot | None = None
         #: Shards that have received at least one item (mirrors the keys of
         #: ``_shards`` on in-process backends; fed by worker acknowledgements
         #: on the transport backend).
@@ -322,20 +432,44 @@ class SamplerService:
         Raises ``KeyError`` for a shard that has not received any items yet:
         inspecting an idle shard must not create its sampler (that would
         grow :attr:`active_shards` and every subsequent checkpoint as a side
-        effect of monitoring).
+        effect of monitoring). On the transport backend the returned sampler
+        is rebuilt from the shard's resident snapshot at its current
+        pipeline position — no ``drain()`` barrier, other workers keep
+        ingesting; in-process backends return the live sampler.
         """
         if not 0 <= shard_id < self.num_shards:
             raise ValueError(
                 f"shard id {shard_id} out of range for {self.num_shards} shards"
             )
-        self._sync()
-        try:
-            return self._shards[shard_id]
-        except KeyError:
-            raise KeyError(
-                f"shard {shard_id} has no sampler yet (no items routed to it); "
-                f"active shards: {sorted(self._activated)}"
-            ) from None
+        with self._lock:
+            if self._transport_attached:
+                try:
+                    state = self._executor.transport.snapshot(
+                        self._shard_key(shard_id), snapshot_sampler
+                    )
+                except WorkerCrashError as error:
+                    if self._replication is None:
+                        raise
+                    self._failover(error)
+                else:
+                    sampler = Sampler.from_state_dict(state)
+                    if sampler.batches_seen == 0:
+                        # A pristine standby resident: attached so the next
+                        # batch may route to it, but it holds no data and is
+                        # not part of the active set.
+                        raise KeyError(
+                            f"shard {shard_id} has no sampler yet (no items "
+                            f"routed to it); active shards: "
+                            f"{sorted(self._activated)}"
+                        )
+                    return sampler
+            try:
+                return self._shards[shard_id]
+            except KeyError:
+                raise KeyError(
+                    f"shard {shard_id} has no sampler yet (no items routed to it); "
+                    f"active shards: {sorted(self._activated)}"
+                ) from None
 
     def _get_or_create_shard(self, shard_id: int) -> Sampler:
         """The sampler behind one shard, created lazily on first arrival."""
@@ -351,47 +485,153 @@ class SamplerService:
             self._activated.add(shard_id)
         return sampler
 
+    def snapshot(
+        self,
+        max_staleness_batches: int = 0,
+        include_items: bool = True,
+        include_state: bool = False,
+    ) -> ServiceSnapshot:
+        """A consistent, immutable cut of every active shard — a pure read.
+
+        The cut is a *single committed-watermark* view: all shards are
+        captured at the same ``batches_seen`` watermark, so the per-shard
+        views are mutually consistent (their items, weights and clocks
+        belong to one moment of the stream). Taking a cut never creates
+        shards, draws no randomness, and never blocks dispatch: on the
+        transport backend a snapshot marker is enqueued into each worker's
+        FIFO command pipe behind every batch dispatched so far, the workers
+        publish copy-on-write views at that batch boundary, and ingest of
+        later batches proceeds underneath — there is no ``drain()``
+        barrier. In-process backends read the driver's samplers directly
+        (writes are serialized against capture by the service lock).
+
+        Parameters
+        ----------
+        max_staleness_batches:
+            Tolerated cut age. ``0`` (default) always captures a fresh cut;
+            a positive bound re-serves the cached cut while it is at most
+            this many batches behind :attr:`batches_seen` (and carries the
+            requested tiers) — the 100-Hz-dashboard path, costing no worker
+            round-trip at all.
+        include_items:
+            Include realized items (and, where cheap, per-item weights) in
+            each view. Scalar-only cuts (``False``) are lighter and serve
+            :meth:`stats`.
+        include_state:
+            Include a full restorable ``state_dict()`` per view — the tier
+            :meth:`checkpoint` and replica capture serialize from.
+        """
+        # Stale-tolerant fast path, deliberately outside the lock: the
+        # cached cut is immutable once published and the staleness bound is
+        # the caller's explicit tolerance, so serving it needs no mutual
+        # exclusion — readers polling at 100+ Hz never queue behind an
+        # in-flight ingest window or flush barrier.
+        cached = self._snapshot_cache
+        if (
+            cached is not None
+            and max_staleness_batches > 0
+            and self._batches_seen - 1 - cached.watermark <= max_staleness_batches
+            and (not include_items or cached.has_items)
+            and (not include_state or cached.has_state)
+        ):
+            return cached
+        with self._lock:
+            cached = self._snapshot_cache
+            if (
+                cached is not None
+                and max_staleness_batches > 0
+                and self._batches_seen - 1 - cached.watermark
+                <= max_staleness_batches
+                and (not include_items or cached.has_items)
+                and (not include_state or cached.has_state)
+            ):
+                return cached
+            if self._transport_attached:
+                views = self._collect_transport_views(
+                    include_items, include_state
+                )
+            else:
+                views = {
+                    shard_id: self._shards[shard_id].snapshot_view(
+                        include_items=include_items,
+                        include_state=include_state,
+                    )
+                    for shard_id in sorted(self._activated)
+                }
+            cut = ServiceSnapshot(
+                watermark=self._batches_seen - 1,
+                time=self._time,
+                num_shards=self.num_shards,
+                executor=self._executor.name,
+                routing_version=self._routing_version,
+                views=views,
+            )
+            # Cache the cut — unless an equally fresh cached cut carries a
+            # superset of its tiers (a scalar-only stats cut must not evict
+            # a same-watermark items/state cut).
+            if not (
+                cached is not None
+                and cached.watermark == cut.watermark
+                and (not cut.has_items or cached.has_items)
+                and (not cut.has_state or cached.has_state)
+            ):
+                self._snapshot_cache = cut
+            return cut
+
     def sample_items(self) -> list[Any]:
-        """The merged realized sample across all shards (ascending shard id)."""
-        merged: list[Any] = []
-        for shard_id in self.active_shards:
-            merged.extend(self._shards[shard_id].sample_items())
-        return merged
+        """The merged realized sample across all shards (ascending shard id).
+
+        Reads one committed-watermark cut (:meth:`snapshot`), so the
+        per-shard contributions are mutually consistent and the call never
+        drains the ingest pipeline.
+        """
+        return self.snapshot().sample_items()
 
     def shard_samples(self) -> dict[int, list[Any]]:
-        """Per-shard realized samples, keyed by shard id."""
-        return {
-            shard_id: self._shards[shard_id].sample_items()
-            for shard_id in self.active_shards
-        }
+        """Per-shard realized samples, keyed by shard id.
 
-    def stats(self) -> dict[str, Any]:
-        """Observability snapshot: per-shard fill state plus service aggregates.
+        All lists come from one committed-watermark cut — a single
+        :meth:`snapshot` call, not one synchronization per shard — so they
+        are mutually consistent even while ingest streams underneath.
+        """
+        return self.snapshot().shard_samples()
+
+    def stats(self, max_staleness_batches: int = 0) -> dict[str, Any]:
+        """Observability cut: per-shard fill state plus service aggregates.
 
         A cheap, read-only endpoint for dashboards and load-balancing
-        decisions — it never creates shards and draws no randomness. Each
-        active shard reports its item count, fill fraction (``nan`` for
-        samplers without a capacity attribute ``n``), total decayed weight
-        ``W_t`` (``nan`` where weightless), expected sample size, batches
-        seen, and clock. On the transport backend the call drains the
-        ingest pipeline first, so the numbers are exact, not approximate.
+        decisions — it never creates shards, draws no randomness, and never
+        drains the ingest pipeline. The per-shard numbers come from one
+        committed-watermark cut (:meth:`snapshot` with scalar-only views);
+        the cut's watermark is reported under ``"watermark"``, while
+        ``"batches_seen"``/``"time"`` remain the live driver clock, so
+        ``batches_seen - 1 - watermark`` is the cut's staleness. Pass
+        ``max_staleness_batches > 0`` to re-serve a recent cached cut at
+        most that many batches old — the high-frequency polling path, which
+        costs no worker round-trip. Each active shard reports its item
+        count, fill fraction (``nan`` for samplers without a capacity
+        attribute ``n``), total decayed weight ``W_t`` (``nan`` where
+        weightless), expected sample size, batches seen, and clock.
         """
+        cut = self.snapshot(
+            max_staleness_batches=max_staleness_batches, include_items=False
+        )
         shards: dict[int, dict[str, Any]] = {}
         total_items = 0
-        for shard_id in self.active_shards:
-            sampler = self._shards[shard_id]
-            size = len(sampler)
-            capacity = getattr(sampler, "n", None)
+        for shard_id in sorted(cut.views):
+            view = cut.views[shard_id]
+            size = view.sample_size
+            capacity = view.capacity
             shards[shard_id] = {
                 "items": size,
                 "capacity": int(capacity) if capacity is not None else None,
                 "fill_fraction": (
                     size / capacity if capacity else float("nan")
                 ),
-                "total_weight": float(sampler.total_weight),
-                "expected_sample_size": float(sampler.expected_sample_size),
-                "batches_seen": sampler.batches_seen,
-                "time": sampler.time,
+                "total_weight": float(view.total_weight),
+                "expected_sample_size": float(view.expected_size),
+                "batches_seen": view.batches_seen,
+                "time": view.time,
             }
             total_items += size
         durability: dict[str, Any] = {"wal_enabled": self._wal is not None}
@@ -419,53 +659,42 @@ class SamplerService:
                 ),
             }
         )
-        snapshot: dict[str, Any] = {
+        report: dict[str, Any] = {
             "num_shards": self.num_shards,
             "active_shards": len(shards),
             "executor": self._executor.name,
             "routing_version": self._routing_version,
             "batches_seen": self._batches_seen,
             "time": self._time,
+            "watermark": cut.watermark,
             "total_items": total_items,
-            "total_weight": self.total_weight,
-            "expected_sample_size": self.expected_sample_size,
+            "total_weight": cut.total_weight,
+            "expected_sample_size": cut.expected_sample_size,
             "durability": durability,
             "shards": shards,
         }
         if self._profile_enabled:
-            snapshot["profile"] = {
+            report["profile"] = {
                 "batches": self._profile_batches,
                 "seconds": {
                     phase: self._profile_times[phase]
                     for phase in sorted(self._profile_times)
                 },
             }
-        return snapshot
+        return report
 
     @property
     def total_weight(self) -> float:
         """Sum of the shard samplers' ``W_t`` (``nan`` if any shard has no notion of weight)."""
-        self._sync()
-        if not self._shards:
-            return 0.0
-        return float(
-            sum(self._shards[shard_id].total_weight for shard_id in sorted(self._activated))
-        )
+        return self.snapshot(include_items=False).total_weight
 
     @property
     def expected_sample_size(self) -> float:
         """Sum of the shard samplers' expected sample sizes."""
-        self._sync()
-        return float(
-            sum(
-                self._shards[shard_id].expected_sample_size
-                for shard_id in sorted(self._activated)
-            )
-        )
+        return self.snapshot(include_items=False).expected_sample_size
 
     def __len__(self) -> int:
-        self._sync()
-        return sum(len(self._shards[shard_id]) for shard_id in sorted(self._activated))
+        return self.snapshot(include_items=False).total_items
 
     # ------------------------------------------------------------------
     # ingestion
@@ -538,34 +767,35 @@ class SamplerService:
         call can be retried with the same arrival time.
         """
         batch = as_item_array(items)
-        if self._executor.provides_transport:
-            routed_frame = self._route_frame(batch, keys)
-            time = self._advance_time(time)
-            self._wal_log_routed(routed_frame, batch, time)
-            if routed_frame is None:
+        with self._lock:
+            if self._executor.provides_transport:
+                routed_frame = self._route_frame(batch, keys)
+                time = self._advance_time(time)
+                self._wal_log_routed(routed_frame, batch, time)
+                if routed_frame is None:
+                    self._replication_tick()
+                    return {}
+                counts: dict[int, int] = {}
+                self._dispatch_routed_safely(
+                    batch, routed_frame, time, counts_sink=counts
+                )
+                begin = perf_counter() if self._profile_enabled else 0.0
+                self._drain_transport_safely()
+                if self._profile_enabled:
+                    self._note_phase("ack", perf_counter() - begin)
                 self._replication_tick()
-                return {}
-            counts: dict[int, int] = {}
-            self._dispatch_routed_safely(
-                batch, routed_frame, time, counts_sink=counts
-            )
-            begin = perf_counter() if self._profile_enabled else 0.0
-            self._drain_transport_safely()
-            if self._profile_enabled:
-                self._note_phase("ack", perf_counter() - begin)
+                return dict(sorted(counts.items()))
+            routed = self._route(batch, keys)
+            time = self._advance_time(time)
+            self._wal_log(routed, time)
+            pending: dict[int, tuple[list[Any], list[float]]] = {}
+            counts = {}
+            for shard_id, sub_batch in routed:
+                pending[shard_id] = ([sub_batch], [time])
+                counts[shard_id] = len(sub_batch)
+            self._dispatch(pending)
             self._replication_tick()
-            return dict(sorted(counts.items()))
-        routed = self._route(batch, keys)
-        time = self._advance_time(time)
-        self._wal_log(routed, time)
-        pending: dict[int, tuple[list[Any], list[float]]] = {}
-        counts = {}
-        for shard_id, sub_batch in routed:
-            pending[shard_id] = ([sub_batch], [time])
-            counts[shard_id] = len(sub_batch)
-        self._dispatch(pending)
-        self._replication_tick()
-        return counts
+            return counts
 
     def process_batch(
         self,
@@ -645,6 +875,26 @@ class SamplerService:
         use_transport = self._executor.provides_transport
         pending: dict[int, tuple[list[np.ndarray], list[float]]] = {}
         buffered = 0
+        # Snapshot consistency: a cut must never observe an advanced service
+        # clock whose batches have not reached the shards yet. Transport
+        # batches dispatch per-iteration, so the lock is held per batch; the
+        # in-process path buffers up to ``window`` batches between
+        # dispatches, so the lock is held from a window's first batch until
+        # its flush — readers see cuts only at window boundaries, where
+        # clock and shard state agree.
+        held = False
+
+        def acquire() -> None:
+            nonlocal held
+            if not held:
+                self._lock.acquire()
+                held = True
+
+        def release() -> None:
+            nonlocal held
+            if held:
+                self._lock.release()
+                held = False
 
         def flush() -> None:
             nonlocal buffered
@@ -673,6 +923,7 @@ class SamplerService:
                             "arrival time per batch or omit times entirely"
                         ) from None
                 items = as_item_array(batch)
+                acquire()
                 if use_transport:
                     routed_frame = self._route_frame(items, batch_keys)
                     time = self._advance_time(time)
@@ -680,6 +931,7 @@ class SamplerService:
                     if routed_frame is not None:
                         self._dispatch_routed_safely(items, routed_frame, time)
                     self._replication_tick()
+                    release()
                     continue
                 routed = self._route(items, batch_keys)
                 time = self._advance_time(time)
@@ -692,14 +944,23 @@ class SamplerService:
                 buffered += 1
                 if buffered >= window:
                     flush()
+                    release()
         except BaseException:
             # Deliver the complete batches routed before the failure, so the
             # observable state is "everything before the bad batch was
             # ingested" — the same semantics as a per-batch ingest loop.
             # (Transport frames are already enqueued and will land.)
-            flush()
+            acquire()
+            try:
+                flush()
+            finally:
+                release()
             raise
-        flush()
+        acquire()
+        try:
+            flush()
+        finally:
+            release()
 
     def flush(self) -> None:
         """Barrier: wait until every enqueued batch has been ingested.
@@ -709,10 +970,11 @@ class SamplerService:
         disk under the ``"always"`` policy), making everything logged so
         far durable under the configured policy.
         """
-        if self._executor.provides_transport and self._transport_attached:
-            self._drain_transport_safely()
-        if self._wal is not None:
-            self._wal.flush()
+        with self._lock:
+            if self._executor.provides_transport and self._transport_attached:
+                self._drain_transport_safely()
+            if self._wal is not None:
+                self._wal.flush()
 
     # ------------------------------------------------------------------
     # durability (write-ahead log + delta checkpoints)
@@ -795,7 +1057,10 @@ class SamplerService:
         incremental reuse is only safe against the paired directory's own
         history) and leaves the WAL untouched.
 
-        The save drains the pipeline first, so the snapshot is exact, and
+        The save serializes from a committed-watermark snapshot cut
+        (:meth:`snapshot` with ``include_state=True``) rather than draining
+        the pipeline: shard states are published at the cut's batch
+        boundary while ingest of later batches proceeds underneath. It
         uses the same atomic-swap protocol as
         :func:`~repro.service.checkpoint.save_checkpoint` — a crash mid-save
         leaves the previous checkpoint fully loadable.
@@ -811,28 +1076,31 @@ class SamplerService:
                     "or construct the service with wal_dir="
                 )
             directory = self._wal.checkpoint_dir
-        self._sync()
-        shard_states = {
-            shard_id: self._shards[shard_id].state_dict()
-            for shard_id in sorted(self._activated)
-        }
-        watermark = self._batches_seen - 1
-        save_service_delta(
-            self._scalar_state(),
-            shard_states,
-            directory,
-            watermark,
-            dirty=set(self._ckpt_dirty) if paired else None,
-        )
-        if paired:
-            self._ckpt_dirty.clear()
-            self._wal_watermark = watermark
-            if self._replication is not None:
-                # Truncation recycles the segments the standby ships from;
-                # the standby must hold every committed frame first, or a
-                # later promotion would find its log tail gone.
-                self._replication.replica.catch_up(watermark)
-            self._wal.truncate(watermark)
+        with self._lock:
+            cut = self.snapshot(include_items=False, include_state=True)
+            self._refresh_driver_cut(cut)
+            shard_states = {
+                shard_id: cut.views[shard_id].state
+                for shard_id in sorted(cut.views)
+            }
+            watermark = cut.watermark
+            save_service_delta(
+                self._scalar_state(),
+                shard_states,
+                directory,
+                watermark,
+                dirty=set(self._ckpt_dirty) if paired else None,
+            )
+            if paired:
+                self._ckpt_dirty.clear()
+                self._wal_watermark = watermark
+                if self._replication is not None:
+                    # Truncation recycles the segments the standby ships
+                    # from; the standby must hold every committed frame
+                    # first, or a later promotion would find its log tail
+                    # gone.
+                    self._replication.replica.catch_up(watermark)
+                self._wal.truncate(watermark)
 
     # ------------------------------------------------------------------
     # transport (process backend) dispatch
@@ -1024,36 +1292,112 @@ class SamplerService:
         if profile:
             self._note_phase("dispatch", perf_counter() - begin)
 
+    def _collect_transport_views(
+        self, include_items: bool, include_state: bool
+    ) -> dict[int, SamplerSnapshotView]:
+        """Take the committed-watermark cut from the resident worker shards.
+
+        Enqueues one snapshot marker per worker behind every batch
+        dispatched so far (:meth:`ShardWorkerPool.snapshot_async`), then
+        collects the per-worker view dicts. The collect waits only for the
+        marker acknowledgements — batch acks en route are processed as
+        ordinary ack-side frames — so the pipeline is never drained and
+        commands enqueued after the markers stay in flight. Workers
+        enumerate *all* their resident shards of this service (skipping
+        pristine standbys), so shards activated by still-unacknowledged
+        batches are part of the cut.
+        """
+        pool = self._executor.transport
+        try:
+            markers = pool.snapshot_async(
+                service_snapshot_views,
+                kwargs={
+                    "service_id": self._service_id,
+                    "include_items": include_items,
+                    "include_state": include_state,
+                },
+            )
+            views: dict[int, SamplerSnapshotView] = {}
+            for worker_views in pool.collect(markers):
+                views.update(worker_views)
+        except WorkerCrashError as error:
+            # The cut found the pool dead. With a standby, promote: the
+            # replayed log tail covers everything the crashed workers held,
+            # so the cut completes on the promoted samplers.
+            if self._replication is None:
+                raise
+            self._failover(error)
+            return {
+                shard_id: self._shards[shard_id].snapshot_view(
+                    include_items=include_items, include_state=include_state
+                )
+                for shard_id in sorted(self._activated)
+            }
+        return {shard_id: views[shard_id] for shard_id in sorted(views)}
+
+    def _refresh_driver_cut(self, cut: ServiceSnapshot) -> None:
+        """Adopt a state-bearing cut as the driver's authoritative shard state.
+
+        The transport-backend replacement for the post-``drain()`` half of
+        :meth:`_sync`: every view's ``state_dict()`` is restored driver-side
+        and the reserved RNG streams re-aliased exactly as a drained sync
+        would, but the states come from the snapshot cut — no barrier. Must
+        be called under the service lock with a cut taken at the current
+        watermark (no writes can have interleaved); in-process backends are
+        a no-op because the driver's samplers are already authoritative.
+        """
+        if not self._transport_attached:
+            return
+        for shard_id in sorted(cut.views):
+            state = cut.views[shard_id].state
+            if state is None:
+                raise ValueError(
+                    "driver refresh needs a state-bearing cut; take the "
+                    "snapshot with include_state=True"
+                )
+            sampler = Sampler.from_state_dict(state)
+            self._shards[shard_id] = sampler
+            if self._retained_rng.get(shard_id):
+                self._shard_rngs[shard_id] = sampler._rng
+        # Collecting the markers processed every earlier acknowledgement,
+        # and the lock kept new dispatch out, so the cut covers everything
+        # in flight: the driver copies are exact.
+        self._dirty.clear()
+
     def _sync(self) -> None:
         """Pull authoritative resident shard state back to the driver.
 
         Drains the pipeline (delivering activation acknowledgements), then
         snapshots every shard ingested since its last sync. In-process
         backends mutate the driver's samplers directly, so this is a no-op
-        for them.
+        for them. Reads never call this — they take snapshot cuts
+        (:meth:`snapshot`); the drain barrier remains for lifecycle
+        operations (detach, reshard, ``state_dict``) that need the pool
+        quiesced, not just observed.
         """
-        if not self._transport_attached:
-            return
-        pool = self._executor.transport
-        try:
-            pool.drain()
-            for shard_id in sorted(self._dirty):
-                snapshot = pool.snapshot(
-                    self._shard_key(shard_id), snapshot_sampler
-                )
-                sampler = Sampler.from_state_dict(snapshot)
-                self._shards[shard_id] = sampler
-                if self._retained_rng.get(shard_id):
-                    self._shard_rngs[shard_id] = sampler._rng
-        except WorkerCrashError as error:
-            # A read found the pool dead. With a standby, promote: the
-            # replayed log tail covers everything the crashed workers held,
-            # so the read completes on the promoted samplers.
-            if self._replication is None:
-                raise
-            self._failover(error)
-            return
-        self._dirty.clear()
+        with self._lock:
+            if not self._transport_attached:
+                return
+            pool = self._executor.transport
+            try:
+                pool.drain()
+                for shard_id in sorted(self._dirty):
+                    snapshot = pool.snapshot(
+                        self._shard_key(shard_id), snapshot_sampler
+                    )
+                    sampler = Sampler.from_state_dict(snapshot)
+                    self._shards[shard_id] = sampler
+                    if self._retained_rng.get(shard_id):
+                        self._shard_rngs[shard_id] = sampler._rng
+            except WorkerCrashError as error:
+                # A read found the pool dead. With a standby, promote: the
+                # replayed log tail covers everything the crashed workers
+                # held, so the read completes on the promoted samplers.
+                if self._replication is None:
+                    raise
+                self._failover(error)
+                return
+            self._dirty.clear()
 
     # ------------------------------------------------------------------
     # warm-standby replication & supervised failover
@@ -1073,8 +1417,12 @@ class SamplerService:
             )
         if self._replication is not None:
             raise ValueError("replication is already enabled on this service")
-        self._sync()
-        replica = ShardReplicaSet.capture(self, self._wal, self._batches_seen - 1)
+        # The standby is captured from the same committed-watermark cut the
+        # checkpoint path serializes: a state-bearing snapshot refreshed
+        # into the driver, not a drain barrier.
+        cut = self.snapshot(include_items=False, include_state=True)
+        self._refresh_driver_cut(cut)
+        replica = ShardReplicaSet.capture(self, self._wal, cut.watermark)
         self._replication = ReplicationRuntime(
             config=config,
             replica=replica,
@@ -1203,6 +1551,8 @@ class SamplerService:
         self._retained_rng = {}
         self._standby_states = {}
         self._standby_rngs = {}
+        # Cached cuts may reference the condemned pool's shard states.
+        self._snapshot_cache = None
         self._executor.shutdown()
         # 2. Catch the standby up through the last committed batch, then
         # promote its samplers and reserved RNG streams in place.
@@ -1249,28 +1599,31 @@ class SamplerService:
         ``True``. In-process backends (and a detached pool) always report
         healthy — there are no worker processes to lose.
         """
-        report: dict[str, Any] = {
-            "backend": self._executor.name,
-            "failed_over": False,
-        }
-        if not (self._executor.provides_transport and self._transport_attached):
+        with self._lock:
+            report: dict[str, Any] = {
+                "backend": self._executor.name,
+                "failed_over": False,
+            }
+            if not (
+                self._executor.provides_transport and self._transport_attached
+            ):
+                return report
+            pool = self._executor.transport
+            report.update(
+                workers=pool.num_workers,
+                worker_pids=pool.worker_pids(),
+                dead_workers=pool.dead_workers(),
+                pending_commands=pool.pending_commands(),
+                acked_batches=self.acked_batches,
+            )
+            rt = self._replication
+            if rt is None:
+                return report
+            verdict = rt.detector.check(pool)
+            if verdict.failed:
+                self._failover(self._verdict_error(verdict))
+                report["failed_over"] = True
             return report
-        pool = self._executor.transport
-        report.update(
-            workers=pool.num_workers,
-            worker_pids=pool.worker_pids(),
-            dead_workers=pool.dead_workers(),
-            pending_commands=pool.pending_commands(),
-            acked_batches=self.acked_batches,
-        )
-        rt = self._replication
-        if rt is None:
-            return report
-        verdict = rt.detector.check(pool)
-        if verdict.failed:
-            self._failover(self._verdict_error(verdict))
-            report["failed_over"] = True
-        return report
 
     def _coerce_keys(
         self, keys: Any, batch: np.ndarray
@@ -1435,6 +1788,12 @@ class SamplerService:
         routed inconsistently at ingest time. A same-count reshard with no
         new factory is a no-op.
         """
+        with self._lock:
+            self._reshard_locked(num_shards, sampler_factory)
+
+    def _reshard_locked(
+        self, num_shards: int, sampler_factory: SamplerFactory | None
+    ) -> None:
         new_count = int(num_shards)
         if new_count <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -1505,6 +1864,8 @@ class SamplerService:
         self._retained_rng = {}
         self._standby_states = {}
         self._standby_rngs = {}
+        # Cached cuts describe the old layout (shard ids, num_shards).
+        self._snapshot_cache = None
         if self._wal is not None:
             # Fresh, empty logs for the new layout, and a checkpoint of the
             # re-homed state: every shard changed identity, so all are
@@ -1536,14 +1897,15 @@ class SamplerService:
         pulled back first, so a checkpoint taken mid-stream is exact and
         bit-identical to the serial backend's.
         """
-        self._sync()
-        return {
-            **self._scalar_state(),
-            "shards": {
-                str(shard_id): self._shards[shard_id].state_dict()
-                for shard_id in sorted(self._activated)
-            },
-        }
+        with self._lock:
+            self._sync()
+            return {
+                **self._scalar_state(),
+                "shards": {
+                    str(shard_id): self._shards[shard_id].state_dict()
+                    for shard_id in sorted(self._activated)
+                },
+            }
 
     def _scalar_state(self) -> dict[str, Any]:
         """The service-level half of :meth:`state_dict` (everything but shards).
@@ -1614,6 +1976,10 @@ class SamplerService:
         instead of raising — the service closes cleanly and stays
         queryable, with every acked batch accounted for.
         """
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         failure: BaseException | None = None
         try:
             if self._transport_attached:

@@ -1,0 +1,22 @@
+"""Conforming pure reads: consistent cuts, no drains, no creation, no draws."""
+
+
+class SnapshotService:
+    def snapshot(self):
+        return dict(self._views)
+
+    def stats(self):
+        cut = self.snapshot()
+        return {"active_shards": len(cut)}
+
+    def sample_items(self):
+        merged = []
+        for shard_id in sorted(self._views):
+            merged.extend(self._views[shard_id])
+        return merged
+
+    def shard(self, shard_id):
+        try:
+            return self._views[shard_id]
+        except KeyError:
+            raise KeyError(f"shard {shard_id} has no sampler yet") from None

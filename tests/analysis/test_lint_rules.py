@@ -81,6 +81,17 @@ class TestSeededViolations:
         assert "_running_total" in finding.message
         assert "LeakySampler" in finding.message
 
+    def test_pure_read_rule_flags_drains_creation_and_draws(self) -> None:
+        report = lint(VIOLATIONS / "repro" / "service" / "impure_reads.py")
+        grouped = findings_by_rule(report)
+        messages = [f.message for f in grouped.pop("pure-read")]
+        assert not grouped
+        assert any("stats()" in m and "drain()" in m for m in messages)
+        assert any("_get_or_create_shard" in m for m in messages)
+        assert any("shard_samples()" in m and "_sync()" in m for m in messages)
+        assert any("draws randomness" in m and "snapshot()" in m for m in messages)
+        assert all("consistent cut" in f.hint for f in report.findings)
+
     def test_routing_fingerprint_fails_without_version_bump(self) -> None:
         report = lint(VIOLATIONS / "repro" / "service" / "routing.py")
         grouped = findings_by_rule(report)
@@ -98,6 +109,7 @@ class TestSeededViolations:
             "error-swallowing",
             "iter-order",
             "state-dict",
+            "pure-read",
             "routing-fingerprint",
         }
 
@@ -107,7 +119,7 @@ class TestCleanFixtures:
         report = lint(CLEAN)
         assert report.findings == []
         assert report.exit_code == 0
-        assert report.files_checked == 4
+        assert report.files_checked == 5
 
     def test_scoping_files_outside_repro_are_ignored(self, tmp_path) -> None:
         rogue = tmp_path / "rogue.py"
